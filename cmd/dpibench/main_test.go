@@ -1,0 +1,88 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunTable1(t *testing.T) {
+	var sb strings.Builder
+	if err := run(&sb, false, 1, 0, false, false, 2010, 4); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"TABLE I", "Cyclone III", "Stratix III", "460.19"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunFigure1EmitsDot(t *testing.T) {
+	var sb strings.Builder
+	if err := run(&sb, false, 0, 1, false, false, 2010, 4); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.HasPrefix(out, "digraph machine {") {
+		t.Fatalf("not DOT output:\n%.120s", out)
+	}
+	if !strings.Contains(out, "doublecircle") {
+		t.Error("match states missing from DOT")
+	}
+}
+
+func TestRunFigure2(t *testing.T) {
+	var sb strings.Builder
+	if err := run(&sb, false, 0, 2, false, false, 2010, 4); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"FIGURE 2", "0.1", "0.5", "1.1"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunFigure7TSV(t *testing.T) {
+	var sb strings.Builder
+	if err := run(&sb, false, 0, 7, false, true, 2010, 4); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "FIGURE 7") || !strings.Contains(out, "# 500 Strings") {
+		t.Errorf("TSV series missing:\n%s", out)
+	}
+	// The top sample of the 500-string curve: 2.78 W, 14.9 Gbps.
+	if !strings.Contains(out, "2.78\t14.9") {
+		t.Errorf("calibrated endpoint missing:\n%s", out)
+	}
+}
+
+func TestRunFigure8Plot(t *testing.T) {
+	var sb strings.Builder
+	if err := run(&sb, false, 0, 8, false, false, 2010, 6); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "FIGURE 8") || !strings.Contains(out, "634 Strings") {
+		t.Errorf("plot missing:\n%s", out)
+	}
+}
+
+// The ctx-dependent paths (tables 2/3, figure 6, ablation) are covered by
+// internal/experiments tests; exercising them here again would rebuild the
+// full 6,275-string workload, so they are exercised once in -short form.
+func TestRunSmallContextPaths(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full workload build")
+	}
+	var sb strings.Builder
+	if err := run(&sb, false, 0, 6, false, true, 2010, 4); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "FIGURE 6") {
+		t.Error("figure 6 missing")
+	}
+}

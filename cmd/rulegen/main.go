@@ -1,0 +1,83 @@
+// Command rulegen generates, reduces and inspects Snort-like rulesets.
+//
+// Usage:
+//
+//	rulegen -n 6275 -seed 2010 > full.rules      # generate
+//	rulegen -in full.rules -reduce 634 > small.rules
+//	rulegen -in full.rules -histogram             # Figure 6 series
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	dpi "repro"
+)
+
+func main() {
+	var (
+		n      = flag.Int("n", 0, "generate a synthetic ruleset with n strings")
+		seed   = flag.Int64("seed", 2010, "generation / reduction seed")
+		in     = flag.String("in", "", "input ruleset file")
+		reduce = flag.Int("reduce", 0, "reduce the input to this many strings (distribution preserving)")
+		histo  = flag.Bool("histogram", false, "print the length histogram (Figure 6 series)")
+	)
+	flag.Parse()
+	if err := run(os.Stdout, *n, *seed, *in, *reduce, *histo); err != nil {
+		fmt.Fprintln(os.Stderr, "rulegen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(w io.Writer, n int, seed int64, in string, reduce int, histo bool) error {
+	var rules *dpi.Ruleset
+	var err error
+	switch {
+	case n > 0 && in == "":
+		rules, err = dpi.GenerateSnortLike(n, seed)
+	case in != "":
+		f, ferr := os.Open(in)
+		if ferr != nil {
+			return ferr
+		}
+		defer f.Close()
+		rules, err = dpi.ParseRuleset(f)
+	default:
+		return fmt.Errorf("pass -n to generate or -in to read a ruleset")
+	}
+	if err != nil {
+		return err
+	}
+	if reduce > 0 {
+		rules, err = rules.Reduce(reduce, seed)
+		if err != nil {
+			return err
+		}
+	}
+	if histo {
+		counts := make(map[int]int)
+		for id := 0; ; id++ {
+			c := rules.Content(id)
+			if c == nil {
+				if id > 8192 {
+					break
+				}
+				continue
+			}
+			l := len(c)
+			if l > 50 {
+				l = 50
+			}
+			counts[l]++
+		}
+		fmt.Fprintln(w, "# length\tcount (50 = 50+)")
+		for l := 1; l <= 50; l++ {
+			fmt.Fprintf(w, "%d\t%d\n", l, counts[l])
+		}
+		fmt.Fprintf(w, "# %d strings, %d chars total\n", rules.Len(), rules.CharCount())
+		return nil
+	}
+	return rules.Write(w)
+}

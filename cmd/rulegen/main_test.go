@@ -1,0 +1,71 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunGenerate(t *testing.T) {
+	var sb strings.Builder
+	if err := run(&sb, 30, 1, "", 0, false); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if len(lines) != 30 {
+		t.Fatalf("generated %d lines, want 30", len(lines))
+	}
+	for i, l := range lines {
+		if !strings.Contains(l, ":") {
+			t.Fatalf("line %d has no name prefix: %q", i, l)
+		}
+	}
+}
+
+func TestRunGenerateReduceHistogram(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "full.rules")
+	var sb strings.Builder
+	if err := run(&sb, 200, 2, "", 0, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, []byte(sb.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reduce via file round trip.
+	sb.Reset()
+	if err := run(&sb, 0, 3, path, 50, false); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(strings.Split(strings.TrimSpace(sb.String()), "\n")); got != 50 {
+		t.Fatalf("reduced to %d lines, want 50", got)
+	}
+
+	// Histogram mode.
+	sb.Reset()
+	if err := run(&sb, 0, 3, path, 0, true); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "# 200 strings") {
+		t.Errorf("summary missing:\n%s", out)
+	}
+	if !strings.HasPrefix(out, "# length\tcount") {
+		t.Errorf("header missing:\n%s", out)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var sb strings.Builder
+	if err := run(&sb, 0, 1, "", 0, false); err == nil {
+		t.Error("no -n and no -in accepted")
+	}
+	if err := run(&sb, 0, 1, "/nonexistent/file", 0, false); err == nil {
+		t.Error("missing input file accepted")
+	}
+	if err := run(&sb, 10, 1, "", 99, false); err == nil {
+		t.Error("reduce beyond set size accepted")
+	}
+}

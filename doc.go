@@ -1,0 +1,38 @@
+// Package dpi is a memory-compressed multi-pattern string matcher for deep
+// packet inspection, reproducing Kennedy, Wang, Liu and Liu, "Ultra-High
+// Throughput String Matching for Deep Packet Inspection" (DATE 2010).
+//
+// The matcher is an Aho-Corasick automaton using the move function (no fail
+// pointers), so it consumes exactly one input byte per transition — worst
+// case and average case are identical, which is what lets the hardware
+// design guarantee wire-speed scanning. Memory is reduced by more than 96%
+// through default transition pointers: the most commonly targeted states at
+// depths 1, 2 and 3 are promoted into a 256-entry lookup table shared by
+// all states, leaving each state with only the few pointers the table
+// cannot reproduce.
+//
+// Three layers are exposed:
+//
+//   - Ruleset: fixed-string pattern sets — parse Snort-style content
+//     strings, generate synthetic Snort-like sets, reduce while preserving
+//     the length distribution.
+//   - Matcher: the compressed software automaton — compile a Ruleset and
+//     scan payloads at one transition per byte.
+//   - Accelerator: a functional model of the paper's FPGA design — packed
+//     324-bit memory images, 6-engine string matching blocks, multi-block
+//     scan-out with throughput, resource and power reporting for the
+//     Cyclone III and Stratix III targets.
+//
+// Quickstart:
+//
+//	rs := dpi.NewRuleset()
+//	rs.MustAdd("web-phf", []byte("/cgi-bin/phf"))
+//	rs.MustAdd("nop-sled", []byte{0x90, 0x90, 0x90, 0x90})
+//	m, err := dpi.Compile(rs, dpi.Config{})
+//	if err != nil { ... }
+//	for _, match := range m.FindAll(payload) {
+//	    fmt.Printf("rule %s at [%d,%d)\n", rs.Name(match.PatternID), match.Start, match.End)
+//	}
+//
+// See EXPERIMENTS.md for the paper-reproduction harness.
+package dpi

@@ -1,0 +1,281 @@
+package dpi
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/ac"
+	"repro/internal/core"
+	"repro/internal/ruleset"
+)
+
+// Ruleset is an ordered set of fixed-string patterns with stable integer
+// IDs (the hardware's 13-bit "string numbers").
+type Ruleset struct {
+	set *ruleset.Set
+}
+
+// NewRuleset returns an empty ruleset.
+func NewRuleset() *Ruleset {
+	return &Ruleset{set: &ruleset.Set{}}
+}
+
+// Add appends a pattern and returns its ID. The content must be non-empty
+// and unique within the set.
+func (r *Ruleset) Add(name string, content []byte) (int, error) {
+	if len(content) == 0 {
+		return 0, fmt.Errorf("dpi: empty pattern %q", name)
+	}
+	for _, p := range r.set.Patterns {
+		if string(p.Data) == string(content) {
+			return 0, fmt.Errorf("dpi: duplicate pattern content for %q (already added as %q)", name, p.Name)
+		}
+	}
+	id := len(r.set.Patterns)
+	data := make([]byte, len(content))
+	copy(data, content)
+	r.set.Patterns = append(r.set.Patterns, ruleset.Pattern{ID: id, Data: data, Name: name})
+	return id, nil
+}
+
+// MustAdd is Add for static rulesets; it panics on error.
+func (r *Ruleset) MustAdd(name string, content []byte) int {
+	id, err := r.Add(name, content)
+	if err != nil {
+		panic(err)
+	}
+	return id
+}
+
+// AddSnortContent parses a Snort-style content string (|hex| escapes
+// supported) and adds it.
+func (r *Ruleset) AddSnortContent(name, content string) (int, error) {
+	data, err := ruleset.ParseContent(content)
+	if err != nil {
+		return 0, err
+	}
+	return r.Add(name, data)
+}
+
+// ParseRuleset reads a ruleset file: one content string per line, optional
+// "name:" prefixes, #-comments.
+func ParseRuleset(rd io.Reader) (*Ruleset, error) {
+	set, err := ruleset.ParseFile(rd)
+	if err != nil {
+		return nil, err
+	}
+	return &Ruleset{set: set}, nil
+}
+
+// GenerateSnortLike produces a deterministic synthetic ruleset whose
+// string-length distribution and first-character diversity reproduce the
+// Snort set the paper evaluated (Figure 6).
+func GenerateSnortLike(n int, seed int64) (*Ruleset, error) {
+	set, err := ruleset.Generate(ruleset.GenConfig{N: n, Seed: seed})
+	if err != nil {
+		return nil, err
+	}
+	return &Ruleset{set: set}, nil
+}
+
+// Reduce samples a subset of n patterns preserving the length distribution
+// (the paper's §V.A reduction procedure). IDs are preserved.
+func (r *Ruleset) Reduce(n int, seed int64) (*Ruleset, error) {
+	set, err := r.set.Reduce(n, seed)
+	if err != nil {
+		return nil, err
+	}
+	return &Ruleset{set: set}, nil
+}
+
+// Len returns the number of patterns.
+func (r *Ruleset) Len() int { return r.set.Len() }
+
+// CharCount returns the total pattern bytes.
+func (r *Ruleset) CharCount() int { return r.set.CharCount() }
+
+// Name returns the name of pattern id, or "" if unknown.
+func (r *Ruleset) Name(id int) string {
+	for _, p := range r.set.Patterns {
+		if p.ID == id {
+			return p.Name
+		}
+	}
+	return ""
+}
+
+// Content returns the bytes of pattern id, or nil if unknown.
+func (r *Ruleset) Content(id int) []byte {
+	for _, p := range r.set.Patterns {
+		if p.ID == id {
+			out := make([]byte, len(p.Data))
+			copy(out, p.Data)
+			return out
+		}
+	}
+	return nil
+}
+
+// Write renders the ruleset in ParseRuleset format.
+func (r *Ruleset) Write(w io.Writer) error {
+	return ruleset.WriteFile(w, r.set)
+}
+
+// Config controls compilation.
+type Config struct {
+	// D2DefaultsPerChar is the number of depth-2 default transition
+	// pointers per character value (0 = the paper's optimum of 4; the
+	// hardware row format holds at most 4).
+	D2DefaultsPerChar int
+	// D3DefaultsPerChar is the number of depth-3 defaults per character
+	// (0 = the paper's 1; the hardware row format holds at most 1).
+	D3DefaultsPerChar int
+	// MaxDefaultDepth limits default depths for ablation: 1, 2 or 3
+	// (0 = 3, the full scheme).
+	MaxDefaultDepth int
+	// Groups splits the ruleset across that many independent machines, one
+	// per string matching block (0 = 1). Needed when a machine outgrows a
+	// block's memory.
+	Groups int
+}
+
+func (c Config) coreOptions() core.Options {
+	return core.Options{
+		D2PerChar: c.D2DefaultsPerChar,
+		D3PerChar: c.D3DefaultsPerChar,
+		MaxDepth:  c.MaxDefaultDepth,
+	}
+}
+
+// Match is one pattern occurrence: pattern PatternID spans [Start, End) of
+// the scanned payload. PacketID is set by Accelerator.ScanPackets and -1
+// for single-payload scans.
+type Match struct {
+	PatternID int
+	Start     int
+	End       int
+	PacketID  int
+}
+
+// Matcher is a compiled, compressed pattern matcher.
+type Matcher struct {
+	rules   *Ruleset
+	grouped *core.Grouped
+	cfg     Config
+}
+
+// Compile builds the compressed automaton (or automata, if cfg.Groups > 1)
+// for the ruleset.
+func Compile(r *Ruleset, cfg Config) (*Matcher, error) {
+	if r.Len() == 0 {
+		return nil, fmt.Errorf("dpi: cannot compile an empty ruleset")
+	}
+	groups := cfg.Groups
+	if groups == 0 {
+		groups = 1
+	}
+	g, err := core.BuildGrouped(r.set, groups, cfg.coreOptions())
+	if err != nil {
+		return nil, err
+	}
+	return &Matcher{rules: r, grouped: g, cfg: cfg}, nil
+}
+
+// Rules returns the matcher's ruleset.
+func (m *Matcher) Rules() *Ruleset { return m.rules }
+
+// acMatch builds the internal match representation; it exists so sibling
+// files can construct matches without importing internal/ac themselves.
+func acMatch(id int32, end int) ac.Match {
+	return ac.Match{PatternID: id, End: end}
+}
+
+func (m *Matcher) convert(am ac.Match, packetID int) Match {
+	length := 0
+	for _, machine := range m.grouped.Machines {
+		if l := machine.Trie.PatternLen(am.PatternID); l > 0 {
+			length = l
+			break
+		}
+	}
+	return Match{
+		PatternID: int(am.PatternID),
+		Start:     am.End - length,
+		End:       am.End,
+		PacketID:  packetID,
+	}
+}
+
+// FindAll scans one payload and returns every match, ordered by end offset.
+func (m *Matcher) FindAll(payload []byte) []Match {
+	raw := m.grouped.FindAll(payload)
+	out := make([]Match, len(raw))
+	for i, am := range raw {
+		out[i] = m.convert(am, -1)
+	}
+	return out
+}
+
+// Scan streams matches to fn as they are found, one automaton transition
+// per input byte per group machine.
+func (m *Matcher) Scan(payload []byte, fn func(Match)) {
+	for _, machine := range m.grouped.Machines {
+		sc := machine.NewScanner()
+		sc.Scan(payload, func(am ac.Match) { fn(m.convert(am, -1)) })
+	}
+}
+
+// CompressionStats reports the Table II quantities for the compiled
+// matcher.
+type CompressionStats struct {
+	States            int
+	OriginalPointers  int64
+	OriginalAvg       float64
+	D1Defaults        int
+	D2Defaults        int
+	D3Defaults        int
+	AvgAfterD1        float64
+	AvgAfterD12       float64
+	AvgAfterD123      float64
+	StoredPointers    int64
+	AvgStored         float64
+	Reduction         float64 // fraction of pointers eliminated
+	MaxStoredPerState int
+	Groups            int
+}
+
+// Stats returns compression statistics aggregated over groups.
+func (m *Matcher) Stats() CompressionStats {
+	cs := m.grouped.CombinedStats()
+	return CompressionStats{
+		States:            cs.States,
+		OriginalPointers:  cs.OriginalPointers,
+		OriginalAvg:       cs.OriginalAvg,
+		D1Defaults:        cs.D1Count,
+		D2Defaults:        cs.D2Count,
+		D3Defaults:        cs.D3Count,
+		AvgAfterD1:        cs.AvgAfterD1,
+		AvgAfterD12:       cs.AvgAfterD12,
+		AvgAfterD123:      cs.AvgAfterD123,
+		StoredPointers:    cs.StoredPointers,
+		AvgStored:         cs.AvgStored,
+		Reduction:         cs.Reduction,
+		MaxStoredPerState: cs.MaxStoredPerState,
+		Groups:            len(m.grouped.Machines),
+	}
+}
+
+// Verify proves the compressed matcher equivalent to the uncompressed
+// Aho-Corasick DFA: an exhaustive per-transition structural check plus a
+// scan-level cross-check on the provided payloads (may be nil).
+func (m *Matcher) Verify(payloads [][]byte) error {
+	for gi, machine := range m.grouped.Machines {
+		if err := machine.VerifyTransitions(); err != nil {
+			return fmt.Errorf("group %d: %w", gi, err)
+		}
+		if err := machine.VerifyScan(payloads); err != nil {
+			return fmt.Errorf("group %d: %w", gi, err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,309 @@
+package dpi
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func webRules(t *testing.T) *Ruleset {
+	t.Helper()
+	r := NewRuleset()
+	r.MustAdd("phf", []byte("/cgi-bin/phf"))
+	r.MustAdd("nop-sled", []byte{0x90, 0x90, 0x90, 0x90})
+	r.MustAdd("etc-passwd", []byte("/etc/passwd"))
+	r.MustAdd("cmd-exe", []byte("cmd.exe"))
+	return r
+}
+
+func TestAddAndLookup(t *testing.T) {
+	r := webRules(t)
+	if r.Len() != 4 {
+		t.Fatalf("Len = %d", r.Len())
+	}
+	if r.Name(0) != "phf" {
+		t.Fatalf("Name(0) = %q", r.Name(0))
+	}
+	if !bytes.Equal(r.Content(1), []byte{0x90, 0x90, 0x90, 0x90}) {
+		t.Fatalf("Content(1) = %v", r.Content(1))
+	}
+	if r.Name(99) != "" || r.Content(99) != nil {
+		t.Fatal("phantom pattern 99")
+	}
+}
+
+func TestAddRejectsBadPatterns(t *testing.T) {
+	r := NewRuleset()
+	if _, err := r.Add("empty", nil); err == nil {
+		t.Error("empty content accepted")
+	}
+	r.MustAdd("a", []byte("abc"))
+	if _, err := r.Add("dup", []byte("abc")); err == nil {
+		t.Error("duplicate content accepted")
+	}
+}
+
+func TestAddSnortContent(t *testing.T) {
+	r := NewRuleset()
+	id, err := r.AddSnortContent("shell", "|90 90|/bin/sh")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []byte{0x90, 0x90, '/', 'b', 'i', 'n', '/', 's', 'h'}
+	if !bytes.Equal(r.Content(id), want) {
+		t.Fatalf("content = %v", r.Content(id))
+	}
+	if _, err := r.AddSnortContent("bad", "|zz|"); err == nil {
+		t.Error("bad hex accepted")
+	}
+}
+
+func TestCompileAndFindAll(t *testing.T) {
+	m, err := Compile(webRules(t), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := []byte("GET /cgi-bin/phf?Qalias=x HTTP/1.0 cmd.exe")
+	got := m.FindAll(payload)
+	if len(got) != 2 {
+		t.Fatalf("matches = %v", got)
+	}
+	first := got[0]
+	if first.PatternID != 0 || first.Start != 4 || first.End != 16 {
+		t.Fatalf("first match = %+v, want phf at [4,16)", first)
+	}
+	if first.PacketID != -1 {
+		t.Fatalf("PacketID = %d, want -1 for single scans", first.PacketID)
+	}
+	if got[1].PatternID != 3 {
+		t.Fatalf("second match = %+v, want cmd-exe", got[1])
+	}
+}
+
+func TestScanStreamsMatches(t *testing.T) {
+	m, err := Compile(webRules(t), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ids []int
+	m.Scan([]byte("xx/etc/passwd"), func(mt Match) { ids = append(ids, mt.PatternID) })
+	if len(ids) != 1 || ids[0] != 2 {
+		t.Fatalf("streamed ids = %v", ids)
+	}
+}
+
+func TestCompileEmptyFails(t *testing.T) {
+	if _, err := Compile(NewRuleset(), Config{}); err == nil {
+		t.Fatal("empty ruleset compiled")
+	}
+}
+
+func TestCompileBadConfigFails(t *testing.T) {
+	if _, err := Compile(webRules(t), Config{MaxDefaultDepth: 5}); err == nil {
+		t.Fatal("MaxDefaultDepth=5 accepted")
+	}
+}
+
+func TestStatsShape(t *testing.T) {
+	rs, err := GenerateSnortLike(500, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := Compile(rs, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := m.Stats()
+	if st.Reduction < 0.9 {
+		t.Fatalf("reduction %.3f < 0.9", st.Reduction)
+	}
+	if st.D1Defaults == 0 || st.D2Defaults == 0 || st.D3Defaults == 0 {
+		t.Fatalf("defaults missing: %+v", st)
+	}
+	if !(st.OriginalAvg > st.AvgAfterD1 && st.AvgAfterD1 > st.AvgAfterD12 &&
+		st.AvgAfterD12 >= st.AvgAfterD123) {
+		t.Fatalf("averages not decreasing: %+v", st)
+	}
+}
+
+func TestVerify(t *testing.T) {
+	m, err := Compile(webRules(t), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	payloads := [][]byte{
+		[]byte("nothing here"),
+		[]byte("/cgi-bin/phf"),
+		{0x90, 0x90, 0x90, 0x90, 0x90},
+	}
+	if err := m.Verify(payloads); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGroupedCompileMatchesSingle(t *testing.T) {
+	rs, err := GenerateSnortLike(600, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	single, err := Compile(rs, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	grouped, err := Compile(rs, Config{Groups: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := append([]byte("prefix "), rs.Content(5)...)
+	payload = append(payload, []byte(" suffix")...)
+	a, b := single.FindAll(payload), grouped.FindAll(payload)
+	if len(a) != len(b) {
+		t.Fatalf("single found %d, grouped %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("match %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestRulesetWriteParseRoundTrip(t *testing.T) {
+	r := webRules(t)
+	var buf bytes.Buffer
+	if err := r.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	r2, err := ParseRuleset(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.Len() != r.Len() {
+		t.Fatalf("round trip lost patterns: %d != %d", r2.Len(), r.Len())
+	}
+	for id := 0; id < r.Len(); id++ {
+		if !bytes.Equal(r.Content(id), r2.Content(id)) {
+			t.Fatalf("pattern %d content changed", id)
+		}
+	}
+}
+
+func TestReducePublicAPI(t *testing.T) {
+	rs, err := GenerateSnortLike(400, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	small, err := rs.Reduce(100, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if small.Len() != 100 {
+		t.Fatalf("reduced to %d", small.Len())
+	}
+}
+
+func TestAcceleratorEndToEnd(t *testing.T) {
+	rs, err := GenerateSnortLike(600, 31)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := Compile(rs, Config{Groups: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := NewAccelerator(m, Stratix3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Three packets, the second carrying a known pattern.
+	target := rs.Content(17)
+	payloads := [][]byte{
+		bytes.Repeat([]byte("clean traffic "), 40),
+		append(append(bytes.Repeat([]byte{0xAB}, 100), target...), bytes.Repeat([]byte{0xCD}, 100)...),
+		bytes.Repeat([]byte("more clean bytes"), 30),
+	}
+	matches, err := a.ScanPackets(payloads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, mt := range matches {
+		if mt.PacketID == 1 && mt.PatternID == 17 {
+			if mt.Start != 100 || mt.End != 100+len(target) {
+				t.Fatalf("match offsets %+v", mt)
+			}
+			found = true
+		}
+		if mt.PacketID < 0 || mt.PacketID > 2 {
+			t.Fatalf("bad packet ID %+v", mt)
+		}
+	}
+	if !found {
+		t.Fatal("pattern 17 not found in packet 1")
+	}
+
+	rep := a.Report()
+	if rep.Device != "Stratix III" || rep.Blocks != 6 || rep.Groups != 2 || rep.ConcurrentSets != 3 {
+		t.Fatalf("report shape: %+v", rep)
+	}
+	if rep.ThroughputGbps < 22 || rep.ThroughputGbps > 22.2 {
+		t.Fatalf("throughput %.2f, want 22.1 (Table II)", rep.ThroughputGbps)
+	}
+	if rep.MaxPowerW != 13.28 {
+		t.Fatalf("max power %.2f, want 13.28", rep.MaxPowerW)
+	}
+}
+
+func TestAcceleratorPowerSweep(t *testing.T) {
+	rs, err := GenerateSnortLike(200, 41)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := Compile(rs, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := NewAccelerator(m, Cyclone3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts, err := a.PowerSweep(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := pts[len(pts)-1]
+	if last[0] < 14.8 || last[0] > 15.0 {
+		t.Fatalf("top throughput %.2f Gbps, want 14.9", last[0])
+	}
+	if last[1] != 2.78 {
+		t.Fatalf("top power %.2f W, want 2.78", last[1])
+	}
+}
+
+func TestDeviceString(t *testing.T) {
+	for d, want := range map[Device]string{
+		Cyclone3:        "Cyclone III",
+		Stratix3:        "Stratix III",
+		Stratix3Doubled: "Stratix III (+M144K)",
+	} {
+		if got := d.String(); got != want {
+			t.Errorf("Device(%d).String() = %q, want %q", d, got, want)
+		}
+	}
+	if !strings.Contains(Device(99).String(), "unknown") {
+		t.Error("unknown device not reported")
+	}
+}
+
+func TestAcceleratorRejectsOversizedGroups(t *testing.T) {
+	rs, err := GenerateSnortLike(800, 51)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := Compile(rs, Config{Groups: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewAccelerator(m, Cyclone3); err == nil {
+		t.Fatal("6 groups accepted on a 4-block device")
+	}
+}

@@ -1,0 +1,90 @@
+// nidsrules demonstrates the complete intrusion-detection pipeline the
+// paper's accelerator serves (§I): rules made of a 5-tuple header part and
+// a content part ("a specific string or strings must be searched for in a
+// packet's payload at given locations"), evaluated with one shared
+// string-matching pass per packet.
+//
+//	go run ./examples/nidsrules
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"repro/internal/nids"
+)
+
+const ruleText = `
+# Web attacks against the protected 10/8 network.
+alert tcp any any -> 10.0.0.0/8 80 (msg:"WEB phf access"; content:"/cgi-bin/phf";)
+alert tcp any any -> 10.0.0.0/8 80:88 (msg:"WEB traversal in GET"; content:"GET "; offset:0; depth:4; content:"../../";)
+# Slammer probe: UDP 1434, preamble at the very start of the payload.
+alert udp any any -> any 1434 (msg:"WORM slammer probe"; content:"|04 01 01 01 01|"; offset:0; depth:5;)
+# Shell upload to anywhere.
+alert tcp any any -> any any (msg:"SHELL bin-sh"; content:"/bin/sh";)
+`
+
+type pkt struct {
+	desc    string
+	hdr     nids.FiveTuple
+	payload []byte
+}
+
+func main() {
+	rules, err := nids.ParseRules(strings.NewReader(ruleText))
+	if err != nil {
+		log.Fatal(err)
+	}
+	engine, err := nids.NewEngine(rules)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("compiled %d rules into %d unique content strings\n\n",
+		len(rules), engine.NumPatterns())
+
+	webDst := nids.FiveTuple{
+		SrcIP: nids.IPv4(203, 0, 113, 9), DstIP: nids.IPv4(10, 2, 3, 4),
+		SrcPort: 49152, DstPort: 80, Proto: nids.ProtoTCP,
+	}
+	outsideDst := webDst
+	outsideDst.DstIP = nids.IPv4(198, 51, 100, 20)
+	slammer := nids.FiveTuple{
+		SrcIP: nids.IPv4(203, 0, 113, 66), DstIP: nids.IPv4(10, 0, 0, 99),
+		SrcPort: 4096, DstPort: 1434, Proto: nids.ProtoUDP,
+	}
+
+	packets := []pkt{
+		{"clean GET to protected web server", webDst,
+			[]byte("GET /index.html HTTP/1.0\r\n\r\n")},
+		{"phf probe to protected web server", webDst,
+			[]byte("GET /cgi-bin/phf?Qalias=x HTTP/1.0\r\n\r\n")},
+		{"phf probe to host outside 10/8 (header gate)", outsideDst,
+			[]byte("GET /cgi-bin/phf?Qalias=x HTTP/1.0\r\n\r\n")},
+		{"traversal mid-URL (offset constraint holds)", webDst,
+			[]byte("GET /app/../../etc/passwd HTTP/1.0\r\n\r\n")},
+		{"traversal but GET not at payload start", webDst,
+			[]byte("xx GET /app/../../etc/passwd HTTP/1.0\r\n\r\n")},
+		{"slammer preamble at offset 0", slammer,
+			append([]byte{0x04, 0x01, 0x01, 0x01, 0x01}, []byte("payload...")...)},
+		{"slammer bytes shifted by one (depth constraint)", slammer,
+			append([]byte{0x00, 0x04, 0x01, 0x01, 0x01, 0x01}, []byte("payload...")...)},
+		{"shell string on an arbitrary port", nids.FiveTuple{
+			SrcIP: nids.IPv4(192, 0, 2, 1), DstIP: nids.IPv4(10, 1, 1, 1),
+			SrcPort: 1234, DstPort: 6667, Proto: nids.ProtoTCP},
+			[]byte("\x90\x90\x90/bin/sh\x00")},
+	}
+
+	for i, p := range packets {
+		alerts := engine.Inspect(i, p.hdr, p.payload)
+		verdict := "ok"
+		if len(alerts) > 0 {
+			names := make([]string, len(alerts))
+			for j, a := range alerts {
+				names[j] = a.RuleName
+			}
+			verdict = "ALERT: " + strings.Join(names, ", ")
+		}
+		fmt.Printf("packet %d (%-48s) -> %s\n", i, p.desc, verdict)
+	}
+}

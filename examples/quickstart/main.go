@@ -1,0 +1,44 @@
+// Quickstart: compile a handful of signatures and scan a payload.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	dpi "repro"
+)
+
+func main() {
+	// A ruleset is a set of fixed byte strings with names. Binary content
+	// can be added directly or in Snort syntax with |hex| escapes.
+	rules := dpi.NewRuleset()
+	rules.MustAdd("web-phf", []byte("/cgi-bin/phf"))
+	rules.MustAdd("traversal", []byte("../../"))
+	rules.MustAdd("cmd-exe", []byte("cmd.exe"))
+	if _, err := rules.AddSnortContent("nop-sled", "|90 90 90 90|"); err != nil {
+		log.Fatal(err)
+	}
+
+	// Compile builds the memory-compressed Aho-Corasick machine: the full
+	// move-function DFA semantics (one transition per byte, no fail
+	// pointers) with >90% of transition pointers replaced by the shared
+	// default-transition lookup table.
+	matcher, err := dpi.Compile(rules, dpi.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	st := matcher.Stats()
+	fmt.Printf("compiled: %d states, %.2f stored pointers/state (was %.2f), %.1f%% reduction\n",
+		st.States, st.AvgStored, st.OriginalAvg, 100*st.Reduction)
+
+	payload := []byte("GET /cgi-bin/phf?Qalias=x%0a/bin/cat%20/etc/passwd HTTP/1.0\r\n" +
+		"User-Agent: ../../waffle cmd.exe \x90\x90\x90\x90\x90\r\n")
+
+	// FindAll returns every occurrence of every pattern.
+	for _, m := range matcher.FindAll(payload) {
+		fmt.Printf("  match %-10s at [%3d,%3d): %q\n",
+			rules.Name(m.PatternID), m.Start, m.End, payload[m.Start:m.End])
+	}
+}

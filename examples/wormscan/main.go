@@ -1,0 +1,102 @@
+// wormscan reproduces the paper's motivating scenario (§I): detecting
+// fast-spreading worms — Slammer and CodeRed are the paper's examples — in
+// transit, at the network edge, before they reach end hosts. It builds a
+// small signature set in Snort content syntax, scans a captured-style
+// traffic trace, and shows the worst-case guarantee: scanning cost is one
+// transition per byte no matter how adversarial the stream.
+//
+//	go run ./examples/wormscan
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+
+	dpi "repro"
+)
+
+// Signatures in Snort content syntax. These are simplified fragments in
+// the style of the 2003-era rules for the worms the paper cites — the
+// Slammer UDP/1434 overflow preamble and the CodeRed GET-with-NNNN overrun
+// — plus generic shellcode indicators.
+var signatures = []struct {
+	name, content string
+}{
+	{"slammer-preamble", "|04 01 01 01 01 01 01 01 01|"},
+	{"slammer-reconstruct", "|68 2E 64 6C 6C|hel32hkern"}, // push ".dll" / "hel32hkern" fragment
+	{"codered-overflow", "GET /default.ida?NNNNNNNNNNNNNNNNNNNNNNNN"},
+	{"codered-body", "|25 75 39 30 39 30 25 75 36 38 35 38|"}, // %u9090%u6858
+	{"nop-sled", "|90 90 90 90 90 90 90 90|"},
+	{"bind-shell", "/bin/sh"},
+}
+
+func main() {
+	rules := dpi.NewRuleset()
+	for _, s := range signatures {
+		if _, err := rules.AddSnortContent(s.name, s.content); err != nil {
+			log.Fatalf("%s: %v", s.name, err)
+		}
+	}
+	matcher, err := dpi.Compile(rules, dpi.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := matcher.Verify(nil); err != nil {
+		log.Fatalf("compressed machine not equivalent to the DFA: %v", err)
+	}
+
+	// A captured-style trace: benign HTTP, then a CodeRed probe, then a
+	// Slammer-style UDP payload with a NOP sled.
+	trace := [][]byte{
+		[]byte("GET /index.html HTTP/1.0\r\nHost: example.com\r\n\r\n"),
+		append([]byte("GET /default.ida?"+repeat('N', 224)+"%u9090%u6858%ucbd3 HTTP/1.0\r\n"), 0x90),
+		slammerish(),
+		[]byte("POST /login HTTP/1.1\r\nContent-Length: 42\r\n\r\nuser=alice&pass=correct-horse"),
+	}
+
+	for i, payload := range trace {
+		matches := matcher.FindAll(payload)
+		verdict := "clean"
+		if len(matches) > 0 {
+			verdict = "INFECTED"
+		}
+		fmt.Printf("packet %d (%4d bytes): %-8s", i, len(payload), verdict)
+		seen := map[string]bool{}
+		for _, m := range matches {
+			name := rules.Name(m.PatternID)
+			if !seen[name] {
+				seen[name] = true
+				fmt.Printf(" %s@%d", name, m.Start)
+			}
+		}
+		fmt.Println()
+	}
+
+	// The worst-case guarantee: a stream of truncated signature prefixes
+	// (the classic algorithmic-complexity attack against NIDS) costs
+	// exactly one transition per byte, same as clean traffic.
+	evil := bytes.Repeat([]byte("GET /default.ida?NNNNNNNNNNNNNNNNNNNNNNN_"), 64)
+	matches := matcher.FindAll(evil)
+	fmt.Printf("\nadversarial stream: %d bytes, %d matches, 1 transition/byte by construction\n",
+		len(evil), len(matches))
+	fmt.Println("(a goto/fail matcher walks fail chains here; see `dpibench -ablation`)")
+}
+
+func repeat(c byte, n int) string {
+	return string(bytes.Repeat([]byte{c}, n))
+}
+
+// slammerish builds a 376-byte UDP-style payload like the Slammer worm's:
+// the 0x04 preamble, a run of 0x01 padding, then code-like bytes.
+func slammerish() []byte {
+	p := []byte{0x04}
+	p = append(p, bytes.Repeat([]byte{0x01}, 96)...)
+	p = append(p, bytes.Repeat([]byte{0x90}, 16)...)
+	p = append(p, []byte{0x68, 0x2E, 0x64, 0x6C, 0x6C}...) // push ".dll"
+	p = append(p, []byte("hel32hkern")...)
+	for len(p) < 376 {
+		p = append(p, byte(len(p)*7))
+	}
+	return p
+}

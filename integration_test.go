@@ -1,0 +1,196 @@
+package dpi
+
+// Cross-layer integration tests: the full pipeline from synthetic ruleset
+// generation through grouped compilation, hardware packing and accelerator
+// scan-out, cross-checked against the software matcher and the reference
+// baselines at every step.
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/ac"
+	"repro/internal/ruleset"
+	"repro/internal/traffic"
+	"repro/internal/tuck"
+)
+
+// internalSet rebuilds the internal set view of a public ruleset.
+func internalSet(t *testing.T, r *Ruleset) *ruleset.Set {
+	t.Helper()
+	s := &ruleset.Set{}
+	for id := 0; ; id++ {
+		c := r.Content(id)
+		if c == nil {
+			break
+		}
+		s.Patterns = append(s.Patterns, ruleset.Pattern{ID: id, Data: c, Name: r.Name(id)})
+	}
+	if s.Len() == 0 {
+		t.Fatal("empty ruleset view")
+	}
+	return s
+}
+
+func TestPipelineEndToEnd(t *testing.T) {
+	// Generate → reduce → compile (grouped) → accelerate → scan, and agree
+	// with (a) the software matcher, (b) the goto/fail reference, (c) the
+	// bitmap baseline on identical traffic.
+	rules, err := GenerateSnortLike(1204, 2010)
+	if err != nil {
+		t.Fatal(err)
+	}
+	matcher, err := Compile(rules, Config{Groups: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	accel, err := NewAccelerator(matcher, Cyclone3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	set := internalSet(t, rules)
+	pkts, err := traffic.Generate(set, traffic.Config{
+		Packets:       16,
+		Bytes:         1200,
+		Seed:          99,
+		AttackDensity: 1.5,
+		Profile:       traffic.Textual,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	payloads := make([][]byte, len(pkts))
+	for i, p := range pkts {
+		payloads[i] = p.Payload
+	}
+
+	hwMatches, err := accel.ScanPackets(payloads)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	trie, err := ac.New(set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	failRef := ac.NewFailMatcher(trie)
+	bitmapRef, err := tuck.BuildBitmap(set)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for pid, payload := range payloads {
+		var hw []ac.Match
+		for _, m := range hwMatches {
+			if m.PacketID == pid {
+				hw = append(hw, ac.Match{PatternID: int32(m.PatternID), End: m.End})
+			}
+		}
+		var sw []ac.Match
+		for _, m := range matcher.FindAll(payload) {
+			sw = append(sw, ac.Match{PatternID: int32(m.PatternID), End: m.End})
+		}
+		gf := failRef.FindAll(payload)
+		bm := bitmapRef.FindAll(payload)
+
+		if !ac.MatchesEqual(hw, sw) {
+			t.Fatalf("packet %d: hardware %d matches, software %d", pid, len(hw), len(sw))
+		}
+		if !ac.MatchesEqual(sw, gf) {
+			t.Fatalf("packet %d: software %d matches, goto/fail %d", pid, len(sw), len(gf))
+		}
+		if !ac.MatchesEqual(gf, bm) {
+			t.Fatalf("packet %d: goto/fail %d matches, bitmap %d", pid, len(gf), len(bm))
+		}
+	}
+}
+
+func TestPipelineMatchOffsetsExact(t *testing.T) {
+	// Every reported [Start, End) must contain exactly the pattern bytes.
+	rules, err := GenerateSnortLike(400, 77)
+	if err != nil {
+		t.Fatal(err)
+	}
+	matcher, err := Compile(rules, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	set := internalSet(t, rules)
+	pkts, err := traffic.Generate(set, traffic.Config{
+		Packets: 10, Bytes: 900, Seed: 7, AttackDensity: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checked := 0
+	for _, p := range pkts {
+		for _, m := range matcher.FindAll(p.Payload) {
+			want := rules.Content(m.PatternID)
+			if !bytes.Equal(p.Payload[m.Start:m.End], want) {
+				t.Fatalf("packet %d: match %+v does not span its pattern", p.ID, m)
+			}
+			checked++
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no matches produced; workload broken")
+	}
+}
+
+func TestPipelineAdversarialParity(t *testing.T) {
+	// On a worst-case stream the accelerator and software matcher agree and
+	// the hardware consumes exactly one cycle per byte in every engine.
+	rules, err := GenerateSnortLike(300, 55)
+	if err != nil {
+		t.Fatal(err)
+	}
+	matcher, err := Compile(rules, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	accel, err := NewAccelerator(matcher, Stratix3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	set := internalSet(t, rules)
+	payload, err := traffic.Adversarial(set, 6000, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hw, err := accel.ScanPackets([][]byte{payload})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw := matcher.FindAll(payload)
+	if len(hw) != len(sw) {
+		t.Fatalf("hardware %d matches, software %d", len(hw), len(sw))
+	}
+}
+
+func TestPipelineDeterministicAcrossRuns(t *testing.T) {
+	build := func() ([]Match, CompressionStats) {
+		rules, err := GenerateSnortLike(500, 4242)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := Compile(rules, Config{Groups: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		payload := append([]byte("xx "), rules.Content(123)...)
+		return m.FindAll(payload), m.Stats()
+	}
+	m1, s1 := build()
+	m2, s2 := build()
+	if s1 != s2 {
+		t.Fatalf("stats differ across identical builds:\n%+v\n%+v", s1, s2)
+	}
+	if len(m1) != len(m2) {
+		t.Fatalf("matches differ: %d vs %d", len(m1), len(m2))
+	}
+	for i := range m1 {
+		if m1[i] != m2[i] {
+			t.Fatalf("match %d differs: %+v vs %+v", i, m1[i], m2[i])
+		}
+	}
+}

@@ -1,0 +1,241 @@
+package ac
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+	"repro/internal/ruleset"
+)
+
+// pathOf reconstructs the byte string spelled by the path from the root to
+// state s.
+func pathOf(tr *Trie, s int32) []byte {
+	var rev []byte
+	for cur := s; cur != Root; cur = tr.Nodes[cur].Parent {
+		rev = append(rev, tr.Nodes[cur].Char)
+	}
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev
+}
+
+// stateOf returns the trie state spelling exactly s, or None.
+func stateOf(tr *Trie, s []byte) int32 {
+	cur := Root
+	for _, c := range s {
+		cur = tr.edgeTo(cur, c)
+		if cur == None {
+			return None
+		}
+	}
+	return cur
+}
+
+// smallTrie builds a trie over a dense random pattern set.
+func smallTrie(t testing.TB, seed int64, npat, alpha, maxLen int) *Trie {
+	src := rng.New(seed)
+	set := &ruleset.Set{}
+	seen := map[string]bool{}
+	for len(set.Patterns) < npat {
+		l := 1 + src.Intn(maxLen)
+		d := make([]byte, l)
+		for i := range d {
+			d[i] = byte('a' + src.Intn(alpha))
+		}
+		if seen[string(d)] {
+			continue
+		}
+		seen[string(d)] = true
+		set.Patterns = append(set.Patterns, ruleset.Pattern{ID: len(set.Patterns), Data: d})
+	}
+	tr, err := New(set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+// TestFailIsLongestProperSuffix checks the defining property of the
+// Aho-Corasick failure function: fail(s) spells the longest proper suffix
+// of path(s) that is itself a trie path.
+func TestFailIsLongestProperSuffix(t *testing.T) {
+	for seed := int64(0); seed < 6; seed++ {
+		tr := smallTrie(t, seed, 15, 3, 6)
+		for s := int32(1); s < int32(tr.NumStates()); s++ {
+			path := pathOf(tr, s)
+			want := Root
+			for cut := 1; cut < len(path); cut++ {
+				if cand := stateOf(tr, path[cut:]); cand != None {
+					want = cand
+					break // longest first: cut from the left
+				}
+			}
+			if got := tr.Nodes[s].Fail; got != want {
+				t.Fatalf("seed %d state %d (%q): fail = %d, want %d",
+					seed, s, path, got, want)
+			}
+		}
+	}
+}
+
+// TestMoveIsLongestSuffix checks the move function's defining property:
+// Move(s, c) spells the longest suffix of path(s)+c that is a trie path.
+func TestMoveIsLongestSuffix(t *testing.T) {
+	for seed := int64(10); seed < 14; seed++ {
+		tr := smallTrie(t, seed, 12, 3, 5)
+		for s := int32(0); s < int32(tr.NumStates()); s++ {
+			path := pathOf(tr, s)
+			for ci := 0; ci < 3; ci++ {
+				c := byte('a' + ci)
+				full := append(append([]byte{}, path...), c)
+				want := Root
+				for cut := 0; cut < len(full); cut++ {
+					if cand := stateOf(tr, full[cut:]); cand != None {
+						want = cand
+						break
+					}
+				}
+				if got := tr.Move(s, c); got != want {
+					t.Fatalf("seed %d: Move(%q, %q) = %d, want %d", seed, path, c, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestOutLinkIsNearestOutputAncestor checks OutLink against a brute-force
+// fail-chain walk.
+func TestOutLinkIsNearestOutputAncestor(t *testing.T) {
+	tr := smallTrie(t, 20, 20, 3, 6)
+	for s := int32(1); s < int32(tr.NumStates()); s++ {
+		want := None
+		for cur := tr.Nodes[s].Fail; ; cur = tr.Nodes[cur].Fail {
+			if len(tr.Nodes[cur].Out) > 0 {
+				want = cur
+				break
+			}
+			if cur == Root {
+				break
+			}
+		}
+		if got := tr.Nodes[s].OutLink; got != want {
+			t.Fatalf("state %d: outlink %d, want %d", s, got, want)
+		}
+	}
+}
+
+// TestEmitOutputsExactlySuffixPatterns: the outputs of state s are exactly
+// the patterns that are suffixes of path(s).
+func TestEmitOutputsExactlySuffixPatterns(t *testing.T) {
+	src := rng.New(31)
+	set := &ruleset.Set{}
+	seen := map[string]bool{}
+	for len(set.Patterns) < 12 {
+		l := 1 + src.Intn(5)
+		d := make([]byte, l)
+		for i := range d {
+			d[i] = byte('x' + src.Intn(2))
+		}
+		if seen[string(d)] {
+			continue
+		}
+		seen[string(d)] = true
+		set.Patterns = append(set.Patterns, ruleset.Pattern{ID: len(set.Patterns), Data: d})
+	}
+	tr, err := New(set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	isSuffix := func(pat, path []byte) bool {
+		if len(pat) > len(path) {
+			return false
+		}
+		tail := path[len(path)-len(pat):]
+		for i := range pat {
+			if tail[i] != pat[i] {
+				return false
+			}
+		}
+		return true
+	}
+	for s := int32(0); s < int32(tr.NumStates()); s++ {
+		path := pathOf(tr, s)
+		got := map[int32]bool{}
+		tr.EmitOutputs(s, 0, func(m Match) {
+			if got[m.PatternID] {
+				t.Fatalf("state %d emits pattern %d twice", s, m.PatternID)
+			}
+			got[m.PatternID] = true
+		})
+		for _, p := range set.Patterns {
+			want := isSuffix(p.Data, path)
+			if got[int32(p.ID)] != want {
+				t.Fatalf("state %d (%q): pattern %d (%q) emitted=%v want %v",
+					s, path, p.ID, p.Data, got[int32(p.ID)], want)
+			}
+		}
+	}
+}
+
+// Property: rebuilding a trie from its own nodes reproduces an equivalent
+// automaton (exercises ac.Rebuild validation on good input).
+func TestQuickRebuildRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		tr := smallTrie(t, seed, 10, 3, 5)
+		patLen := map[int32]int{}
+		for s := range tr.Nodes {
+			for _, id := range tr.Nodes[s].Out {
+				patLen[id] = tr.PatternLen(id)
+			}
+		}
+		rb, err := Rebuild(tr.Nodes, patLen)
+		if err != nil {
+			return false
+		}
+		data := []byte("xyxyyxzabacabxy")
+		return MatchesEqual(rb.FindAll(data), tr.FindAll(data))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRebuildRejectsCorruptNodes(t *testing.T) {
+	tr := smallTrie(t, 40, 8, 3, 4)
+	patLen := map[int32]int{}
+	for s := range tr.Nodes {
+		for _, id := range tr.Nodes[s].Out {
+			patLen[id] = tr.PatternLen(id)
+		}
+	}
+	corrupt := func(mutate func(nodes []Node)) []Node {
+		nodes := make([]Node, len(tr.Nodes))
+		copy(nodes, tr.Nodes)
+		for i := range nodes {
+			nodes[i].Edges = append([]Edge(nil), nodes[i].Edges...)
+			nodes[i].Out = append([]int32(nil), nodes[i].Out...)
+		}
+		mutate(nodes)
+		return nodes
+	}
+	cases := []func(nodes []Node){
+		func(n []Node) { n[1].Parent = 9999 },
+		func(n []Node) { n[1].Fail = int32(len(n)) },
+		func(n []Node) { n[1].Depth = 5 },
+		func(n []Node) { n[0].Parent = 0 },
+		func(n []Node) {
+			if len(n[0].Edges) >= 2 {
+				n[0].Edges[0], n[0].Edges[1] = n[0].Edges[1], n[0].Edges[0]
+			}
+		},
+		func(n []Node) { n[2].Out = append(n[2].Out, 9999) },
+	}
+	for i, mutate := range cases {
+		nodes := corrupt(mutate)
+		if _, err := Rebuild(nodes, patLen); err == nil {
+			t.Errorf("case %d: corrupted nodes accepted", i)
+		}
+	}
+}

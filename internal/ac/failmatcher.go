@@ -1,0 +1,71 @@
+package ac
+
+// FailMatcher scans with the classic goto/fail discipline (§III.A "failure
+// function" solution). It produces the same matches as the move-function
+// DFA but may take several automaton steps per input character, which is
+// exactly the worst-case weakness the paper's architecture eliminates:
+// "Multiple fail transitions may have to be followed until the correct
+// state is found, wasting many cycles."
+//
+// Steps counts every goto probe or fail-transition taken, modelling cycles
+// spent by a hardware engine that stores only goto transitions. The bench
+// harness uses it to demonstrate the guaranteed-throughput advantage on
+// adversarial traffic.
+type FailMatcher struct {
+	t *Trie
+	// Steps accumulates automaton transitions across calls to Scan.
+	Steps int64
+	// Chars accumulates input characters consumed.
+	Chars int64
+}
+
+// NewFailMatcher wraps t in a goto/fail scanner.
+func NewFailMatcher(t *Trie) *FailMatcher {
+	return &FailMatcher{t: t}
+}
+
+// Scan matches data and appends matches via emit, counting transition steps.
+func (m *FailMatcher) Scan(data []byte, emit func(Match)) {
+	t := m.t
+	s := Root
+	for i, c := range data {
+		m.Chars++
+		for {
+			m.Steps++
+			if next := t.edgeTo(s, c); next != None {
+				s = next
+				break
+			}
+			if s == Root {
+				break
+			}
+			s = t.Nodes[s].Fail
+		}
+		if t.HasOutput(s) {
+			t.EmitOutputs(s, i+1, emit)
+		}
+	}
+}
+
+// FindAll scans data and returns all matches.
+func (m *FailMatcher) FindAll(data []byte) []Match {
+	var out []Match
+	m.Scan(data, func(mt Match) { out = append(out, mt) })
+	return out
+}
+
+// StepsPerChar reports the average automaton steps per input character over
+// everything scanned so far; 1.0 is the ideal the move-function DFA
+// guarantees.
+func (m *FailMatcher) StepsPerChar() float64 {
+	if m.Chars == 0 {
+		return 0
+	}
+	return float64(m.Steps) / float64(m.Chars)
+}
+
+// Reset clears the step counters.
+func (m *FailMatcher) Reset() {
+	m.Steps = 0
+	m.Chars = 0
+}

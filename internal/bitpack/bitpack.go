@@ -1,0 +1,217 @@
+// Package bitpack provides fixed-width bit vectors with arbitrary bit-field
+// access. It is the foundation of the bit-exact memory images used by the
+// hardware simulator: 324-bit state-memory words, 27-bit match-memory words
+// and 49/54-bit lookup-table rows are all represented as Vectors.
+//
+// Bit numbering is little-endian: bit 0 is the least significant bit of the
+// first 64-bit limb. Fields are identified by (offset, width) pairs with
+// width up to 64 bits and may straddle limb boundaries.
+package bitpack
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Vector is a fixed-width string of bits. The zero value is unusable; create
+// Vectors with New or FromBytes.
+type Vector struct {
+	nbits int
+	limbs []uint64
+}
+
+// New returns a zeroed Vector that is nbits wide. It panics if nbits is
+// negative.
+func New(nbits int) *Vector {
+	if nbits < 0 {
+		panic(fmt.Sprintf("bitpack: negative width %d", nbits))
+	}
+	return &Vector{
+		nbits: nbits,
+		limbs: make([]uint64, (nbits+63)/64),
+	}
+}
+
+// Len returns the width of the vector in bits.
+func (v *Vector) Len() int { return v.nbits }
+
+// Bit returns bit i (0 or 1).
+func (v *Vector) Bit(i int) uint64 {
+	v.check(i, 1)
+	return (v.limbs[i/64] >> (uint(i) % 64)) & 1
+}
+
+// SetBit sets bit i to the low bit of b.
+func (v *Vector) SetBit(i int, b uint64) {
+	v.check(i, 1)
+	mask := uint64(1) << (uint(i) % 64)
+	if b&1 == 1 {
+		v.limbs[i/64] |= mask
+	} else {
+		v.limbs[i/64] &^= mask
+	}
+}
+
+// Field reads the width-bit field starting at bit offset off.
+func (v *Vector) Field(off, width int) uint64 {
+	v.checkField(off, width)
+	if width == 0 {
+		return 0
+	}
+	limb := off / 64
+	shift := uint(off % 64)
+	val := v.limbs[limb] >> shift
+	if rem := 64 - int(shift); rem < width {
+		val |= v.limbs[limb+1] << uint(rem)
+	}
+	if width < 64 {
+		val &= (1 << uint(width)) - 1
+	}
+	return val
+}
+
+// SetField writes val into the width-bit field starting at bit offset off.
+// It panics if val does not fit in width bits, which catches packing bugs at
+// the point of corruption rather than at readback.
+func (v *Vector) SetField(off, width int, val uint64) {
+	v.checkField(off, width)
+	if width == 0 {
+		if val != 0 {
+			panic("bitpack: nonzero value in zero-width field")
+		}
+		return
+	}
+	if width < 64 && val >= 1<<uint(width) {
+		panic(fmt.Sprintf("bitpack: value %#x overflows %d-bit field", val, width))
+	}
+	limb := off / 64
+	shift := uint(off % 64)
+	var mask uint64
+	if width == 64 {
+		mask = ^uint64(0)
+	} else {
+		mask = (1 << uint(width)) - 1
+	}
+	v.limbs[limb] = v.limbs[limb]&^(mask<<shift) | val<<shift
+	if rem := 64 - int(shift); rem < width {
+		hi := uint(rem)
+		v.limbs[limb+1] = v.limbs[limb+1]&^(mask>>hi) | val>>hi
+	}
+}
+
+// Clone returns an independent copy of v.
+func (v *Vector) Clone() *Vector {
+	c := New(v.nbits)
+	copy(c.limbs, v.limbs)
+	return c
+}
+
+// Equal reports whether v and o have identical width and contents.
+func (v *Vector) Equal(o *Vector) bool {
+	if v.nbits != o.nbits {
+		return false
+	}
+	for i := range v.limbs {
+		if v.limbs[i] != o.limbs[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Zero reports whether every bit of v is clear.
+func (v *Vector) Zero() bool {
+	for _, l := range v.limbs {
+		if l != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// OnesCount returns the number of set bits.
+func (v *Vector) OnesCount() int {
+	n := 0
+	for i := 0; i < v.nbits; i++ {
+		if v.Bit(i) == 1 {
+			n++
+		}
+	}
+	return n
+}
+
+// Bytes serializes the vector to ceil(nbits/8) little-endian bytes.
+func (v *Vector) Bytes() []byte {
+	out := make([]byte, (v.nbits+7)/8)
+	for i := range out {
+		out[i] = byte(v.Field8(i * 8))
+	}
+	return out
+}
+
+// Field8 reads up to 8 bits starting at off, clamped to the vector width.
+// It exists so Bytes can serialize vectors whose width is not a multiple
+// of 8.
+func (v *Vector) Field8(off int) uint64 {
+	w := 8
+	if off+w > v.nbits {
+		w = v.nbits - off
+	}
+	return v.Field(off, w)
+}
+
+// FromBytes deserializes a Vector of width nbits from little-endian bytes
+// produced by Bytes. Trailing bits beyond nbits in the final byte must be
+// zero.
+func FromBytes(nbits int, b []byte) (*Vector, error) {
+	want := (nbits + 7) / 8
+	if len(b) != want {
+		return nil, fmt.Errorf("bitpack: need %d bytes for %d bits, got %d", want, nbits, len(b))
+	}
+	v := New(nbits)
+	for i, by := range b {
+		w := 8
+		if i*8+w > nbits {
+			w = nbits - i*8
+			if by>>uint(w) != 0 {
+				return nil, fmt.Errorf("bitpack: stray bits beyond width %d in final byte %#x", nbits, by)
+			}
+		}
+		if w > 0 {
+			v.SetField(i*8, w, uint64(by)&((1<<uint(w))-1))
+		}
+	}
+	return v, nil
+}
+
+// String renders the vector as big-endian hex, most significant nibble
+// first, for debugging.
+func (v *Vector) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%d'h", v.nbits)
+	nibbles := (v.nbits + 3) / 4
+	for i := nibbles - 1; i >= 0; i-- {
+		off := i * 4
+		w := 4
+		if off+w > v.nbits {
+			w = v.nbits - off
+		}
+		fmt.Fprintf(&sb, "%x", v.Field(off, w))
+	}
+	return sb.String()
+}
+
+func (v *Vector) check(i, w int) {
+	if i < 0 || i+w > v.nbits {
+		panic(fmt.Sprintf("bitpack: access [%d,%d) out of range of %d-bit vector", i, i+w, v.nbits))
+	}
+}
+
+func (v *Vector) checkField(off, width int) {
+	if width < 0 || width > 64 {
+		panic(fmt.Sprintf("bitpack: field width %d out of range [0,64]", width))
+	}
+	if off < 0 || off+width > v.nbits {
+		panic(fmt.Sprintf("bitpack: field [%d,%d) out of range of %d-bit vector", off, off+width, v.nbits))
+	}
+}

@@ -1,0 +1,256 @@
+package bitpack
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewZeroed(t *testing.T) {
+	v := New(324)
+	if v.Len() != 324 {
+		t.Fatalf("Len = %d, want 324", v.Len())
+	}
+	if !v.Zero() {
+		t.Fatal("new vector is not zero")
+	}
+	for i := 0; i < 324; i++ {
+		if v.Bit(i) != 0 {
+			t.Fatalf("bit %d set in new vector", i)
+		}
+	}
+}
+
+func TestSetBitGetBit(t *testing.T) {
+	v := New(100)
+	idx := []int{0, 1, 63, 64, 65, 98, 99}
+	for _, i := range idx {
+		v.SetBit(i, 1)
+	}
+	for _, i := range idx {
+		if v.Bit(i) != 1 {
+			t.Errorf("bit %d not set", i)
+		}
+	}
+	if got := v.OnesCount(); got != len(idx) {
+		t.Errorf("OnesCount = %d, want %d", got, len(idx))
+	}
+	v.SetBit(63, 0)
+	if v.Bit(63) != 0 {
+		t.Error("bit 63 still set after clearing")
+	}
+}
+
+func TestFieldRoundTripAligned(t *testing.T) {
+	v := New(128)
+	v.SetField(0, 64, 0xDEADBEEFCAFEF00D)
+	if got := v.Field(0, 64); got != 0xDEADBEEFCAFEF00D {
+		t.Fatalf("Field(0,64) = %#x", got)
+	}
+	v.SetField(64, 64, 0x0123456789ABCDEF)
+	if got := v.Field(64, 64); got != 0x0123456789ABCDEF {
+		t.Fatalf("Field(64,64) = %#x", got)
+	}
+	// First field must be untouched by the second write.
+	if got := v.Field(0, 64); got != 0xDEADBEEFCAFEF00D {
+		t.Fatalf("Field(0,64) clobbered: %#x", got)
+	}
+}
+
+func TestFieldStraddlesLimbBoundary(t *testing.T) {
+	v := New(128)
+	v.SetField(60, 12, 0xABC)
+	if got := v.Field(60, 12); got != 0xABC {
+		t.Fatalf("straddling field = %#x, want 0xabc", got)
+	}
+	// Neighbours unchanged.
+	if got := v.Field(0, 60); got != 0 {
+		t.Fatalf("low neighbour dirtied: %#x", got)
+	}
+	if got := v.Field(72, 56); got != 0 {
+		t.Fatalf("high neighbour dirtied: %#x", got)
+	}
+}
+
+func TestSetFieldOverwrite(t *testing.T) {
+	v := New(64)
+	v.SetField(8, 24, 0xFFFFFF)
+	v.SetField(8, 24, 0x000001)
+	if got := v.Field(8, 24); got != 1 {
+		t.Fatalf("overwrite failed: %#x", got)
+	}
+}
+
+func TestSetFieldOverflowPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for oversized value")
+		}
+	}()
+	New(64).SetField(0, 4, 16)
+}
+
+func TestOutOfRangePanics(t *testing.T) {
+	cases := []func(){
+		func() { New(10).Bit(10) },
+		func() { New(10).SetBit(-1, 1) },
+		func() { New(10).Field(8, 4) },
+		func() { New(10).SetField(0, 65, 0) },
+	}
+	for i, fn := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: expected panic", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestZeroWidthField(t *testing.T) {
+	v := New(8)
+	if got := v.Field(3, 0); got != 0 {
+		t.Fatalf("zero-width read = %d", got)
+	}
+	v.SetField(3, 0, 0) // must not panic
+}
+
+func TestCloneIndependence(t *testing.T) {
+	v := New(324)
+	v.SetField(100, 24, 0xABCDEF)
+	c := v.Clone()
+	if !v.Equal(c) {
+		t.Fatal("clone not equal")
+	}
+	c.SetField(100, 24, 0x123456)
+	if v.Field(100, 24) != 0xABCDEF {
+		t.Fatal("mutating clone changed original")
+	}
+}
+
+func TestEqualWidthMismatch(t *testing.T) {
+	if New(10).Equal(New(11)) {
+		t.Fatal("vectors of different widths reported equal")
+	}
+}
+
+func TestBytesRoundTrip(t *testing.T) {
+	for _, nbits := range []int{1, 7, 8, 9, 27, 49, 54, 63, 64, 65, 324} {
+		v := New(nbits)
+		rng := rand.New(rand.NewSource(int64(nbits)))
+		for i := 0; i < nbits; i++ {
+			v.SetBit(i, uint64(rng.Intn(2)))
+		}
+		b := v.Bytes()
+		got, err := FromBytes(nbits, b)
+		if err != nil {
+			t.Fatalf("nbits=%d: FromBytes: %v", nbits, err)
+		}
+		if !v.Equal(got) {
+			t.Fatalf("nbits=%d: round trip mismatch", nbits)
+		}
+	}
+}
+
+func TestFromBytesRejectsBadLength(t *testing.T) {
+	if _, err := FromBytes(27, make([]byte, 3)); err == nil {
+		t.Fatal("expected length error")
+	}
+}
+
+func TestFromBytesRejectsStrayBits(t *testing.T) {
+	b := []byte{0xFF, 0xFF, 0xFF, 0xFF} // 27-bit vector: top 5 bits of byte 3 stray
+	if _, err := FromBytes(27, b); err == nil {
+		t.Fatal("expected stray-bit error")
+	}
+}
+
+func TestStringFormat(t *testing.T) {
+	v := New(12)
+	v.SetField(0, 12, 0xABC)
+	if got := v.String(); got != "12'habc" {
+		t.Fatalf("String() = %q", got)
+	}
+}
+
+// Property: writing a set of non-overlapping fields and reading them back
+// returns exactly the written values.
+func TestQuickFieldRoundTrip(t *testing.T) {
+	f := func(vals []uint16, seed int64) bool {
+		if len(vals) == 0 {
+			return true
+		}
+		if len(vals) > 20 {
+			vals = vals[:20]
+		}
+		v := New(20 * 16)
+		for i, val := range vals {
+			v.SetField(i*16, 16, uint64(val))
+		}
+		for i, val := range vals {
+			if v.Field(i*16, 16) != uint64(val) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Bytes/FromBytes round-trips arbitrary vectors.
+func TestQuickBytesRoundTrip(t *testing.T) {
+	f := func(seed int64, widthSel uint8) bool {
+		nbits := 1 + int(widthSel)%512
+		v := New(nbits)
+		rng := rand.New(rand.NewSource(seed))
+		for i := 0; i < nbits; i++ {
+			v.SetBit(i, uint64(rng.Intn(2)))
+		}
+		got, err := FromBytes(nbits, v.Bytes())
+		return err == nil && got.Equal(v)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: a field write never disturbs bits outside the field.
+func TestQuickFieldIsolation(t *testing.T) {
+	f := func(seed int64, off8 uint8, w6 uint8, val uint64) bool {
+		nbits := 324
+		off := int(off8) % 260
+		w := 1 + int(w6)%64
+		if off+w > nbits {
+			w = nbits - off
+		}
+		v := New(nbits)
+		rng := rand.New(rand.NewSource(seed))
+		for i := 0; i < nbits; i++ {
+			v.SetBit(i, uint64(rng.Intn(2)))
+		}
+		before := v.Clone()
+		if w < 64 {
+			val &= (1 << uint(w)) - 1
+		}
+		v.SetField(off, w, val)
+		if v.Field(off, w) != val {
+			return false
+		}
+		for i := 0; i < nbits; i++ {
+			if i >= off && i < off+w {
+				continue
+			}
+			if v.Bit(i) != before.Bit(i) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

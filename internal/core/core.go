@@ -1,0 +1,369 @@
+// Package core implements the paper's primary contribution: the default
+// transition pointer (DTP) compression of the Aho-Corasick move-function
+// DFA (§III.B).
+//
+// The observation driving the scheme is that in DPI rulesets most stored
+// transition pointers target one of a few states close to the start state.
+// Those popular targets are promoted to *default transition pointers* held
+// in a 256-entry lookup table indexed by the current input character:
+//
+//   - depth 1: one default per character — the unique depth-1 state labeled
+//     with that character, or the start state if none exists;
+//   - depth 2: the 4 most commonly targeted depth-2 states per character,
+//     each tagged with the 8-bit character of its preceding state;
+//   - depth 3: the single most commonly targeted depth-3 state per
+//     character, tagged with the 16 bits of its 2 preceding characters.
+//
+// An engine tracks the previous two input characters. On each input byte it
+// first compares against the (few) transitions still stored at the current
+// state; on a miss it takes the deepest default whose preceding-character
+// comparison succeeds, falling through depth 3 → depth 2 → depth 1 → start
+// state. Because a transition is only removed from a state when the default
+// rule provably reproduces it, matching is exactly equivalent to the full
+// DFA while storing >96% fewer pointers — and, unlike fail-pointer schemes,
+// one input character is consumed every cycle regardless of input.
+//
+// Removal correctness. For a state s at depth ≥ 2 the previous two
+// characters are determined by s's path, so the default rule is evaluated
+// exactly. For depth ≤ 1 the unknown history positions cannot cause a
+// misfire: a depth-3 default for character c only matches histories h2 h1
+// for which the trie node [h2 h1 c] — and therefore [h2 h1] — exists, and
+// if [h2 h1] existed the automaton could not currently be at a state of
+// depth ≤ 1 (the current state is always the *longest* suffix of the input
+// that is a trie node). The same argument applies one level down for
+// depth-2 defaults at the start state. Machine.VerifyTransitions checks the
+// resulting structural equivalence exhaustively; the matcher tests check it
+// empirically against the oracle.
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/ac"
+	"repro/internal/ruleset"
+)
+
+// Options configures compression.
+type Options struct {
+	// D2PerChar is the number of depth-2 defaults per character value.
+	// The paper found 4 optimal for Snort-derived sets; 0 means 4.
+	D2PerChar int
+	// D3PerChar is the number of depth-3 defaults per character value.
+	// The paper uses 1; 0 means 1. (Values >1 are supported for ablation
+	// studies; the hardware lookup-table row format fits exactly 1.)
+	D3PerChar int
+	// MaxDepth limits which default depths are used: 1 = d1 only,
+	// 2 = d1+d2, 3 = d1+d2+d3. 0 means 3. Used by the Table II progressive
+	// rows and the ablation benches.
+	MaxDepth int
+}
+
+func (o Options) withDefaults() Options {
+	if o.D2PerChar == 0 {
+		o.D2PerChar = 4
+	}
+	if o.D3PerChar == 0 {
+		o.D3PerChar = 1
+	}
+	if o.MaxDepth == 0 {
+		o.MaxDepth = 3
+	}
+	return o
+}
+
+func (o Options) validate() error {
+	if o.D2PerChar < 0 || o.D3PerChar < 0 {
+		return fmt.Errorf("core: negative default counts %+v", o)
+	}
+	if o.MaxDepth < 1 || o.MaxDepth > 3 {
+		return fmt.Errorf("core: MaxDepth %d out of range [1,3]", o.MaxDepth)
+	}
+	return nil
+}
+
+// D2Entry is a depth-2 default: taken when the previous input character
+// equals Prev and no stored transition matched.
+type D2Entry struct {
+	Prev  byte
+	State int32
+}
+
+// D3Entry is a depth-3 default: taken when the previous two input
+// characters equal (Prev2, Prev1).
+type D3Entry struct {
+	Prev2, Prev1 byte
+	State        int32
+}
+
+// Defaults is the content of the 256-row lookup table.
+type Defaults struct {
+	// D1[c] is the depth-1 state labeled c, or ac.None. In hardware this is
+	// a single bit per row because the target address is fixed.
+	D1 [256]int32
+	// D2[c] holds up to D2PerChar depth-2 defaults whose final character is
+	// c, most popular first.
+	D2 [256][]D2Entry
+	// D3[c] holds up to D3PerChar depth-3 defaults whose final character is
+	// c, most popular first.
+	D3 [256][]D3Entry
+}
+
+// HistNone marks an invalid history byte (start of packet).
+const HistNone int16 = -1
+
+// Resolve evaluates the default rule for input character c given the
+// previous two characters (HistNone when unknown): the deepest matching
+// default wins, falling back to the start state. maxDepth limits the
+// depths consulted (3 for the full scheme).
+func (d *Defaults) Resolve(c byte, h2, h1 int16, maxDepth int) int32 {
+	if maxDepth >= 3 && h2 != HistNone && h1 != HistNone {
+		for _, e := range d.D3[c] {
+			if int16(e.Prev2) == h2 && int16(e.Prev1) == h1 {
+				return e.State
+			}
+		}
+	}
+	if maxDepth >= 2 && h1 != HistNone {
+		for _, e := range d.D2[c] {
+			if int16(e.Prev) == h1 {
+				return e.State
+			}
+		}
+	}
+	if s := d.D1[c]; s != ac.None {
+		return s
+	}
+	return ac.Root
+}
+
+// Transition is a pointer still stored at a state after compression.
+type Transition struct {
+	Char byte
+	To   int32
+}
+
+// BuildStats reports the Table II quantities for one machine.
+type BuildStats struct {
+	States           int
+	OriginalPointers int64   // non-root pointers of the uncompressed DFA
+	OriginalAvg      float64 // "Avg.Pointers" under Original Aho-Corasick
+
+	D1Count int // depth-1 defaults in the lookup table ("d1" row)
+	D2Count int // depth-2 defaults added
+	D3Count int // depth-3 defaults added
+
+	StoredAfterD1   int64   // pointers left with d1 defaults only
+	StoredAfterD12  int64   // ... with d1+d2
+	StoredAfterD123 int64   // ... with d1+d2+d3
+	AvgAfterD1      float64 // "Avg.Pointers" after the "d1" row
+	AvgAfterD12     float64 // after "d1+d2"
+	AvgAfterD123    float64 // after "d1+d2+d3"
+
+	StoredPointers    int64 // pointers stored under the configured MaxDepth
+	AvgStored         float64
+	MaxStoredPerState int
+	// Reduction is the fractional cut vs the original DFA under the
+	// configured MaxDepth (Table II "Reduction" row).
+	Reduction float64
+}
+
+// Machine is a DTP-compressed Aho-Corasick automaton.
+type Machine struct {
+	Trie     *ac.Trie
+	Opts     Options
+	Defaults Defaults
+	// Stored[s] holds the transitions kept at state s, sorted by Char.
+	Stored [][]Transition
+	Stats  BuildStats
+}
+
+// Build compresses the move-function DFA for set under opts.
+func Build(set *ruleset.Set, opts Options) (*Machine, error) {
+	opts = opts.withDefaults()
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
+	trie, err := ac.New(set)
+	if err != nil {
+		return nil, err
+	}
+	m := &Machine{Trie: trie, Opts: opts}
+	m.selectDefaults()
+	m.compress()
+	return m, nil
+}
+
+// selectDefaults runs the popularity pass: it counts, over every (state,
+// character) pair of the full DFA, how often each depth-1/2/3 state is the
+// transition target, then promotes the most popular per lookup-table row.
+func (m *Machine) selectDefaults() {
+	t := m.Trie
+	n := t.NumStates()
+	popularity := make([]int64, n)
+	var original int64
+	t.ForEachMoveRow(func(s int32, row []int32) {
+		for c := 0; c < 256; c++ {
+			to := row[c]
+			if to == ac.Root {
+				continue
+			}
+			original++
+			if d := t.Nodes[to].Depth; d >= 1 && d <= 3 {
+				popularity[to]++
+			}
+		}
+	})
+	m.Stats.States = n
+	m.Stats.OriginalPointers = original
+	m.Stats.OriginalAvg = float64(original) / float64(n)
+
+	for c := range m.Defaults.D1 {
+		m.Defaults.D1[c] = ac.None
+	}
+	// Candidates per (depth, final character) row.
+	d2cand := make(map[byte][]int32)
+	d3cand := make(map[byte][]int32)
+	for i := 1; i < n; i++ {
+		nd := t.Nodes[i]
+		switch nd.Depth {
+		case 1:
+			m.Defaults.D1[nd.Char] = int32(i)
+			m.Stats.D1Count++
+		case 2:
+			d2cand[nd.Char] = append(d2cand[nd.Char], int32(i))
+		case 3:
+			d3cand[nd.Char] = append(d3cand[nd.Char], int32(i))
+		}
+	}
+	pickTop := func(cands []int32, k int) []int32 {
+		sort.Slice(cands, func(a, b int) bool {
+			pa, pb := popularity[cands[a]], popularity[cands[b]]
+			if pa != pb {
+				return pa > pb
+			}
+			return cands[a] < cands[b]
+		})
+		if len(cands) > k {
+			cands = cands[:k]
+		}
+		return cands
+	}
+	for c, cands := range d2cand {
+		for _, s := range pickTop(cands, m.Opts.D2PerChar) {
+			prev := t.Nodes[t.Nodes[s].Parent].Char
+			m.Defaults.D2[c] = append(m.Defaults.D2[c], D2Entry{Prev: prev, State: s})
+			m.Stats.D2Count++
+		}
+	}
+	for c, cands := range d3cand {
+		for _, s := range pickTop(cands, m.Opts.D3PerChar) {
+			p1 := t.Nodes[s].Parent
+			p2 := t.Nodes[p1].Parent
+			m.Defaults.D3[c] = append(m.Defaults.D3[c], D3Entry{
+				Prev2: t.Nodes[p2].Char,
+				Prev1: t.Nodes[p1].Char,
+				State: s,
+			})
+			m.Stats.D3Count++
+		}
+	}
+}
+
+// staticHistory returns the previous-two-character history known statically
+// at state s: fully determined for depth ≥ 2, partially for depth 1, empty
+// at the start state. The unknown positions are HistNone, which the default
+// rule treats as never-matching — sound by the feasibility argument in the
+// package comment.
+func (m *Machine) staticHistory(s int32) (h2, h1 int16) {
+	nd := m.Trie.Nodes[s]
+	switch {
+	case nd.Depth >= 2:
+		return int16(m.Trie.Nodes[nd.Parent].Char), int16(nd.Char)
+	case nd.Depth == 1:
+		return HistNone, int16(nd.Char)
+	default:
+		return HistNone, HistNone
+	}
+}
+
+// compress walks every DFA row and keeps only the transitions the default
+// rule cannot reproduce, simultaneously tallying the progressive d1 /
+// d1+d2 / d1+d2+d3 pointer counts for Table II.
+func (m *Machine) compress() {
+	t := m.Trie
+	n := t.NumStates()
+	m.Stored = make([][]Transition, n)
+	maxStored := 0
+	t.ForEachMoveRow(func(s int32, row []int32) {
+		h2, h1 := m.staticHistory(s)
+		for c := 0; c < 256; c++ {
+			to := row[c]
+			if to == ac.Root {
+				continue
+			}
+			ch := byte(c)
+			if m.Defaults.Resolve(ch, h2, h1, 1) != to {
+				m.Stats.StoredAfterD1++
+			}
+			if m.Defaults.Resolve(ch, h2, h1, 2) != to {
+				m.Stats.StoredAfterD12++
+			}
+			if m.Defaults.Resolve(ch, h2, h1, 3) != to {
+				m.Stats.StoredAfterD123++
+			}
+			if m.Defaults.Resolve(ch, h2, h1, m.Opts.MaxDepth) != to {
+				m.Stored[s] = append(m.Stored[s], Transition{Char: ch, To: to})
+			}
+		}
+		if len(m.Stored[s]) > maxStored {
+			maxStored = len(m.Stored[s])
+		}
+	})
+	fn := float64(n)
+	st := &m.Stats
+	st.AvgAfterD1 = float64(st.StoredAfterD1) / fn
+	st.AvgAfterD12 = float64(st.StoredAfterD12) / fn
+	st.AvgAfterD123 = float64(st.StoredAfterD123) / fn
+	switch m.Opts.MaxDepth {
+	case 1:
+		st.StoredPointers = st.StoredAfterD1
+	case 2:
+		st.StoredPointers = st.StoredAfterD12
+	default:
+		st.StoredPointers = st.StoredAfterD123
+	}
+	st.AvgStored = float64(st.StoredPointers) / fn
+	st.MaxStoredPerState = maxStored
+	if st.OriginalPointers > 0 {
+		st.Reduction = 1 - float64(st.StoredPointers)/float64(st.OriginalPointers)
+	}
+}
+
+// StoredAt returns the stored transition target of (s, c), or ac.None.
+func (m *Machine) StoredAt(s int32, c byte) int32 {
+	list := m.Stored[s]
+	lo, hi := 0, len(list)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if list[mid].Char < c {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(list) && list[lo].Char == c {
+		return list[lo].To
+	}
+	return ac.None
+}
+
+// Next performs one hardware-equivalent transition from state s on input c
+// with runtime history (h2, h1): stored pointers first, then the default
+// rule.
+func (m *Machine) Next(s int32, c byte, h2, h1 int16) int32 {
+	if to := m.StoredAt(s, c); to != ac.None {
+		return to
+	}
+	return m.Defaults.Resolve(c, h2, h1, m.Opts.MaxDepth)
+}

@@ -1,0 +1,89 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/ac"
+	"repro/internal/ruleset"
+)
+
+// Grouped is a ruleset split across several independent machines, one per
+// string matching block (§IV.B): "For large rulesets containing many
+// thousands of strings the search structures can be split across the memory
+// of multiple engines with the engines working together to scan a packet."
+// Every group scans the same packet; matches carry global string numbers so
+// results merge trivially.
+type Grouped struct {
+	Machines []*Machine
+	Sets     []*ruleset.Set
+	Opts     Options
+}
+
+// BuildGrouped splits set into groups lexicographic-contiguous groups of
+// balanced character count and compresses each independently.
+func BuildGrouped(set *ruleset.Set, groups int, opts Options) (*Grouped, error) {
+	if groups < 1 {
+		return nil, fmt.Errorf("core: groups must be >= 1, got %d", groups)
+	}
+	if groups > set.Len() {
+		return nil, fmt.Errorf("core: %d groups for %d patterns", groups, set.Len())
+	}
+	parts := set.SplitChars(groups)
+	g := &Grouped{Sets: parts, Opts: opts}
+	for i, part := range parts {
+		if part.Len() == 0 {
+			return nil, fmt.Errorf("core: group %d is empty; too many groups for this set", i)
+		}
+		m, err := Build(part, opts)
+		if err != nil {
+			return nil, fmt.Errorf("core: group %d: %w", i, err)
+		}
+		g.Machines = append(g.Machines, m)
+	}
+	return g, nil
+}
+
+// FindAll scans data with every group machine and merges the matches in
+// canonical order.
+func (g *Grouped) FindAll(data []byte) []ac.Match {
+	var out []ac.Match
+	for _, m := range g.Machines {
+		out = append(out, m.FindAll(data)...)
+	}
+	ac.SortMatches(out)
+	return out
+}
+
+// CombinedStats aggregates Table II quantities across groups: state counts
+// and pointer counts add (each block holds its own state machine and lookup
+// table), averages weight by state count.
+func (g *Grouped) CombinedStats() BuildStats {
+	var st BuildStats
+	maxStored := 0
+	for _, m := range g.Machines {
+		s := m.Stats
+		st.States += s.States
+		st.OriginalPointers += s.OriginalPointers
+		st.D1Count += s.D1Count
+		st.D2Count += s.D2Count
+		st.D3Count += s.D3Count
+		st.StoredAfterD1 += s.StoredAfterD1
+		st.StoredAfterD12 += s.StoredAfterD12
+		st.StoredAfterD123 += s.StoredAfterD123
+		st.StoredPointers += s.StoredPointers
+		if s.MaxStoredPerState > maxStored {
+			maxStored = s.MaxStoredPerState
+		}
+	}
+	fn := float64(st.States)
+	st.OriginalAvg = float64(st.OriginalPointers) / fn
+	st.AvgAfterD1 = float64(st.StoredAfterD1) / fn
+	st.AvgAfterD12 = float64(st.StoredAfterD12) / fn
+	st.AvgAfterD123 = float64(st.StoredAfterD123) / fn
+	st.AvgStored = float64(st.StoredPointers) / fn
+	st.MaxStoredPerState = maxStored
+	if st.OriginalPointers > 0 {
+		st.Reduction = 1 - float64(st.StoredPointers)/float64(st.OriginalPointers)
+	}
+	return st
+}

@@ -1,0 +1,67 @@
+package core
+
+import "repro/internal/ac"
+
+// Scanner carries the per-packet scan state of one matching engine: the
+// current automaton state and the two-character input history the default
+// rule compares against. It mirrors the registers of the hardware engine
+// (Figure 5): input character, previous 2 input characters, current state.
+type Scanner struct {
+	m      *Machine
+	state  int32
+	h1, h2 int16
+	pos    int
+}
+
+// NewScanner returns a scanner positioned at the start of a packet.
+func (m *Machine) NewScanner() *Scanner {
+	s := &Scanner{m: m}
+	s.Reset()
+	return s
+}
+
+// Reset rewinds the scanner to start-of-packet: start state, empty history.
+// The history must be invalidated between packets — stale history bytes
+// from a previous packet could otherwise satisfy a depth-2/3 default
+// comparison that the current packet's bytes do not justify.
+func (s *Scanner) Reset() {
+	s.state = ac.Root
+	s.h1, s.h2 = HistNone, HistNone
+	s.pos = 0
+}
+
+// Step consumes one input byte and reports the new state. Exactly one
+// transition is taken per byte — the guaranteed 1 character/cycle property.
+func (s *Scanner) Step(c byte) int32 {
+	s.state = s.m.Next(s.state, c, s.h2, s.h1)
+	s.h2 = s.h1
+	s.h1 = int16(c)
+	s.pos++
+	return s.state
+}
+
+// State returns the current automaton state.
+func (s *Scanner) State() int32 { return s.state }
+
+// Pos returns the number of bytes consumed since Reset.
+func (s *Scanner) Pos() int { return s.pos }
+
+// Scan consumes data, invoking emit for every match. It continues from the
+// scanner's current state; call Reset first for a fresh packet.
+func (s *Scanner) Scan(data []byte, emit func(ac.Match)) {
+	t := s.m.Trie
+	for _, c := range data {
+		st := s.Step(c)
+		if t.HasOutput(st) {
+			t.EmitOutputs(st, s.pos, emit)
+		}
+	}
+}
+
+// FindAll scans one whole packet and returns its matches.
+func (m *Machine) FindAll(data []byte) []ac.Match {
+	var out []ac.Match
+	sc := m.NewScanner()
+	sc.Scan(data, func(mt ac.Match) { out = append(out, mt) })
+	return out
+}

@@ -1,0 +1,366 @@
+package core
+
+// Snapshot serialization: a compiled Machine can be written to a compact
+// binary blob and reloaded without re-running the popularity and
+// compression passes — the software analogue of shipping the FPGA's
+// initialized memory images. Format (little endian):
+//
+//	magic "DTPM" | version u16 | options (3×u8 + pad) | node table |
+//	pattern lengths | defaults | stored transitions | stats | crc32
+//
+// The trailing CRC-32 (IEEE) covers everything before it; Load rejects
+// truncated or corrupted blobs and unknown versions.
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+
+	"repro/internal/ac"
+)
+
+var snapshotMagic = [4]byte{'D', 'T', 'P', 'M'}
+
+// SnapshotVersion identifies the current blob layout.
+const SnapshotVersion uint16 = 1
+
+type countingWriter struct {
+	w   io.Writer
+	crc uint32
+	n   int64
+	err error
+}
+
+func (cw *countingWriter) Write(p []byte) (int, error) {
+	if cw.err != nil {
+		return 0, cw.err
+	}
+	n, err := cw.w.Write(p)
+	cw.crc = crc32.Update(cw.crc, crc32.IEEETable, p[:n])
+	cw.n += int64(n)
+	cw.err = err
+	return n, err
+}
+
+func put[T any](cw *countingWriter, v T) {
+	if cw.err == nil {
+		cw.err = binary.Write(cw, binary.LittleEndian, v)
+	}
+}
+
+// Save writes the machine snapshot to w.
+func (m *Machine) Save(w io.Writer) error {
+	cw := &countingWriter{w: w}
+	cw.Write(snapshotMagic[:])
+	put(cw, SnapshotVersion)
+	put(cw, uint8(m.Opts.D2PerChar))
+	put(cw, uint8(m.Opts.D3PerChar))
+	put(cw, uint8(m.Opts.MaxDepth))
+	put(cw, uint8(0)) // pad
+
+	nodes := m.Trie.Nodes
+	put(cw, uint32(len(nodes)))
+	for i := range nodes {
+		nd := &nodes[i]
+		put(cw, nd.Parent)
+		put(cw, nd.Fail)
+		put(cw, nd.OutLink)
+		put(cw, nd.Depth)
+		put(cw, nd.Char)
+		put(cw, uint16(len(nd.Edges)))
+		put(cw, uint16(len(nd.Out)))
+		for _, e := range nd.Edges {
+			put(cw, e.Char)
+			put(cw, e.To)
+		}
+		for _, id := range nd.Out {
+			put(cw, id)
+		}
+	}
+
+	// Pattern lengths, sorted by ID for determinism.
+	ids := make([]int32, 0)
+	for i := range nodes {
+		ids = append(ids, nodes[i].Out...)
+	}
+	sortInt32(ids)
+	put(cw, uint32(len(ids)))
+	for _, id := range ids {
+		put(cw, id)
+		put(cw, int32(m.Trie.PatternLen(id)))
+	}
+
+	// Defaults.
+	for c := 0; c < 256; c++ {
+		put(cw, m.Defaults.D1[c])
+	}
+	for c := 0; c < 256; c++ {
+		put(cw, uint8(len(m.Defaults.D2[c])))
+		for _, e := range m.Defaults.D2[c] {
+			put(cw, e.Prev)
+			put(cw, e.State)
+		}
+	}
+	for c := 0; c < 256; c++ {
+		put(cw, uint8(len(m.Defaults.D3[c])))
+		for _, e := range m.Defaults.D3[c] {
+			put(cw, e.Prev2)
+			put(cw, e.Prev1)
+			put(cw, e.State)
+		}
+	}
+
+	// Stored transitions.
+	for s := range m.Stored {
+		put(cw, uint16(len(m.Stored[s])))
+		for _, tr := range m.Stored[s] {
+			put(cw, tr.Char)
+			put(cw, tr.To)
+		}
+	}
+
+	// Stats (floats as IEEE bits).
+	st := &m.Stats
+	put(cw, int64(st.States))
+	put(cw, st.OriginalPointers)
+	put(cw, math.Float64bits(st.OriginalAvg))
+	put(cw, int64(st.D1Count))
+	put(cw, int64(st.D2Count))
+	put(cw, int64(st.D3Count))
+	put(cw, st.StoredAfterD1)
+	put(cw, st.StoredAfterD12)
+	put(cw, st.StoredAfterD123)
+	put(cw, math.Float64bits(st.AvgAfterD1))
+	put(cw, math.Float64bits(st.AvgAfterD12))
+	put(cw, math.Float64bits(st.AvgAfterD123))
+	put(cw, st.StoredPointers)
+	put(cw, math.Float64bits(st.AvgStored))
+	put(cw, int64(st.MaxStoredPerState))
+	put(cw, math.Float64bits(st.Reduction))
+
+	if cw.err != nil {
+		return cw.err
+	}
+	// Trailing checksum (not itself covered).
+	return binary.Write(w, binary.LittleEndian, cw.crc)
+}
+
+type reader struct {
+	r   *bytes.Reader
+	err error
+}
+
+func get[T any](rd *reader, v *T) {
+	if rd.err == nil {
+		rd.err = binary.Read(rd.r, binary.LittleEndian, v)
+	}
+}
+
+// Load reads a snapshot written by Save, validating the checksum and every
+// structural invariant of the embedded automaton.
+func Load(data []byte) (*Machine, error) {
+	if len(data) < 12 {
+		return nil, fmt.Errorf("core: snapshot too short (%d bytes)", len(data))
+	}
+	body, tail := data[:len(data)-4], data[len(data)-4:]
+	wantCRC := binary.LittleEndian.Uint32(tail)
+	if got := crc32.ChecksumIEEE(body); got != wantCRC {
+		return nil, fmt.Errorf("core: snapshot checksum mismatch (%#x != %#x)", got, wantCRC)
+	}
+	rd := &reader{r: bytes.NewReader(body)}
+
+	var magic [4]byte
+	get(rd, &magic)
+	if magic != snapshotMagic {
+		return nil, fmt.Errorf("core: bad snapshot magic %q", magic[:])
+	}
+	var version uint16
+	get(rd, &version)
+	if version != SnapshotVersion {
+		return nil, fmt.Errorf("core: unsupported snapshot version %d (want %d)", version, SnapshotVersion)
+	}
+	var d2, d3, maxDepth, pad uint8
+	get(rd, &d2)
+	get(rd, &d3)
+	get(rd, &maxDepth)
+	get(rd, &pad)
+
+	var numNodes uint32
+	get(rd, &numNodes)
+	if rd.err != nil {
+		return nil, rd.err
+	}
+	if numNodes == 0 || numNodes > 1<<24 {
+		return nil, fmt.Errorf("core: implausible node count %d", numNodes)
+	}
+	nodes := make([]ac.Node, numNodes)
+	for i := range nodes {
+		nd := &nodes[i]
+		get(rd, &nd.Parent)
+		get(rd, &nd.Fail)
+		get(rd, &nd.OutLink)
+		get(rd, &nd.Depth)
+		get(rd, &nd.Char)
+		var numEdges, numOut uint16
+		get(rd, &numEdges)
+		get(rd, &numOut)
+		if rd.err != nil {
+			return nil, rd.err
+		}
+		nd.Edges = make([]ac.Edge, numEdges)
+		for j := range nd.Edges {
+			get(rd, &nd.Edges[j].Char)
+			get(rd, &nd.Edges[j].To)
+		}
+		nd.Out = make([]int32, numOut)
+		for j := range nd.Out {
+			get(rd, &nd.Out[j])
+		}
+	}
+
+	var numPat uint32
+	get(rd, &numPat)
+	if rd.err != nil {
+		return nil, rd.err
+	}
+	patLen := make(map[int32]int, numPat)
+	for i := uint32(0); i < numPat; i++ {
+		var id, l int32
+		get(rd, &id)
+		get(rd, &l)
+		if l <= 0 {
+			return nil, fmt.Errorf("core: pattern %d has length %d", id, l)
+		}
+		patLen[id] = int(l)
+	}
+
+	trie, err := ac.Rebuild(nodes, patLen)
+	if err != nil {
+		if rd.err != nil {
+			return nil, rd.err
+		}
+		return nil, err
+	}
+	m := &Machine{
+		Trie: trie,
+		Opts: Options{D2PerChar: int(d2), D3PerChar: int(d3), MaxDepth: int(maxDepth)},
+	}
+	if err := m.Opts.validate(); err != nil {
+		return nil, err
+	}
+
+	for c := 0; c < 256; c++ {
+		get(rd, &m.Defaults.D1[c])
+	}
+	for c := 0; c < 256; c++ {
+		var n uint8
+		get(rd, &n)
+		m.Defaults.D2[c] = make([]D2Entry, n)
+		for j := range m.Defaults.D2[c] {
+			get(rd, &m.Defaults.D2[c][j].Prev)
+			get(rd, &m.Defaults.D2[c][j].State)
+		}
+	}
+	for c := 0; c < 256; c++ {
+		var n uint8
+		get(rd, &n)
+		m.Defaults.D3[c] = make([]D3Entry, n)
+		for j := range m.Defaults.D3[c] {
+			get(rd, &m.Defaults.D3[c][j].Prev2)
+			get(rd, &m.Defaults.D3[c][j].Prev1)
+			get(rd, &m.Defaults.D3[c][j].State)
+		}
+	}
+
+	m.Stored = make([][]Transition, numNodes)
+	for s := range m.Stored {
+		var n uint16
+		get(rd, &n)
+		if rd.err != nil {
+			return nil, rd.err
+		}
+		m.Stored[s] = make([]Transition, n)
+		for j := range m.Stored[s] {
+			get(rd, &m.Stored[s][j].Char)
+			get(rd, &m.Stored[s][j].To)
+		}
+	}
+
+	var i64 int64
+	var f64 uint64
+	st := &m.Stats
+	get(rd, &i64)
+	st.States = int(i64)
+	get(rd, &st.OriginalPointers)
+	get(rd, &f64)
+	st.OriginalAvg = math.Float64frombits(f64)
+	get(rd, &i64)
+	st.D1Count = int(i64)
+	get(rd, &i64)
+	st.D2Count = int(i64)
+	get(rd, &i64)
+	st.D3Count = int(i64)
+	get(rd, &st.StoredAfterD1)
+	get(rd, &st.StoredAfterD12)
+	get(rd, &st.StoredAfterD123)
+	get(rd, &f64)
+	st.AvgAfterD1 = math.Float64frombits(f64)
+	get(rd, &f64)
+	st.AvgAfterD12 = math.Float64frombits(f64)
+	get(rd, &f64)
+	st.AvgAfterD123 = math.Float64frombits(f64)
+	get(rd, &st.StoredPointers)
+	get(rd, &f64)
+	st.AvgStored = math.Float64frombits(f64)
+	get(rd, &i64)
+	st.MaxStoredPerState = int(i64)
+	get(rd, &f64)
+	st.Reduction = math.Float64frombits(f64)
+	if rd.err != nil {
+		return nil, rd.err
+	}
+	if rd.r.Len() != 0 {
+		return nil, fmt.Errorf("core: %d trailing bytes in snapshot", rd.r.Len())
+	}
+	// Validate state references in defaults and stored transitions.
+	check := func(s int32) error {
+		if s != ac.None && (s < 0 || s >= int32(numNodes)) {
+			return fmt.Errorf("core: snapshot references state %d of %d", s, numNodes)
+		}
+		return nil
+	}
+	for c := 0; c < 256; c++ {
+		if err := check(m.Defaults.D1[c]); err != nil {
+			return nil, err
+		}
+		for _, e := range m.Defaults.D2[c] {
+			if err := check(e.State); err != nil {
+				return nil, err
+			}
+		}
+		for _, e := range m.Defaults.D3[c] {
+			if err := check(e.State); err != nil {
+				return nil, err
+			}
+		}
+	}
+	for _, list := range m.Stored {
+		for _, tr := range list {
+			if err := check(tr.To); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return m, nil
+}
+
+func sortInt32(a []int32) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j-1] > a[j]; j-- {
+			a[j-1], a[j] = a[j], a[j-1]
+		}
+	}
+}

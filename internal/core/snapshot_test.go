@@ -1,0 +1,141 @@
+package core
+
+import (
+	"bytes"
+	"hash/crc32"
+	"testing"
+
+	"repro/internal/ac"
+	"repro/internal/rng"
+	"repro/internal/ruleset"
+)
+
+func snapshotOf(t *testing.T, m *Machine) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	set := ruleset.MustGenerate(ruleset.GenConfig{N: 300, Seed: 81})
+	orig := mustBuild(t, set, Options{})
+	data := snapshotOf(t, orig)
+	loaded, err := Load(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if loaded.Stats != orig.Stats {
+		t.Fatalf("stats changed:\n%+v\n%+v", loaded.Stats, orig.Stats)
+	}
+	if loaded.Opts != orig.Opts.withDefaults() {
+		t.Fatalf("opts changed: %+v vs %+v", loaded.Opts, orig.Opts)
+	}
+	if loaded.Trie.NumStates() != orig.Trie.NumStates() {
+		t.Fatalf("state count changed")
+	}
+	// The loaded machine must still be structurally equivalent to the DFA.
+	if err := loaded.VerifyTransitions(); err != nil {
+		t.Fatal(err)
+	}
+	// And produce identical matches.
+	src := rng.New(5)
+	for trial := 0; trial < 5; trial++ {
+		payload := make([]byte, 800)
+		for i := range payload {
+			payload[i] = src.Byte()
+		}
+		p := set.Patterns[src.Intn(set.Len())]
+		copy(payload[100:], p.Data)
+		got := loaded.FindAll(payload)
+		want := orig.FindAll(payload)
+		if !ac.MatchesEqual(got, want) {
+			t.Fatalf("trial %d: loaded machine found %d matches, original %d", trial, len(got), len(want))
+		}
+	}
+}
+
+func TestSnapshotDeterministic(t *testing.T) {
+	set := ruleset.MustGenerate(ruleset.GenConfig{N: 100, Seed: 82})
+	m := mustBuild(t, set, Options{})
+	a, b := snapshotOf(t, m), snapshotOf(t, m)
+	if !bytes.Equal(a, b) {
+		t.Fatal("snapshots of the same machine differ")
+	}
+}
+
+func TestSnapshotPreservesAblationOptions(t *testing.T) {
+	set := ruleset.MustGenerate(ruleset.GenConfig{N: 80, Seed: 83})
+	m := mustBuild(t, set, Options{D2PerChar: 2, MaxDepth: 2})
+	loaded, err := Load(snapshotOf(t, m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Opts.D2PerChar != 2 || loaded.Opts.MaxDepth != 2 {
+		t.Fatalf("opts = %+v", loaded.Opts)
+	}
+	if err := loaded.VerifyTransitions(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLoadRejectsCorruption(t *testing.T) {
+	set := ruleset.MustGenerate(ruleset.GenConfig{N: 60, Seed: 84})
+	m := mustBuild(t, set, Options{})
+	data := snapshotOf(t, m)
+
+	// Truncation.
+	for _, cut := range []int{0, 1, 4, len(data) / 2, len(data) - 1} {
+		if _, err := Load(data[:cut]); err == nil {
+			t.Errorf("truncation to %d bytes accepted", cut)
+		}
+	}
+	// Bit flips anywhere must fail the checksum (or a structural check).
+	src := rng.New(1)
+	for trial := 0; trial < 20; trial++ {
+		corrupted := append([]byte(nil), data...)
+		corrupted[src.Intn(len(corrupted))] ^= 1 << uint(src.Intn(8))
+		if _, err := Load(corrupted); err == nil {
+			t.Errorf("trial %d: corrupted snapshot accepted", trial)
+		}
+	}
+}
+
+func TestLoadRejectsBadMagicAndVersion(t *testing.T) {
+	set := ruleset.MustGenerate(ruleset.GenConfig{N: 20, Seed: 85})
+	m := mustBuild(t, set, Options{})
+	data := snapshotOf(t, m)
+
+	bad := append([]byte(nil), data...)
+	copy(bad, "XXXX")
+	fixCRC(bad)
+	if _, err := Load(bad); err == nil {
+		t.Error("bad magic accepted")
+	}
+
+	bad = append([]byte(nil), data...)
+	bad[4] = 99 // version
+	fixCRC(bad)
+	if _, err := Load(bad); err == nil {
+		t.Error("future version accepted")
+	}
+}
+
+// fixCRC recomputes the trailing checksum so structural validation (not
+// the CRC) is what must reject the blob.
+func fixCRC(data []byte) {
+	body := data[:len(data)-4]
+	crc := crc32ChecksumIEEE(body)
+	data[len(data)-4] = byte(crc)
+	data[len(data)-3] = byte(crc >> 8)
+	data[len(data)-2] = byte(crc >> 16)
+	data[len(data)-1] = byte(crc >> 24)
+}
+
+// crc32ChecksumIEEE is a local alias so the test file reads clearly.
+func crc32ChecksumIEEE(b []byte) uint32 {
+	return crc32.ChecksumIEEE(b)
+}

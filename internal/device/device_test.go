@@ -1,0 +1,180 @@
+package device
+
+import (
+	"math"
+	"testing"
+)
+
+func TestM9ksForSimpleShapes(t *testing.T) {
+	cases := []struct {
+		depth, width, want int
+	}{
+		{256, 36, 1},  // exactly one block at 256×36
+		{256, 72, 2},  // two 36-bit columns
+		{512, 36, 2},  // two rows of 256×36 (or 2 cols 512×18)
+		{1024, 9, 1},  // one block at 1024×9
+		{2048, 27, 6}, // match memory: 3 columns of 9 bits × 2 deep
+		{256, 49, 2},  // lookup table: 36+18 columns (paper: 49-bit rows)
+		{8192, 1, 1},  // deepest aspect
+		{0, 36, 0},    // empty
+		{256, 0, 0},   // zero width
+	}
+	for _, tc := range cases {
+		if got := m9ksFor(tc.depth, tc.width); got != tc.want {
+			t.Errorf("m9ksFor(%d, %d) = %d, want %d", tc.depth, tc.width, got, tc.want)
+		}
+	}
+}
+
+func TestStateMemoryM9Ks(t *testing.T) {
+	// 3,584 × 324: nine 36-bit columns, each 14 blocks deep = 126.
+	if got := m9ksFor(3584, 324); got != 126 {
+		t.Fatalf("Stratix state memory = %d M9Ks, want 126", got)
+	}
+	// 2,560 × 324: nine columns × 10 = 90.
+	if got := m9ksFor(2560, 324); got != 90 {
+		t.Fatalf("Cyclone state memory = %d M9Ks, want 90", got)
+	}
+}
+
+func TestM9KEstimateNearTableI(t *testing.T) {
+	// Table I reports 404 (Cyclone, 4 blocks) and 822 (Stratix, 6 blocks).
+	// The analytic allocator reproduces the per-block memories; Quartus adds
+	// a few blocks for FIFOs/buffers, so allow a one-sided tolerance.
+	cases := []struct {
+		d     Device
+		paper int
+		slack float64
+	}{
+		{Cyclone3, 404, 0.08},
+		{Stratix3, 822, 0.08},
+	}
+	for _, tc := range cases {
+		got := tc.d.M9KEstimate()
+		lo := int(float64(tc.paper) * (1 - tc.slack))
+		if got < lo || got > tc.paper {
+			t.Errorf("%s: M9K estimate %d outside [%d, %d] (paper %d)",
+				tc.d.Name, got, lo, tc.paper, tc.paper)
+		}
+		if got > tc.d.M9Ks {
+			t.Errorf("%s: estimate %d exceeds device capacity %d", tc.d.Name, got, tc.d.M9Ks)
+		}
+	}
+}
+
+func TestLogicEstimateMatchesTableI(t *testing.T) {
+	if got := Cyclone3.LogicEstimate(Cyclone3.Blocks); got != 35511 {
+		t.Errorf("Cyclone LE estimate = %d, want 35,511", got)
+	}
+	if got := Stratix3.LogicEstimate(Stratix3.Blocks); got != 69585 {
+		t.Errorf("Stratix LE estimate = %d, want 69,585", got)
+	}
+}
+
+func TestBlockThroughput(t *testing.T) {
+	// §V: 16 × fmax — 7.36 Gbps higher for Stratix (paper rounds to 7.4),
+	// 3.73 Gbps for Cyclone (paper: 3.7).
+	if got := Stratix3.BlockThroughputBps() / 1e9; math.Abs(got-7.363) > 0.01 {
+		t.Errorf("Stratix block throughput = %.3f Gbps, want ≈7.363", got)
+	}
+	if got := Cyclone3.BlockThroughputBps() / 1e9; math.Abs(got-3.730) > 0.01 {
+		t.Errorf("Cyclone block throughput = %.3f Gbps, want ≈3.730", got)
+	}
+}
+
+func TestAggregateThroughputTableII(t *testing.T) {
+	// Table II "Speed(Gbps)" row.
+	cases := []struct {
+		d      Device
+		groups int
+		want   float64 // Gbps, paper value
+		tol    float64
+	}{
+		{Stratix3, 1, 44.2, 0.1},
+		{Stratix3, 2, 22.1, 0.1},
+		{Stratix3, 3, 14.7, 0.1},
+		{Stratix3, 6, 7.4, 0.1},
+		{Cyclone3, 1, 14.9, 0.1},
+		{Cyclone3, 2, 7.5, 0.1},
+		{Cyclone3, 4, 3.7, 0.1},
+	}
+	for _, tc := range cases {
+		got, err := tc.d.AggregateThroughputBps(tc.groups)
+		if err != nil {
+			t.Fatalf("%s groups=%d: %v", tc.d.Name, tc.groups, err)
+		}
+		if math.Abs(got/1e9-tc.want) > tc.tol {
+			t.Errorf("%s groups=%d: %.2f Gbps, want %.1f", tc.d.Name, tc.groups, got/1e9, tc.want)
+		}
+	}
+}
+
+func TestAggregateThroughputErrors(t *testing.T) {
+	if _, err := Stratix3.AggregateThroughputBps(0); err == nil {
+		t.Error("groups=0 accepted")
+	}
+	if _, err := Stratix3.AggregateThroughputBps(7); err == nil {
+		t.Error("groups beyond block count accepted")
+	}
+}
+
+func TestOC768AndOC192Targets(t *testing.T) {
+	// Abstract: >40 Gbps (OC-768) on Stratix III, >10 Gbps (OC-192) on
+	// Cyclone III, both with single-group rulesets.
+	s, _ := Stratix3.AggregateThroughputBps(1)
+	if s <= 40e9 {
+		t.Errorf("Stratix peak %.1f Gbps does not exceed OC-768", s/1e9)
+	}
+	c, _ := Cyclone3.AggregateThroughputBps(1)
+	if c <= 10e9 {
+		t.Errorf("Cyclone peak %.1f Gbps does not exceed OC-192", c/1e9)
+	}
+}
+
+func TestThroughputAtClockScalesLinearly(t *testing.T) {
+	half, err := Stratix3.ThroughputAtClock(1, Stratix3.FmaxHz/2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, _ := Stratix3.AggregateThroughputBps(1)
+	if math.Abs(half*2-full) > 1 {
+		t.Fatalf("half-clock throughput %f not half of %f", half, full)
+	}
+}
+
+func TestGroupsNeeded(t *testing.T) {
+	d := Stratix3
+	cases := []struct{ words, want int }{
+		{0, 1},
+		{1, 1},
+		{3584, 1},
+		{3585, 2},
+		{3584 * 6, 6},
+	}
+	for _, tc := range cases {
+		if got := d.GroupsNeeded(tc.words); got != tc.want {
+			t.Errorf("GroupsNeeded(%d) = %d, want %d", tc.words, got, tc.want)
+		}
+	}
+}
+
+func TestWithDoubledBlockMemory(t *testing.T) {
+	d2 := Stratix3.WithDoubledBlockMemory()
+	if d2.StateWordsPerBlock != 2*Stratix3.StateWordsPerBlock {
+		t.Fatal("memory not doubled")
+	}
+	if Stratix3.StateWordsPerBlock != 3584 {
+		t.Fatal("original device mutated")
+	}
+	// §V.D: doubling halves the groups a large machine needs.
+	if g := d2.GroupsNeeded(3584 * 6); g != 3 {
+		t.Fatalf("doubled device needs %d groups for a 6-block machine, want 3", g)
+	}
+}
+
+func TestPaperMemoryConfig(t *testing.T) {
+	cfg := Cyclone3.PaperMemoryConfig()
+	if cfg.StateWords != 2560 || cfg.MatchWords != 2048 || cfg.LUTRows != 256 {
+		t.Fatalf("unexpected paper config: %+v", cfg)
+	}
+}

@@ -1,0 +1,73 @@
+package experiments
+
+import (
+	"math"
+	"testing"
+)
+
+// Golden regression values for the default seed (2010). These are the
+// exact numbers recorded in EXPERIMENTS.md; the test freezes them so that
+// accidental changes to the generator, reducer, grouping or compression
+// pipeline are caught immediately. If you change any of those components
+// deliberately, regenerate EXPERIMENTS.md and update this table.
+func TestGoldenTable2Seed2010(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full Table II build")
+	}
+	rows, err := ctx(t).Table2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden := []struct {
+		n          int
+		origStates int
+		states     int
+		d1         int
+		d1d2       int
+		d1d2d3     int
+		memBytes   int
+	}{
+		{634, 7664, 7664, 72, 244, 364, 43925},
+		{1603, 18600, 18605, 105, 399, 610, 108704},
+		{2588, 29347, 29355, 114, 451, 743, 178194},
+		{6275, 68274, 68296, 129, 663, 1147, 377269},
+		{500, 6154, 6154, 69, 233, 346, 34967},
+		{1204, 14142, 14148, 90, 338, 536, 83422},
+		{2588, 29347, 29362, 115, 482, 818, 167774},
+	}
+	if len(rows) != len(golden) {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for i, g := range golden {
+		r := rows[i]
+		if r.N != g.n {
+			t.Fatalf("col %d: n = %d, want %d", i, r.N, g.n)
+		}
+		if r.OrigStates != g.origStates || r.States != g.states {
+			t.Errorf("col %d (%d strings): states %d/%d, golden %d/%d",
+				i, g.n, r.OrigStates, r.States, g.origStates, g.states)
+		}
+		if r.D1 != g.d1 || r.D1D2 != g.d1d2 || r.D1D2D3 != g.d1d2d3 {
+			t.Errorf("col %d (%d strings): defaults %d/%d/%d, golden %d/%d/%d",
+				i, g.n, r.D1, r.D1D2, r.D1D2D3, g.d1, g.d1d2, g.d1d2d3)
+		}
+		if r.MemoryBytes != g.memBytes {
+			t.Errorf("col %d (%d strings): memory %d, golden %d", i, g.n, r.MemoryBytes, g.memBytes)
+		}
+	}
+}
+
+// The toy example's numbers are structural, not workload-dependent: they
+// must hold under any seed and any refactor.
+func TestGoldenFigure2(t *testing.T) {
+	rows, err := Figure2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{2.6, 1.1, 0.5, 0.1}
+	for i, r := range rows {
+		if math.Abs(r.AvgStored-want[i]) > 1e-9 {
+			t.Errorf("stage %d: %.3f, golden %.1f", i, r.AvgStored, want[i])
+		}
+	}
+}

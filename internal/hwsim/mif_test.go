@@ -1,0 +1,190 @@
+package hwsim
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/bitpack"
+	"repro/internal/core"
+	"repro/internal/rng"
+	"repro/internal/ruleset"
+)
+
+func randomWords(seed int64, n, width int) []*bitpack.Vector {
+	src := rng.New(seed)
+	out := make([]*bitpack.Vector, n)
+	for i := range out {
+		v := bitpack.New(width)
+		for b := 0; b < width; b++ {
+			v.SetBit(b, src.Uint64()&1)
+		}
+		out[i] = v
+	}
+	return out
+}
+
+func TestMIFRoundTrip(t *testing.T) {
+	for _, tc := range []struct{ n, width, depth int }{
+		{5, 324, 8},
+		{3, 27, 3},
+		{256, 54, 256},
+		{1, 1, 4},
+	} {
+		words := randomWords(int64(tc.width), tc.n, tc.width)
+		var buf bytes.Buffer
+		if err := WriteMIF(&buf, words, tc.depth); err != nil {
+			t.Fatalf("%+v: %v", tc, err)
+		}
+		got, err := ParseMIF(&buf)
+		if err != nil {
+			t.Fatalf("%+v: parse: %v", tc, err)
+		}
+		if len(got) != tc.depth {
+			t.Fatalf("%+v: parsed %d words, want %d", tc, len(got), tc.depth)
+		}
+		for i, w := range words {
+			if !got[i].Equal(w) {
+				t.Fatalf("%+v: word %d mismatch", tc, i)
+			}
+		}
+		for i := tc.n; i < tc.depth; i++ {
+			if !got[i].Zero() {
+				t.Fatalf("%+v: fill word %d not zero", tc, i)
+			}
+		}
+	}
+}
+
+func TestMIFHeaders(t *testing.T) {
+	words := randomWords(1, 2, 324)
+	var buf bytes.Buffer
+	if err := WriteMIF(&buf, words, 3584); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"DEPTH = 3584;", "WIDTH = 324;", "ADDRESS_RADIX = HEX;", "CONTENT BEGIN", "END;"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q", want)
+		}
+	}
+}
+
+func TestWriteMIFErrors(t *testing.T) {
+	if err := WriteMIF(&bytes.Buffer{}, nil, 4); err == nil {
+		t.Error("empty words accepted")
+	}
+	words := randomWords(2, 4, 27)
+	if err := WriteMIF(&bytes.Buffer{}, words, 2); err == nil {
+		t.Error("depth below word count accepted")
+	}
+	mixed := []*bitpack.Vector{bitpack.New(27), bitpack.New(28)}
+	if err := WriteMIF(&bytes.Buffer{}, mixed, 4); err == nil {
+		t.Error("mixed widths accepted")
+	}
+}
+
+func TestParseMIFErrors(t *testing.T) {
+	cases := []string{
+		"WIDTH = 8;\nCONTENT BEGIN\n0 : 00;\nEND;",                      // no depth
+		"DEPTH = 2;\nWIDTH = 8;\nADDRESS_RADIX = BIN;\nCONTENT BEGIN\n", // radix
+		"DEPTH = 2;\nWIDTH = 8;\nCONTENT BEGIN\n0 : 00;\nEND;",          // addr 1 missing
+		"DEPTH = 1;\nWIDTH = 8;\nCONTENT BEGIN\n0 : 00;\n0 : 11;\nEND;", // double init
+		"DEPTH = 1;\nWIDTH = 8;\nCONTENT BEGIN\n5 : 00;\nEND;",          // out of range
+		"DEPTH = 1;\nWIDTH = 8;\nCONTENT BEGIN\n0 : 0;\nEND;",           // short data
+		"DEPTH = 1;\nWIDTH = 8;\nCONTENT BEGIN\n0 : ZZ;\nEND;",          // bad hex
+		"DEPTH = 1;\nWIDTH = 8;\nCONTENT BEGIN\n0 : 00;",                // missing END
+		"DEPTH = 1;\nWIDTH = 5;\nCONTENT BEGIN\n0 : FF;\nEND;",          // stray bits
+	}
+	for i, c := range cases {
+		if _, err := ParseMIF(strings.NewReader(c)); err == nil {
+			t.Errorf("case %d parsed without error", i)
+		}
+	}
+}
+
+func TestParseMIFRangeFill(t *testing.T) {
+	src := "DEPTH = 4;\nWIDTH = 8;\nCONTENT BEGIN\n[0..3] : A5;\nEND;"
+	words, err := ParseMIF(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, w := range words {
+		if w.Field(0, 8) != 0xA5 {
+			t.Fatalf("word %d = %#x", i, w.Field(0, 8))
+		}
+	}
+}
+
+func TestExportMIFsEndToEnd(t *testing.T) {
+	set := ruleset.MustGenerate(ruleset.GenConfig{N: 200, Seed: 90})
+	m, err := core.Build(set, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	img, err := Pack(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mifs, err := img.ExportMIFs(3584)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// State memory round-trips and matches the image bit for bit.
+	state, err := ParseMIF(bytes.NewReader(mifs.State))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(state) != 3584 {
+		t.Fatalf("state depth %d", len(state))
+	}
+	for i, w := range img.Words {
+		if !state[i].Equal(w) {
+			t.Fatalf("state word %d mismatch", i)
+		}
+	}
+
+	// Match memory round-trips.
+	match, err := ParseMIF(bytes.NewReader(mifs.Match))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(match) != MaxMatchWords {
+		t.Fatalf("match depth %d", len(match))
+	}
+	for i, w := range img.Match {
+		if got := uint32(match[i].Field(0, MatchWordBits)); got != w {
+			t.Fatalf("match word %d = %#x, want %#x", i, got, w)
+		}
+	}
+
+	// Lookup table round-trips.
+	lut, err := ParseMIF(bytes.NewReader(mifs.LUT))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lut) != LUTRows {
+		t.Fatalf("lut depth %d", len(lut))
+	}
+	for c := 0; c < LUTRows; c++ {
+		if !lut[c].Equal(img.LUT[c].Packed) {
+			t.Fatalf("lut row %#x mismatch", c)
+		}
+	}
+}
+
+func TestExportMIFsRejectsOverflow(t *testing.T) {
+	set := ruleset.MustGenerate(ruleset.GenConfig{N: 500, Seed: 91})
+	m, err := core.Build(set, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	img, err := Pack(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := img.ExportMIFs(1); err == nil {
+		t.Fatal("state depth 1 accepted for a multi-word machine")
+	}
+}

@@ -1,0 +1,223 @@
+package nids
+
+// A parser for a compact Snort-style rule syntax:
+//
+//	alert tcp 10.0.0.0/8 any -> any 80 (msg:"phf access"; content:"/cgi-bin/phf"; offset:0; depth:64;)
+//	alert udp any any -> any 1434 (msg:"slammer"; content:"|04 01 01 01|";)
+//
+// Supported header fields: action (alert only), protocol (tcp/udp/icmp/ip),
+// source/destination as CIDR or "any", ports as N, N:M or "any". Options:
+// msg, content (ParseContent syntax with |hex|), and offset/depth, which
+// qualify the preceding content.
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"repro/internal/ruleset"
+)
+
+// ParseRules reads one rule per line; blank lines and #-comments skipped.
+// Rule IDs are assigned sequentially from 0.
+func ParseRules(r io.Reader) ([]Rule, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	var rules []Rule
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		rule, err := ParseRule(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		rule.ID = len(rules)
+		rules = append(rules, rule)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(rules) == 0 {
+		return nil, fmt.Errorf("nids: no rules")
+	}
+	return rules, nil
+}
+
+// ParseRule parses one rule line (without assigning an ID).
+func ParseRule(line string) (Rule, error) {
+	open := strings.IndexByte(line, '(')
+	if open < 0 || !strings.HasSuffix(strings.TrimSpace(line), ")") {
+		return Rule{}, fmt.Errorf("nids: missing option block in %q", line)
+	}
+	head := strings.Fields(strings.TrimSpace(line[:open]))
+	if len(head) != 7 {
+		return Rule{}, fmt.Errorf("nids: header needs 7 fields (action proto src sport -> dst dport), got %d", len(head))
+	}
+	if head[0] != "alert" {
+		return Rule{}, fmt.Errorf("nids: unsupported action %q", head[0])
+	}
+	if head[4] != "->" {
+		return Rule{}, fmt.Errorf("nids: expected '->', got %q", head[4])
+	}
+	var hr HeaderRule
+	var err error
+	if hr.Proto, err = parseProto(head[1]); err != nil {
+		return Rule{}, err
+	}
+	if hr.SrcNet, err = parsePrefix(head[2]); err != nil {
+		return Rule{}, err
+	}
+	if hr.SrcPorts, err = parsePorts(head[3]); err != nil {
+		return Rule{}, err
+	}
+	if hr.DstNet, err = parsePrefix(head[5]); err != nil {
+		return Rule{}, err
+	}
+	if hr.DstPorts, err = parsePorts(head[6]); err != nil {
+		return Rule{}, err
+	}
+
+	body := strings.TrimSpace(line[open:])
+	body = strings.TrimPrefix(body, "(")
+	body = strings.TrimSuffix(body, ")")
+	opts, err := splitOptions(body)
+	if err != nil {
+		return Rule{}, err
+	}
+	rule := Rule{Header: hr}
+	for _, opt := range opts {
+		key, val, found := strings.Cut(opt, ":")
+		key = strings.TrimSpace(key)
+		val = strings.TrimSpace(val)
+		if !found {
+			return Rule{}, fmt.Errorf("nids: malformed option %q", opt)
+		}
+		switch key {
+		case "msg":
+			rule.Name = strings.Trim(val, `"`)
+		case "content":
+			content := strings.Trim(val, `"`)
+			data, err := ruleset.ParseContent(content)
+			if err != nil {
+				return Rule{}, fmt.Errorf("nids: content: %w", err)
+			}
+			rule.Contents = append(rule.Contents, Content{Data: data})
+		case "offset", "depth":
+			if len(rule.Contents) == 0 {
+				return Rule{}, fmt.Errorf("nids: %s before any content", key)
+			}
+			n, err := strconv.Atoi(val)
+			if err != nil || n < 0 {
+				return Rule{}, fmt.Errorf("nids: bad %s %q", key, val)
+			}
+			c := &rule.Contents[len(rule.Contents)-1]
+			if key == "offset" {
+				c.Offset = n
+			} else {
+				c.Depth = n
+			}
+		default:
+			return Rule{}, fmt.Errorf("nids: unsupported option %q", key)
+		}
+	}
+	if len(rule.Contents) == 0 {
+		return Rule{}, fmt.Errorf("nids: rule has no content option")
+	}
+	return rule, nil
+}
+
+// splitOptions splits "a:1; b:\"x;y\"; c:2" on semicolons outside quotes.
+func splitOptions(s string) ([]string, error) {
+	var out []string
+	var cur strings.Builder
+	inQuote := false
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c == '"':
+			inQuote = !inQuote
+			cur.WriteByte(c)
+		case c == ';' && !inQuote:
+			if t := strings.TrimSpace(cur.String()); t != "" {
+				out = append(out, t)
+			}
+			cur.Reset()
+		default:
+			cur.WriteByte(c)
+		}
+	}
+	if inQuote {
+		return nil, fmt.Errorf("nids: unterminated quote in options %q", s)
+	}
+	if t := strings.TrimSpace(cur.String()); t != "" {
+		out = append(out, t)
+	}
+	return out, nil
+}
+
+func parseProto(s string) (byte, error) {
+	switch s {
+	case "ip", "any":
+		return ProtoAny, nil
+	case "tcp":
+		return ProtoTCP, nil
+	case "udp":
+		return ProtoUDP, nil
+	case "icmp":
+		return ProtoICMP, nil
+	}
+	return 0, fmt.Errorf("nids: unsupported protocol %q", s)
+}
+
+func parsePrefix(s string) (Prefix, error) {
+	if s == "any" {
+		return AnyPrefix, nil
+	}
+	addr, bitsStr, hasBits := strings.Cut(s, "/")
+	bits := 32
+	if hasBits {
+		var err error
+		bits, err = strconv.Atoi(bitsStr)
+		if err != nil || bits < 0 || bits > 32 {
+			return Prefix{}, fmt.Errorf("nids: bad prefix length in %q", s)
+		}
+	}
+	parts := strings.Split(addr, ".")
+	if len(parts) != 4 {
+		return Prefix{}, fmt.Errorf("nids: bad IPv4 address %q", s)
+	}
+	var ip uint32
+	for _, p := range parts {
+		o, err := strconv.Atoi(p)
+		if err != nil || o < 0 || o > 255 {
+			return Prefix{}, fmt.Errorf("nids: bad IPv4 octet %q in %q", p, s)
+		}
+		ip = ip<<8 | uint32(o)
+	}
+	return Prefix{Addr: ip, Bits: bits}, nil
+}
+
+func parsePorts(s string) (PortRange, error) {
+	if s == "any" {
+		return AnyPort, nil
+	}
+	lo, hi, isRange := strings.Cut(s, ":")
+	l, err := strconv.Atoi(lo)
+	if err != nil || l < 1 || l > 65535 {
+		return PortRange{}, fmt.Errorf("nids: bad port %q", s)
+	}
+	h := l
+	if isRange {
+		h, err = strconv.Atoi(hi)
+		if err != nil || h < l || h > 65535 {
+			return PortRange{}, fmt.Errorf("nids: bad port range %q", s)
+		}
+	}
+	return PortRange{Lo: uint16(l), Hi: uint16(h)}, nil
+}

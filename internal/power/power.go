@@ -1,0 +1,106 @@
+// Package power models the accelerator's power consumption for Figures 7
+// and 8. The paper measured post-place-and-route power with the Quartus II
+// PowerPlay analyzer while sweeping the clock; a functional model cannot
+// re-run PowerPlay, so we use the standard CMOS decomposition
+//
+//	P(f) = P_static + k_dyn × activeBlocks × f
+//
+// with per-device constants calibrated to the two maxima the paper reports:
+// 2.78 W for the Cyclone III implementation at full speed and 13.28 W for
+// the Stratix III implementation. Static power is the device's published
+// idle draw class (Cyclone III is the low-static family); everything between
+// the calibration points follows the linear dynamic-power law, which is also
+// the shape of the paper's curves.
+package power
+
+import (
+	"fmt"
+
+	"repro/internal/device"
+)
+
+// Model holds the calibrated coefficients for one device.
+type Model struct {
+	Device  device.Device
+	StaticW float64
+	// DynWPerBlockHz is dynamic watts per active block per Hz of memory
+	// clock.
+	DynWPerBlockHz float64
+}
+
+// Calibration constants: the paper's reported maxima.
+const (
+	cycloneMaxW = 2.78  // §V.D, Figure 7
+	stratixMaxW = 13.28 // §V.D, Figure 8
+
+	// Static draw estimates for the 65 nm families at their core voltages.
+	cycloneStaticW = 0.30
+	stratixStaticW = 1.60
+)
+
+// ModelFor returns the calibrated power model for d. Only the two paper
+// devices have calibration data.
+func ModelFor(d device.Device) (Model, error) {
+	switch d.Part {
+	case device.Cyclone3.Part:
+		return calibrate(d, cycloneStaticW, cycloneMaxW), nil
+	case device.Stratix3.Part:
+		return calibrate(d, stratixStaticW, stratixMaxW), nil
+	}
+	return Model{}, fmt.Errorf("power: no calibration for device %q", d.Part)
+}
+
+func calibrate(d device.Device, staticW, maxW float64) Model {
+	return Model{
+		Device:  d,
+		StaticW: staticW,
+		// All blocks toggle at full clock when the accelerator runs flat out.
+		DynWPerBlockHz: (maxW - staticW) / (float64(d.Blocks) * d.FmaxHz),
+	}
+}
+
+// PowerAt returns total watts at the given memory clock with the given
+// number of active blocks.
+func (m Model) PowerAt(clockHz float64, activeBlocks int) float64 {
+	return m.StaticW + m.DynWPerBlockHz*float64(activeBlocks)*clockHz
+}
+
+// MaxPower returns the consumption at full clock with every block active —
+// the right end of the paper's curves.
+func (m Model) MaxPower() float64 {
+	return m.PowerAt(m.Device.FmaxHz, m.Device.Blocks)
+}
+
+// Point is one sample of a Figure 7/8 series.
+type Point struct {
+	ClockHz        float64
+	ThroughputGbps float64
+	PowerW         float64
+}
+
+// Sweep produces the power-vs-throughput series for a ruleset needing
+// `groups` blocks per packet, sampling `steps` clock frequencies from
+// fmax/steps to fmax. All blocks are active regardless of grouping — with
+// one group every block scans its own packet; with G groups, blocks gang up
+// in sets of G on shared packets — so power depends only on the clock while
+// throughput shrinks with G. That is why the paper's per-ruleset curves fan
+// out: same power axis, different throughput at each clock.
+func (m Model) Sweep(groups, steps int) ([]Point, error) {
+	if steps < 1 {
+		return nil, fmt.Errorf("power: steps must be >= 1, got %d", steps)
+	}
+	out := make([]Point, 0, steps)
+	for i := 1; i <= steps; i++ {
+		clock := m.Device.FmaxHz * float64(i) / float64(steps)
+		tput, err := m.Device.ThroughputAtClock(groups, clock)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, Point{
+			ClockHz:        clock,
+			ThroughputGbps: tput / 1e9,
+			PowerW:         m.PowerAt(clock, m.Device.Blocks),
+		})
+	}
+	return out, nil
+}

@@ -1,0 +1,130 @@
+package power
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/device"
+)
+
+func mustModel(t *testing.T, d device.Device) Model {
+	t.Helper()
+	m, err := ModelFor(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestCalibrationHitsPaperMaxima(t *testing.T) {
+	// Figure 7: Cyclone max 2.78 W; Figure 8: Stratix max 13.28 W.
+	if got := mustModel(t, device.Cyclone3).MaxPower(); math.Abs(got-2.78) > 1e-9 {
+		t.Errorf("Cyclone max power = %v, want 2.78", got)
+	}
+	if got := mustModel(t, device.Stratix3).MaxPower(); math.Abs(got-13.28) > 1e-9 {
+		t.Errorf("Stratix max power = %v, want 13.28", got)
+	}
+}
+
+func TestPowerIsLinearInClock(t *testing.T) {
+	m := mustModel(t, device.Stratix3)
+	p1 := m.PowerAt(100e6, m.Device.Blocks)
+	p2 := m.PowerAt(200e6, m.Device.Blocks)
+	p3 := m.PowerAt(300e6, m.Device.Blocks)
+	if math.Abs((p3-p2)-(p2-p1)) > 1e-9 {
+		t.Fatal("power not linear in clock")
+	}
+	if p1 <= m.StaticW {
+		t.Fatal("dynamic component missing")
+	}
+}
+
+func TestZeroClockIsStaticOnly(t *testing.T) {
+	m := mustModel(t, device.Cyclone3)
+	if got := m.PowerAt(0, m.Device.Blocks); got != m.StaticW {
+		t.Fatalf("idle power = %v, want static %v", got, m.StaticW)
+	}
+}
+
+func TestModelForUnknownDevice(t *testing.T) {
+	if _, err := ModelFor(device.Device{Part: "XC7V2000T"}); err == nil {
+		t.Fatal("unknown device accepted")
+	}
+}
+
+func TestSweepShapeFigure7(t *testing.T) {
+	// Figure 7: at max clock, Cyclone reaches 14.9 / 7.5 / 3.7 Gbps for
+	// rulesets needing 1 / 2 / 4 groups, all at 2.78 W.
+	m := mustModel(t, device.Cyclone3)
+	for _, tc := range []struct {
+		groups int
+		gbps   float64
+	}{{1, 14.9}, {2, 7.5}, {4, 3.7}} {
+		pts, err := m.Sweep(tc.groups, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		last := pts[len(pts)-1]
+		if math.Abs(last.ThroughputGbps-tc.gbps) > 0.1 {
+			t.Errorf("groups=%d: top throughput %.2f, want %.1f", tc.groups, last.ThroughputGbps, tc.gbps)
+		}
+		if math.Abs(last.PowerW-2.78) > 1e-9 {
+			t.Errorf("groups=%d: top power %.3f, want 2.78", tc.groups, last.PowerW)
+		}
+	}
+}
+
+func TestSweepShapeFigure8(t *testing.T) {
+	// Figure 8: Stratix curves top out at 44.2 / 22.1 / 14.7 / 7.4 Gbps.
+	m := mustModel(t, device.Stratix3)
+	for _, tc := range []struct {
+		groups int
+		gbps   float64
+	}{{1, 44.2}, {2, 22.1}, {3, 14.7}, {6, 7.4}} {
+		pts, err := m.Sweep(tc.groups, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		last := pts[len(pts)-1]
+		if math.Abs(last.ThroughputGbps-tc.gbps) > 0.1 {
+			t.Errorf("groups=%d: top throughput %.2f, want %.1f", tc.groups, last.ThroughputGbps, tc.gbps)
+		}
+	}
+}
+
+func TestSweepMonotone(t *testing.T) {
+	m := mustModel(t, device.Stratix3)
+	pts, err := m.Sweep(2, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].PowerW <= pts[i-1].PowerW || pts[i].ThroughputGbps <= pts[i-1].ThroughputGbps {
+			t.Fatalf("sweep not strictly increasing at %d: %+v -> %+v", i, pts[i-1], pts[i])
+		}
+	}
+}
+
+func TestSweepErrors(t *testing.T) {
+	m := mustModel(t, device.Cyclone3)
+	if _, err := m.Sweep(1, 0); err == nil {
+		t.Error("steps=0 accepted")
+	}
+	if _, err := m.Sweep(99, 5); err == nil {
+		t.Error("groups beyond blocks accepted")
+	}
+}
+
+func TestEnergyPerBitOrdering(t *testing.T) {
+	// The architectural efficiency claim: Cyclone spends less energy per
+	// bit than Stratix at their respective full-speed single-group points.
+	cy := mustModel(t, device.Cyclone3)
+	st := mustModel(t, device.Stratix3)
+	cyT, _ := device.Cyclone3.AggregateThroughputBps(1)
+	stT, _ := device.Stratix3.AggregateThroughputBps(1)
+	cyJ := cy.MaxPower() / cyT
+	stJ := st.MaxPower() / stT
+	if cyJ >= stJ {
+		t.Fatalf("Cyclone J/bit %.3e not below Stratix %.3e", cyJ, stJ)
+	}
+}

@@ -1,0 +1,197 @@
+// Package report renders the tables and figure series the bench harness
+// emits: fixed-width ASCII tables mirroring the paper's layout, TSV series
+// for plotting, and a rough ASCII scatter for quick visual checks of the
+// figure shapes.
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is a simple column-aligned ASCII table.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// AddRow appends a row; values are stringified with %v.
+func (t *Table) AddRow(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = trimFloat(v)
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+func trimFloat(v float64) string {
+	s := fmt.Sprintf("%.2f", v)
+	s = strings.TrimRight(s, "0")
+	s = strings.TrimRight(s, ".")
+	if s == "" || s == "-" {
+		s = "0"
+	}
+	return s
+}
+
+// Render writes the table to w.
+func (t *Table) Render(w io.Writer) error {
+	cols := len(t.Headers)
+	for _, r := range t.Rows {
+		if len(r) > cols {
+			cols = len(r)
+		}
+	}
+	widths := make([]int, cols)
+	measure := func(row []string) {
+		for i, c := range row {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	measure(t.Headers)
+	for _, r := range t.Rows {
+		measure(r)
+	}
+	var sb strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&sb, "%s\n", t.Title)
+	}
+	line := func(row []string) {
+		for i := 0; i < cols; i++ {
+			cell := ""
+			if i < len(row) {
+				cell = row[i]
+			}
+			fmt.Fprintf(&sb, "%-*s", widths[i]+2, cell)
+		}
+		sb.WriteByte('\n')
+	}
+	line(t.Headers)
+	total := 0
+	for _, w := range widths {
+		total += w + 2
+	}
+	sb.WriteString(strings.Repeat("-", total))
+	sb.WriteByte('\n')
+	for _, r := range t.Rows {
+		line(r)
+	}
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+// Series is one plottable line of (x, y) points.
+type Series struct {
+	Name   string
+	Points [][2]float64
+}
+
+// WriteTSV emits series in a gnuplot-friendly tab-separated layout:
+// a header line, then x<TAB>y rows per series separated by blank lines.
+func WriteTSV(w io.Writer, xLabel, yLabel string, series []Series) error {
+	for si, s := range series {
+		if si > 0 {
+			if _, err := fmt.Fprintln(w); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# %s: %s vs %s\n", s.Name, yLabel, xLabel); err != nil {
+			return err
+		}
+		for _, p := range s.Points {
+			if _, err := fmt.Fprintf(w, "%g\t%g\n", p[0], p[1]); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// AsciiPlot draws the series as a crude scatter in a width×height grid,
+// each series marked with a distinct rune. It is meant for eyeballing the
+// shape of Figures 6-8 in terminal output, not for publication.
+func AsciiPlot(w io.Writer, series []Series, width, height int) error {
+	if width < 8 || height < 4 {
+		return fmt.Errorf("report: plot area %dx%d too small", width, height)
+	}
+	minX, maxX, minY, maxY := 0.0, 0.0, 0.0, 0.0
+	first := true
+	for _, s := range series {
+		for _, p := range s.Points {
+			if first {
+				minX, maxX, minY, maxY = p[0], p[0], p[1], p[1]
+				first = false
+				continue
+			}
+			if p[0] < minX {
+				minX = p[0]
+			}
+			if p[0] > maxX {
+				maxX = p[0]
+			}
+			if p[1] < minY {
+				minY = p[1]
+			}
+			if p[1] > maxY {
+				maxY = p[1]
+			}
+		}
+	}
+	if first {
+		return fmt.Errorf("report: no points to plot")
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+	grid := make([][]rune, height)
+	for i := range grid {
+		grid[i] = []rune(strings.Repeat(" ", width))
+	}
+	marks := []rune("*o+x#@%&")
+	for si, s := range series {
+		mark := marks[si%len(marks)]
+		for _, p := range s.Points {
+			x := int(float64(width-1) * (p[0] - minX) / (maxX - minX))
+			y := int(float64(height-1) * (p[1] - minY) / (maxY - minY))
+			grid[height-1-y][x] = mark
+		}
+	}
+	var sb strings.Builder
+	for i, row := range grid {
+		label := "          "
+		switch i {
+		case 0:
+			label = fmt.Sprintf("%9.1f ", maxY)
+		case height - 1:
+			label = fmt.Sprintf("%9.1f ", minY)
+		}
+		sb.WriteString(label)
+		sb.WriteString("|")
+		sb.WriteString(string(row))
+		sb.WriteByte('\n')
+	}
+	sb.WriteString(strings.Repeat(" ", 10))
+	sb.WriteString("+")
+	sb.WriteString(strings.Repeat("-", width))
+	sb.WriteByte('\n')
+	sb.WriteString(fmt.Sprintf("%10s%-*.1f%*.1f\n", "", width/2, minX, width/2, maxX))
+	legend := make([]string, 0, len(series))
+	for si, s := range series {
+		legend = append(legend, fmt.Sprintf("%c %s", marks[si%len(marks)], s.Name))
+	}
+	sb.WriteString("          " + strings.Join(legend, "   ") + "\n")
+	_, err := io.WriteString(w, sb.String())
+	return err
+}

@@ -1,0 +1,127 @@
+package report
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestTableRender(t *testing.T) {
+	tb := &Table{
+		Title:   "TABLE I. RESOURCE UTILIZATION",
+		Headers: []string{"Device", "LEs", "fmax"},
+	}
+	tb.AddRow("Cyclone 3", 35511, "233.15 MHz")
+	tb.AddRow("Stratix 3", 69585, "460.19 MHz")
+	var buf bytes.Buffer
+	if err := tb.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"TABLE I", "Device", "Cyclone 3", "35511", "460.19 MHz"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title, header, rule, 2 rows
+		t.Fatalf("got %d lines, want 5:\n%s", len(lines), out)
+	}
+	// Columns align: each data line must be at least as long as the header.
+	if len(lines[3]) < len("Cyclone 3") {
+		t.Error("row shorter than content")
+	}
+}
+
+func TestTableFloatTrimming(t *testing.T) {
+	tb := &Table{Headers: []string{"v"}}
+	tb.AddRow(2.50)
+	tb.AddRow(2.39)
+	tb.AddRow(98.0)
+	var buf bytes.Buffer
+	if err := tb.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"2.5", "2.39", "98"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "2.50") || strings.Contains(out, "98.00") {
+		t.Errorf("trailing zeros not trimmed:\n%s", out)
+	}
+}
+
+func TestTableRaggedRows(t *testing.T) {
+	tb := &Table{Headers: []string{"a"}}
+	tb.AddRow("x", "y", "z")
+	var buf bytes.Buffer
+	if err := tb.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "z") {
+		t.Error("extra columns dropped")
+	}
+}
+
+func TestWriteTSV(t *testing.T) {
+	series := []Series{
+		{Name: "634 Strings", Points: [][2]float64{{1, 2}, {3, 4.5}}},
+		{Name: "1603 Strings", Points: [][2]float64{{5, 6}}},
+	}
+	var buf bytes.Buffer
+	if err := WriteTSV(&buf, "Power (W)", "Throughput (Gbps)", series); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "# 634 Strings") || !strings.Contains(out, "3\t4.5") {
+		t.Errorf("TSV malformed:\n%s", out)
+	}
+	if !strings.Contains(out, "\n\n#") {
+		t.Error("series not blank-line separated")
+	}
+}
+
+func TestAsciiPlotBasic(t *testing.T) {
+	series := []Series{{
+		Name:   "line",
+		Points: [][2]float64{{0, 0}, {1, 1}, {2, 2}, {3, 3}},
+	}}
+	var buf bytes.Buffer
+	if err := AsciiPlot(&buf, series, 40, 10); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if strings.Count(out, "*") < 3 {
+		t.Errorf("plot missing points:\n%s", out)
+	}
+	if !strings.Contains(out, "line") {
+		t.Error("legend missing")
+	}
+}
+
+func TestAsciiPlotErrors(t *testing.T) {
+	if err := AsciiPlot(&bytes.Buffer{}, nil, 40, 10); err == nil {
+		t.Error("empty series accepted")
+	}
+	series := []Series{{Name: "x", Points: [][2]float64{{0, 0}}}}
+	if err := AsciiPlot(&bytes.Buffer{}, series, 2, 2); err == nil {
+		t.Error("tiny plot area accepted")
+	}
+}
+
+func TestAsciiPlotMultipleSeriesDistinctMarks(t *testing.T) {
+	series := []Series{
+		{Name: "a", Points: [][2]float64{{0, 0}}},
+		{Name: "b", Points: [][2]float64{{1, 1}}},
+	}
+	var buf bytes.Buffer
+	if err := AsciiPlot(&buf, series, 30, 8); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "*") || !strings.Contains(out, "o") {
+		t.Errorf("marks not distinct:\n%s", out)
+	}
+}

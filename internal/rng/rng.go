@@ -1,0 +1,102 @@
+// Package rng provides a small, deterministic pseudo-random number generator
+// used by the ruleset and traffic generators. Experiments must be exactly
+// reproducible from a seed across Go releases, so we implement our own
+// generator (SplitMix64) instead of relying on math/rand, whose unseeded
+// stream and helper behaviours are not pinned by the Go compatibility
+// promise.
+package rng
+
+// Source is a SplitMix64 pseudo-random generator. The zero value is a valid
+// generator seeded with 0; use New to seed explicitly.
+type Source struct {
+	state uint64
+}
+
+// New returns a generator seeded with seed.
+func New(seed int64) *Source {
+	return &Source{state: uint64(seed)}
+}
+
+// Uint64 returns the next 64 pseudo-random bits.
+func (s *Source) Uint64() uint64 {
+	s.state += 0x9E3779B97F4A7C15
+	z := s.state
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// Intn returns a pseudo-random int in [0, n). It panics if n <= 0.
+func (s *Source) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn with non-positive n")
+	}
+	// Lemire-style rejection-free reduction is overkill here; modulo bias is
+	// negligible for the small n used by the generators, but we still avoid
+	// it with a simple rejection loop for exactness.
+	max := uint64(n)
+	limit := (^uint64(0) / max) * max
+	for {
+		v := s.Uint64()
+		if v < limit {
+			return int(v % max)
+		}
+	}
+}
+
+// Float64 returns a pseudo-random float64 in [0, 1).
+func (s *Source) Float64() float64 {
+	return float64(s.Uint64()>>11) / (1 << 53)
+}
+
+// Byte returns a pseudo-random byte.
+func (s *Source) Byte() byte {
+	return byte(s.Uint64())
+}
+
+// Bool returns true with probability p.
+func (s *Source) Bool(p float64) bool {
+	return s.Float64() < p
+}
+
+// WeightedPick returns an index into weights chosen with probability
+// proportional to its weight. Weights must be non-negative with a positive
+// sum; otherwise WeightedPick panics.
+func (s *Source) WeightedPick(weights []float64) int {
+	total := 0.0
+	for _, w := range weights {
+		if w < 0 {
+			panic("rng: negative weight")
+		}
+		total += w
+	}
+	if total <= 0 {
+		panic("rng: zero total weight")
+	}
+	x := s.Float64() * total
+	for i, w := range weights {
+		x -= w
+		if x < 0 {
+			return i
+		}
+	}
+	return len(weights) - 1
+}
+
+// Shuffle permutes the first n elements using swap, Fisher-Yates style.
+func (s *Source) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := s.Intn(i + 1)
+		swap(i, j)
+	}
+}
+
+// Perm returns a pseudo-random permutation of [0, n).
+func (s *Source) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	s.Shuffle(n, func(i, j int) { p[i], p[j] = p[j], p[i] })
+	return p
+}

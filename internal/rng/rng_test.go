@@ -1,0 +1,136 @@
+package rng
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams diverged at step %d", i)
+		}
+	}
+}
+
+func TestSeedsDiffer(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("%d collisions between differently seeded streams", same)
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	s := New(7)
+	for _, n := range []int{1, 2, 3, 10, 255, 1 << 20} {
+		for i := 0; i < 200; i++ {
+			v := s.Intn(n)
+			if v < 0 || v >= n {
+				t.Fatalf("Intn(%d) = %d out of range", n, v)
+			}
+		}
+	}
+}
+
+func TestIntnPanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestFloat64Range(t *testing.T) {
+	s := New(9)
+	for i := 0; i < 10000; i++ {
+		f := s.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 = %v out of [0,1)", f)
+		}
+	}
+}
+
+func TestIntnRoughlyUniform(t *testing.T) {
+	s := New(11)
+	const n, draws = 10, 100000
+	var counts [n]int
+	for i := 0; i < draws; i++ {
+		counts[s.Intn(n)]++
+	}
+	want := draws / n
+	for i, c := range counts {
+		if c < want*8/10 || c > want*12/10 {
+			t.Errorf("bucket %d: count %d far from %d", i, c, want)
+		}
+	}
+}
+
+func TestWeightedPickProportions(t *testing.T) {
+	s := New(13)
+	weights := []float64{1, 3, 6}
+	var counts [3]int
+	const draws = 60000
+	for i := 0; i < draws; i++ {
+		counts[s.WeightedPick(weights)]++
+	}
+	// Expected: 6000, 18000, 36000 with generous tolerance.
+	if counts[0] < 4500 || counts[0] > 7500 {
+		t.Errorf("weight-1 bucket: %d", counts[0])
+	}
+	if counts[2] < 32000 || counts[2] > 40000 {
+		t.Errorf("weight-6 bucket: %d", counts[2])
+	}
+}
+
+func TestWeightedPickPanics(t *testing.T) {
+	for _, w := range [][]float64{{0, 0}, {-1, 2}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("expected panic for %v", w)
+				}
+			}()
+			New(1).WeightedPick(w)
+		}()
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	f := func(seed int64, n8 uint8) bool {
+		n := int(n8)%50 + 1
+		p := New(seed).Perm(n)
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBoolProbability(t *testing.T) {
+	s := New(17)
+	hits := 0
+	const draws = 50000
+	for i := 0; i < draws; i++ {
+		if s.Bool(0.25) {
+			hits++
+		}
+	}
+	if hits < draws/5 || hits > draws*3/10 {
+		t.Fatalf("Bool(0.25) hit rate %d/%d", hits, draws)
+	}
+}

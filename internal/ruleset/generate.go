@@ -1,0 +1,314 @@
+package ruleset
+
+import (
+	"fmt"
+
+	"repro/internal/rng"
+)
+
+// GenConfig controls synthetic ruleset generation.
+type GenConfig struct {
+	// N is the number of unique patterns to generate.
+	N int
+	// Seed makes generation deterministic.
+	Seed int64
+}
+
+// Content class mix. Snort contents are dominated by URI/path fragments,
+// protocol keywords, and raw shellcode bytes; the weights below set the
+// class share of generated patterns.
+const (
+	classURI = iota
+	classKeyword
+	classBinary
+)
+
+var classWeights = []float64{0.45, 0.25, 0.30}
+
+// lengthWeights[i] is the sampling weight of pattern length i+1 for lengths
+// 1..49. The shape reproduces Figure 6: low mass at 1-3 characters, a broad
+// peak across 4-13 (the paper: "the peak in the character distribution is
+// between 4 and 13 bytes"), a declining shoulder to ~20, and a thin tail.
+// Lengths of 50 and over are sampled separately with total weight
+// longTailWeight and a geometric-decay profile.
+var lengthWeights = []float64{
+	6, 12, 22, // 1-3
+	48, 58, 62, 62, 58, 54, 48, 44, 38, 33, // 4-13: the Figure 6 peak
+	28, 24, 21, 18, 16, 14, 13, // 14-20
+	12, 11, 10, 9, 8, 8, 7, 7, 6, 6, // 21-30
+	5, 5, 4, 4, 4, 3, 3, 3, 3, 3, // 31-40
+	2, 2, 2, 2, 2, 2, 2, 2, 2, // 41-49
+}
+
+const (
+	longTailWeight = 30.0 // total weight of the 50+ bucket
+	longTailMaxLen = 122  // longest generated pattern
+)
+
+// firstBytePool returns the candidate first bytes of fresh patterns together
+// with Zipf-like weights. Pool size and the Zipf exponent are tuned so the
+// number of distinct first characters saturates the way Table II reports
+// (≈68 distinct at 634 strings growing to ≈110 at 6,275).
+func firstBytePool() (pool []byte, weights []float64) {
+	add := func(b byte) {
+		pool = append(pool, b)
+	}
+	// Common textual starters first (they receive the largest weights).
+	for _, b := range []byte("/.|%&?=_-~ ") {
+		add(b)
+	}
+	for b := byte('a'); b <= 'z'; b++ {
+		add(b)
+	}
+	for b := byte('A'); b <= 'Z'; b++ {
+		add(b)
+	}
+	for b := byte('0'); b <= '9'; b++ {
+		add(b)
+	}
+	// Binary starters seen in shellcode/exploit contents: x86 opcodes,
+	// control bytes and high-bit constants. A wide tail here sets the
+	// ceiling on first-character diversity.
+	for _, b := range []byte{
+		0x00, 0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07, 0x08, 0x0A,
+		0x0B, 0x0C, 0x0D, 0x10, 0x16, 0x1B, 0x1F, 0x21, 0x23, 0x24,
+		0x7F, 0x80, 0x81, 0x83, 0x85, 0x88, 0x89, 0x8B, 0x90, 0x99,
+		0xA0, 0xA1, 0xB0, 0xB8, 0xBB, 0xBE, 0xBF, 0xC0, 0xC3, 0xC7,
+		0xC9, 0xCC, 0xCD, 0xD0, 0xE8, 0xE9, 0xEB, 0xF0, 0xF4, 0xFE,
+		0xFF, 0x31, 0x33, 0x40, 0x50, 0x5B, 0x5E, 0x68, 0x6A, 0x74,
+	} {
+		add(b)
+	}
+	// Zipf with exponent 1.4 over rank, tuned so distinct-first-character
+	// counts track Table II (≈68 at 634 strings saturating to ≈110 at
+	// 6,275).
+	weights = make([]float64, len(pool))
+	for i := range weights {
+		weights[i] = 1 / pow14(float64(i+1))
+	}
+	return pool, weights
+}
+
+// pow14 computes r^1.4 without importing math (r > 0): r^1.4 ≈ r·r^0.4 and
+// r^0.4 = exp(0.4 ln r) is approximated by sqrt(sqrt(r))·sqrt(sqrt(sqrt(r)))
+// = r^0.375, close enough for a sampling-weight profile.
+func pow14(r float64) float64 {
+	return r * sqrt(sqrt(r)) * sqrt(sqrt(sqrt(r)))
+}
+
+// sqrt is a Newton iteration sufficient for the smooth weights above; it
+// avoids pulling math into a hot deterministic path and keeps results
+// identical across platforms (no FMA contraction differences: operations
+// below are explicit).
+func sqrt(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	z := x
+	for i := 0; i < 30; i++ {
+		z = (z + x/z) / 2
+	}
+	return z
+}
+
+// branchCap bounds how many distinct continuation bytes may follow a prefix
+// of the given depth. Real Snort contents are distinctive — strings share
+// stems (think "/cgi-bin/") but diverge through a narrow set of next
+// characters at any one point, which is what lets the paper's hardware cap
+// states at 13 stored pointers. Unbounded divergence (e.g. 50 different
+// bytes following one hot stem) would force >13 pointers into single
+// states, which the 324-bit word format cannot hold.
+func branchCap(depth int) int {
+	switch {
+	case depth == 1:
+		return 8 // sets the ceiling on depth-2 states: ≈ firstChars × 8
+	case depth == 2:
+		return 5
+	case depth <= 9:
+		return 4
+	default:
+		return 3
+	}
+}
+
+// pFollow is the probability of reusing an existing continuation byte when
+// one exists (before the branch cap forces reuse). High values near the
+// root give Snort-like shared stems; low values deep down keep long strings
+// distinctive.
+func pFollow(depth int) float64 {
+	switch {
+	case depth <= 1:
+		return 0.60
+	case depth <= 4:
+		return 0.45
+	case depth <= 8:
+		return 0.25
+	default:
+		return 0.08
+	}
+}
+
+// Generate produces a deterministic synthetic Snort-like ruleset. Strings
+// are grown through a shared prefix trie with bounded branching, giving the
+// prefix-sharing structure and bounded per-state divergence of hand-written
+// signature sets. The returned set passes Validate, has unique contents,
+// and IDs 0..N-1.
+func Generate(cfg GenConfig) (*Set, error) {
+	if cfg.N <= 0 {
+		return nil, fmt.Errorf("ruleset: GenConfig.N must be positive, got %d", cfg.N)
+	}
+	if cfg.N >= 1<<13-1 {
+		return nil, fmt.Errorf("ruleset: N %d exceeds the 13-bit string-number space", cfg.N)
+	}
+	src := rng.New(cfg.Seed)
+	pool, poolWeights := firstBytePool()
+
+	seen := make(map[string]bool, cfg.N)
+	conts := make(map[string][]byte) // prefix -> continuation bytes in use
+	set := &Set{Patterns: make([]Pattern, 0, cfg.N)}
+
+	extend := func(data []byte, class int) []byte {
+		key := string(data)
+		existing := conts[key]
+		depth := len(data)
+		var b byte
+		switch {
+		case len(existing) > 0 && src.Bool(pFollow(depth)):
+			b = existing[src.Intn(len(existing))]
+		case len(existing) < branchCap(depth):
+			b = nextByte(src, class)
+			found := false
+			for _, e := range existing {
+				if e == b {
+					found = true
+					break
+				}
+			}
+			if !found {
+				conts[key] = append(existing, b)
+			}
+		default:
+			b = existing[src.Intn(len(existing))]
+		}
+		return append(data, b)
+	}
+
+	for attempts := 0; len(set.Patterns) < cfg.N; attempts++ {
+		if attempts > 50*cfg.N {
+			return nil, fmt.Errorf("ruleset: could not generate %d unique patterns (stuck at %d)",
+				cfg.N, len(set.Patterns))
+		}
+		length := sampleLength(src)
+		class := src.WeightedPick(classWeights)
+		data := []byte{pool[src.WeightedPick(poolWeights)]}
+		for len(data) < length {
+			data = extend(data, class)
+		}
+		// If the sampled path collides with an existing pattern, extend a
+		// little to find a unique string before giving up on this draw.
+		for grow := 0; seen[string(data)] && grow < 8; grow++ {
+			data = extend(data, class)
+		}
+		if seen[string(data)] {
+			continue
+		}
+		seen[string(data)] = true
+		id := len(set.Patterns)
+		set.Patterns = append(set.Patterns, Pattern{
+			ID:   id,
+			Data: data,
+			Name: fmt.Sprintf("synth-%d", id),
+		})
+	}
+	if err := set.Validate(); err != nil {
+		return nil, fmt.Errorf("ruleset: generated set invalid: %w", err)
+	}
+	return set, nil
+}
+
+// MustGenerate is Generate for tests and examples with known-good configs.
+func MustGenerate(cfg GenConfig) *Set {
+	s, err := Generate(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+func sampleLength(src *rng.Source) int {
+	total := longTailWeight
+	for _, w := range lengthWeights {
+		total += w
+	}
+	x := src.Float64() * total
+	for i, w := range lengthWeights {
+		x -= w
+		if x < 0 {
+			return i + 1
+		}
+	}
+	// 50+ tail: geometric decay from 50 to longTailMaxLen.
+	l := 50
+	for l < longTailMaxLen && src.Bool(0.92) {
+		l++
+	}
+	return l
+}
+
+// nextByte emits a class-conditioned content byte. URI bytes favour
+// lowercase letters and path separators; keyword bytes favour letters and
+// spaces; binary bytes are entropy-heavy (distinctive shellcode fragments,
+// not repetitive padding — signature writers strip NOP sleds because they
+// are poor discriminators, and repetitive infixes would create hot suffix
+// states that no depth-3 default can absorb).
+func nextByte(src *rng.Source, class int) byte {
+	switch class {
+	case classURI:
+		switch src.WeightedPick([]float64{55, 12, 10, 6, 5, 12}) {
+		case 0:
+			return byte('a' + src.Intn(26))
+		case 1:
+			return byte('0' + src.Intn(10))
+		case 2:
+			return '/'
+		case 3:
+			return '.'
+		case 4:
+			return byte('A' + src.Intn(26))
+		default:
+			seps := []byte("_-=?&%+;")
+			return seps[src.Intn(len(seps))]
+		}
+	case classKeyword:
+		switch src.WeightedPick([]float64{40, 35, 12, 8, 5}) {
+		case 0:
+			return byte('A' + src.Intn(26))
+		case 1:
+			return byte('a' + src.Intn(26))
+		case 2:
+			return ' '
+		case 3:
+			return byte('0' + src.Intn(10))
+		default:
+			puncts := []byte(":()<>\"'")
+			return puncts[src.Intn(len(puncts))]
+		}
+	default: // classBinary
+		switch src.WeightedPick([]float64{8, 5, 4, 3, 3, 3, 74}) {
+		case 0:
+			return 0x90
+		case 1:
+			return 0x00
+		case 2:
+			return 0xFF
+		case 3:
+			return 0xCC
+		case 4:
+			return 0xE8
+		case 5:
+			return 0xEB
+		default:
+			return src.Byte()
+		}
+	}
+}

@@ -1,0 +1,92 @@
+package ruleset
+
+// Figure 6 plots the number of strings at each length, with the axis
+// labelled at 1, 5, 10, ..., 45 and a final 50+ bucket. LengthHistogram
+// reproduces that series.
+
+// HistBucket is one point of the Figure 6 series.
+type HistBucket struct {
+	// Length is the exact string length for buckets below 50; the final
+	// bucket aggregates lengths >= 50 and is reported with Length == 50 and
+	// Plus == true.
+	Length int
+	Plus   bool
+	Count  int
+}
+
+// LengthHistogram returns the per-length counts of s in Figure 6 form:
+// one bucket per exact length 1..49 and a final aggregated 50+ bucket.
+func LengthHistogram(s *Set) []HistBucket {
+	counts := make([]int, 51)
+	for _, p := range s.Patterns {
+		l := len(p.Data)
+		if l >= 50 {
+			counts[50]++
+		} else if l >= 1 {
+			counts[l]++
+		}
+	}
+	out := make([]HistBucket, 0, 50)
+	for l := 1; l <= 49; l++ {
+		out = append(out, HistBucket{Length: l, Count: counts[l]})
+	}
+	out = append(out, HistBucket{Length: 50, Plus: true, Count: counts[50]})
+	return out
+}
+
+// HistogramDistance returns the L1 distance between the *normalized* length
+// histograms of two sets. The reducer's contract is to preserve the length
+// distribution; tests assert this distance stays small.
+func HistogramDistance(a, b *Set) float64 {
+	ha, hb := LengthHistogram(a), LengthHistogram(b)
+	na, nb := float64(a.Len()), float64(b.Len())
+	d := 0.0
+	for i := range ha {
+		pa := float64(ha[i].Count) / na
+		pb := float64(hb[i].Count) / nb
+		if pa > pb {
+			d += pa - pb
+		} else {
+			d += pb - pa
+		}
+	}
+	return d
+}
+
+// PeakRange returns the inclusive length range holding the highest counts:
+// the smallest window [lo, hi] capturing at least frac of all strings,
+// grown greedily from the modal length. The paper observes the peak of the
+// Snort distribution lies between 4 and 13 bytes.
+func PeakRange(s *Set, frac float64) (lo, hi int) {
+	h := LengthHistogram(s)
+	mode, best := 1, -1
+	for _, b := range h {
+		if b.Count > best {
+			best = b.Count
+			mode = b.Length
+		}
+	}
+	lo, hi = mode, mode
+	captured := best
+	target := int(frac * float64(s.Len()))
+	count := func(l int) int {
+		if l < 1 || l > 50 {
+			return 0
+		}
+		return h[l-1].Count
+	}
+	for captured < target && (lo > 1 || hi < 50) {
+		left, right := count(lo-1), count(hi+1)
+		if left >= right && lo > 1 {
+			lo--
+			captured += left
+		} else if hi < 50 {
+			hi++
+			captured += right
+		} else {
+			lo--
+			captured += left
+		}
+	}
+	return lo, hi
+}

@@ -1,0 +1,169 @@
+package ruleset
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// ParseContent decodes one Snort-style content string. The syntax is the
+// body of a Snort content option: printable characters stand for
+// themselves, and |..| brackets enclose space-separated hex byte pairs,
+// e.g. `|90 90 90|/bin/sh|00|`. The characters '|', '"' and '\' must be
+// escaped as hex inside brackets, per Snort convention.
+func ParseContent(s string) ([]byte, error) {
+	var out []byte
+	inHex := false
+	i := 0
+	for i < len(s) {
+		c := s[i]
+		if c == '|' {
+			inHex = !inHex
+			i++
+			continue
+		}
+		if inHex {
+			if c == ' ' {
+				i++
+				continue
+			}
+			if i+1 >= len(s) {
+				return nil, fmt.Errorf("ruleset: truncated hex pair at offset %d in %q", i, s)
+			}
+			hi, err1 := hexVal(s[i])
+			lo, err2 := hexVal(s[i+1])
+			if err1 != nil || err2 != nil {
+				return nil, fmt.Errorf("ruleset: bad hex pair %q at offset %d in %q", s[i:i+2], i, s)
+			}
+			out = append(out, hi<<4|lo)
+			i += 2
+			continue
+		}
+		if c == '"' || c == '\\' {
+			return nil, fmt.Errorf("ruleset: character %q at offset %d must be hex-escaped", c, i)
+		}
+		if c < 0x20 || c > 0x7E {
+			return nil, fmt.Errorf("ruleset: non-printable byte %#x at offset %d must be hex-escaped", c, i)
+		}
+		out = append(out, c)
+		i++
+	}
+	if inHex {
+		return nil, fmt.Errorf("ruleset: unterminated hex bracket in %q", s)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("ruleset: empty content")
+	}
+	return out, nil
+}
+
+// FormatContent renders data in Snort content syntax, inverse of
+// ParseContent.
+func FormatContent(data []byte) string {
+	var sb strings.Builder
+	inHex := false
+	setHex := func(want bool) {
+		if inHex != want {
+			sb.WriteByte('|')
+			inHex = want
+		}
+	}
+	for _, b := range data {
+		printable := b >= 0x20 && b <= 0x7E && b != '|' && b != '"' && b != '\\'
+		if printable {
+			setHex(false)
+			sb.WriteByte(b)
+		} else {
+			if inHex {
+				sb.WriteByte(' ')
+			}
+			setHex(true)
+			fmt.Fprintf(&sb, "%02X", b)
+		}
+	}
+	setHex(false)
+	return sb.String()
+}
+
+// ParseFile reads a ruleset from r: one content string per line in
+// ParseContent syntax. Blank lines and lines starting with '#' are skipped.
+// An optional "name:" prefix before the content names the rule. Duplicate
+// contents are rejected.
+func ParseFile(r io.Reader) (*Set, error) {
+	scanner := bufio.NewScanner(r)
+	scanner.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	set := &Set{}
+	lineNo := 0
+	for scanner.Scan() {
+		lineNo++
+		line := strings.TrimSpace(scanner.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		name := ""
+		if idx := strings.Index(line, ":"); idx > 0 && isIdent(line[:idx]) {
+			name = line[:idx]
+			line = strings.TrimSpace(line[idx+1:])
+		}
+		data, err := ParseContent(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		set.Patterns = append(set.Patterns, Pattern{
+			ID:   len(set.Patterns),
+			Data: data,
+			Name: name,
+		})
+	}
+	if err := scanner.Err(); err != nil {
+		return nil, err
+	}
+	if err := set.Validate(); err != nil {
+		return nil, err
+	}
+	return set, nil
+}
+
+// WriteFile renders the set in ParseFile format.
+func WriteFile(w io.Writer, s *Set) error {
+	for _, p := range s.Patterns {
+		var err error
+		if p.Name != "" {
+			_, err = fmt.Fprintf(w, "%s: %s\n", p.Name, FormatContent(p.Data))
+		} else {
+			_, err = fmt.Fprintf(w, "%s\n", FormatContent(p.Data))
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func hexVal(c byte) (byte, error) {
+	switch {
+	case c >= '0' && c <= '9':
+		return c - '0', nil
+	case c >= 'a' && c <= 'f':
+		return c - 'a' + 10, nil
+	case c >= 'A' && c <= 'F':
+		return c - 'A' + 10, nil
+	}
+	return 0, fmt.Errorf("not hex: %q", c)
+}
+
+func isIdent(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		ok := c == '-' || c == '_' || c == '.' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}

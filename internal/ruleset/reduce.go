@@ -1,0 +1,142 @@
+package ruleset
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/rng"
+)
+
+// Reduce returns a new set of exactly n patterns sampled from s while
+// preserving the string-length distribution, reproducing the paper's
+// reduction procedure: "we created a program which reduced the number of
+// strings by randomly extracting strings while keeping the same character
+// distribution" (§V.A). Pattern IDs are preserved so reduced sets report the
+// same string numbers as the full set.
+func (s *Set) Reduce(n int, seed int64) (*Set, error) {
+	if n <= 0 || n > s.Len() {
+		return nil, fmt.Errorf("ruleset: Reduce target %d out of range (set has %d)", n, s.Len())
+	}
+	if n == s.Len() {
+		return s.Clone(), nil
+	}
+	src := rng.New(seed)
+	bins := binByLength(s)
+	lengths := sortedKeys(bins)
+
+	// Proportional allocation with largest-remainder rounding so the
+	// per-length share of the reduced set matches the full set.
+	type alloc struct {
+		length int
+		take   int
+		frac   float64
+	}
+	allocs := make([]alloc, 0, len(bins))
+	total := s.Len()
+	taken := 0
+	for _, l := range lengths {
+		exact := float64(len(bins[l])) * float64(n) / float64(total)
+		take := int(exact)
+		if take > len(bins[l]) {
+			take = len(bins[l])
+		}
+		allocs = append(allocs, alloc{length: l, take: take, frac: exact - float64(take)})
+		taken += take
+	}
+	// Distribute the remainder to the largest fractional parts.
+	sort.SliceStable(allocs, func(i, j int) bool { return allocs[i].frac > allocs[j].frac })
+	for i := 0; taken < n; i = (i + 1) % len(allocs) {
+		a := &allocs[i]
+		if a.take < len(bins[a.length]) {
+			a.take++
+			taken++
+		}
+	}
+
+	out := &Set{}
+	sort.Slice(allocs, func(i, j int) bool { return allocs[i].length < allocs[j].length })
+	for _, a := range allocs {
+		idx := bins[a.length]
+		src.Shuffle(len(idx), func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
+		for _, k := range idx[:a.take] {
+			out.Patterns = append(out.Patterns, s.Patterns[k].Clone())
+		}
+	}
+	// Restore original relative order (by ID) for determinism downstream.
+	sort.Slice(out.Patterns, func(i, j int) bool { return out.Patterns[i].ID < out.Patterns[j].ID })
+	return out, nil
+}
+
+// ReduceToChars samples a subset whose total character count is as close as
+// possible to chars while preserving the length distribution. This
+// reproduces the Table III comparison set: the paper reduced its 6,275
+// strings "until it had 19,124 characters, while keeping the original
+// character distribution".
+func (s *Set) ReduceToChars(chars int, seed int64) (*Set, error) {
+	total := s.CharCount()
+	if chars <= 0 || chars > total {
+		return nil, fmt.Errorf("ruleset: ReduceToChars target %d out of range (set has %d)", chars, total)
+	}
+	// First pass: proportional by count, scaled by character mass.
+	n := int(float64(s.Len()) * float64(chars) / float64(total))
+	if n < 1 {
+		n = 1
+	}
+	out, err := s.Reduce(n, seed)
+	if err != nil {
+		return nil, err
+	}
+	// Greedy trim/grow with random singles until within one mean length.
+	src := rng.New(seed ^ 0x5DEECE66D)
+	chosen := make(map[int]bool, out.Len())
+	for _, p := range out.Patterns {
+		chosen[p.ID] = true
+	}
+	meanLen := total / s.Len()
+	for i := 0; i < 4*s.Len(); i++ {
+		diff := out.CharCount() - chars
+		if abs(diff) <= meanLen {
+			break
+		}
+		if diff > 0 {
+			// Remove a random chosen pattern.
+			k := src.Intn(out.Len())
+			delete(chosen, out.Patterns[k].ID)
+			out.Patterns = append(out.Patterns[:k], out.Patterns[k+1:]...)
+		} else {
+			// Add a random unchosen pattern.
+			k := src.Intn(s.Len())
+			if chosen[s.Patterns[k].ID] {
+				continue
+			}
+			chosen[s.Patterns[k].ID] = true
+			out.Patterns = append(out.Patterns, s.Patterns[k].Clone())
+		}
+	}
+	sort.Slice(out.Patterns, func(i, j int) bool { return out.Patterns[i].ID < out.Patterns[j].ID })
+	return out, nil
+}
+
+func binByLength(s *Set) map[int][]int {
+	bins := make(map[int][]int)
+	for i, p := range s.Patterns {
+		bins[len(p.Data)] = append(bins[len(p.Data)], i)
+	}
+	return bins
+}
+
+func sortedKeys(m map[int][]int) []int {
+	out := make([]int, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Ints(out)
+	return out
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

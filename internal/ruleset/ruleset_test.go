@@ -1,0 +1,432 @@
+package ruleset
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func mustGen(t *testing.T, n int, seed int64) *Set {
+	t.Helper()
+	s, err := Generate(GenConfig{N: n, Seed: seed})
+	if err != nil {
+		t.Fatalf("Generate(%d): %v", n, err)
+	}
+	return s
+}
+
+func TestGenerateCountAndValidity(t *testing.T) {
+	for _, n := range []int{1, 10, 500, 2000} {
+		s := mustGen(t, n, 1)
+		if s.Len() != n {
+			t.Fatalf("Generate(%d) produced %d patterns", n, s.Len())
+		}
+		if err := s.Validate(); err != nil {
+			t.Fatalf("Generate(%d) invalid: %v", n, err)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := mustGen(t, 300, 42)
+	b := mustGen(t, 300, 42)
+	for i := range a.Patterns {
+		if !bytes.Equal(a.Patterns[i].Data, b.Patterns[i].Data) {
+			t.Fatalf("pattern %d differs between identically seeded runs", i)
+		}
+	}
+}
+
+func TestGenerateSeedsDiffer(t *testing.T) {
+	a := mustGen(t, 100, 1)
+	b := mustGen(t, 100, 2)
+	same := 0
+	for i := range a.Patterns {
+		if bytes.Equal(a.Patterns[i].Data, b.Patterns[i].Data) {
+			same++
+		}
+	}
+	if same > 5 {
+		t.Fatalf("%d/100 identical patterns across different seeds", same)
+	}
+}
+
+func TestGenerateRejectsBadN(t *testing.T) {
+	for _, n := range []int{0, -1, 1 << 13} {
+		if _, err := Generate(GenConfig{N: n}); err == nil {
+			t.Errorf("Generate(N=%d) succeeded, want error", n)
+		}
+	}
+}
+
+func TestGeneratePeakMatchesFigure6(t *testing.T) {
+	s := mustGen(t, 6275, 2010)
+	lo, hi := PeakRange(s, 0.5)
+	// Paper: "the peak in the character distribution is between 4 and 13
+	// bytes". Allow one length of slack each side for sampling noise.
+	if lo < 3 || hi > 15 {
+		t.Fatalf("peak range [%d,%d], want within [3,15]", lo, hi)
+	}
+}
+
+func TestGenerateFirstCharDiversitySaturates(t *testing.T) {
+	// Table II: 68 distinct first characters at 634 strings growing to
+	// ~110 at 6,275 — i.e. saturating growth, not linear.
+	full := mustGen(t, 6275, 2010)
+	small, err := full.Reduce(634, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fcSmall, fcFull := small.FirstCharCount(), full.FirstCharCount()
+	if fcSmall < 45 || fcSmall > 95 {
+		t.Errorf("first chars at 634 strings = %d, want ≈68 (45..95)", fcSmall)
+	}
+	if fcFull < 90 || fcFull > 145 {
+		t.Errorf("first chars at 6275 strings = %d, want ≈110 (90..145)", fcFull)
+	}
+	if fcFull <= fcSmall {
+		t.Errorf("diversity did not grow: %d -> %d", fcSmall, fcFull)
+	}
+	// Saturation: 10x the strings should yield far less than 10x the chars.
+	if float64(fcFull) > 3*float64(fcSmall) {
+		t.Errorf("growth not saturating: %d -> %d", fcSmall, fcFull)
+	}
+}
+
+func TestGenerateSharesStems(t *testing.T) {
+	s := mustGen(t, 1000, 5)
+	prefixes := make(map[string]int)
+	for _, p := range s.Patterns {
+		if len(p.Data) >= 3 {
+			prefixes[string(p.Data[:3])]++
+		}
+	}
+	shared := 0
+	for _, c := range prefixes {
+		if c >= 2 {
+			shared += c
+		}
+	}
+	// Prefix sharing drives trie compactness; require a meaningful fraction.
+	if shared < 100 {
+		t.Fatalf("only %d patterns share a 3-byte prefix; stems not working", shared)
+	}
+}
+
+func TestCharCount(t *testing.T) {
+	s := &Set{Patterns: []Pattern{
+		{ID: 0, Data: []byte("abc")},
+		{ID: 1, Data: []byte("de")},
+	}}
+	if got := s.CharCount(); got != 5 {
+		t.Fatalf("CharCount = %d, want 5", got)
+	}
+}
+
+func TestFirstCharCount(t *testing.T) {
+	s := &Set{Patterns: []Pattern{
+		{ID: 0, Data: []byte("abc")},
+		{ID: 1, Data: []byte("axe")},
+		{ID: 2, Data: []byte("bcd")},
+	}}
+	if got := s.FirstCharCount(); got != 2 {
+		t.Fatalf("FirstCharCount = %d, want 2", got)
+	}
+}
+
+func TestDedup(t *testing.T) {
+	s := &Set{Patterns: []Pattern{
+		{ID: 0, Data: []byte("abc")},
+		{ID: 1, Data: []byte("abc")},
+		{ID: 2, Data: []byte("xyz")},
+	}}
+	d := s.Dedup()
+	if d.Len() != 2 {
+		t.Fatalf("Dedup len = %d, want 2", d.Len())
+	}
+	if d.Patterns[0].ID != 0 || d.Patterns[1].ID != 1 {
+		t.Fatalf("Dedup did not renumber: %v", d.Patterns)
+	}
+}
+
+func TestValidateCatchesProblems(t *testing.T) {
+	cases := []struct {
+		name string
+		set  *Set
+	}{
+		{"empty pattern", &Set{Patterns: []Pattern{{ID: 0, Data: nil}}}},
+		{"dup id", &Set{Patterns: []Pattern{{ID: 0, Data: []byte("a")}, {ID: 0, Data: []byte("b")}}}},
+		{"dup content", &Set{Patterns: []Pattern{{ID: 0, Data: []byte("a")}, {ID: 1, Data: []byte("a")}}}},
+		{"id too large", &Set{Patterns: []Pattern{{ID: 8191, Data: []byte("a")}}}},
+		{"negative id", &Set{Patterns: []Pattern{{ID: -1, Data: []byte("a")}}}},
+	}
+	for _, tc := range cases {
+		if err := tc.set.Validate(); err == nil {
+			t.Errorf("%s: Validate passed, want error", tc.name)
+		}
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	s := &Set{Patterns: []Pattern{{ID: 0, Data: []byte("abc")}}}
+	c := s.Clone()
+	c.Patterns[0].Data[0] = 'X'
+	if s.Patterns[0].Data[0] != 'a' {
+		t.Fatal("Clone shares backing arrays")
+	}
+}
+
+func TestReducePreservesDistribution(t *testing.T) {
+	full := mustGen(t, 6275, 2010)
+	for _, n := range []int{500, 634, 1204, 1603, 2588} {
+		r, err := full.Reduce(n, 99)
+		if err != nil {
+			t.Fatalf("Reduce(%d): %v", n, err)
+		}
+		if r.Len() != n {
+			t.Fatalf("Reduce(%d) returned %d patterns", n, r.Len())
+		}
+		if err := r.Validate(); err != nil {
+			t.Fatalf("Reduce(%d) invalid: %v", n, err)
+		}
+		if d := HistogramDistance(full, r); d > 0.12 {
+			t.Errorf("Reduce(%d): histogram L1 distance %.3f too large", n, d)
+		}
+	}
+}
+
+func TestReduceKeepsIDs(t *testing.T) {
+	full := mustGen(t, 100, 3)
+	r, err := full.Reduce(40, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byID := make(map[int][]byte)
+	for _, p := range full.Patterns {
+		byID[p.ID] = p.Data
+	}
+	for _, p := range r.Patterns {
+		if !bytes.Equal(byID[p.ID], p.Data) {
+			t.Fatalf("pattern ID %d content changed after Reduce", p.ID)
+		}
+	}
+}
+
+func TestReduceBounds(t *testing.T) {
+	s := mustGen(t, 10, 1)
+	for _, n := range []int{0, -5, 11} {
+		if _, err := s.Reduce(n, 1); err == nil {
+			t.Errorf("Reduce(%d) succeeded, want error", n)
+		}
+	}
+	same, err := s.Reduce(10, 1)
+	if err != nil || same.Len() != 10 {
+		t.Fatalf("Reduce(full size) = %v, %v", same, err)
+	}
+}
+
+func TestReduceToChars(t *testing.T) {
+	full := mustGen(t, 6275, 2010)
+	// Table III target: 19,124 characters.
+	r, err := full.ReduceToChars(19124, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := r.CharCount()
+	mean := full.CharCount() / full.Len()
+	if got < 19124-2*mean || got > 19124+2*mean {
+		t.Fatalf("ReduceToChars hit %d chars, want 19124 ± %d", got, 2*mean)
+	}
+	if d := HistogramDistance(full, r); d > 0.15 {
+		t.Errorf("ReduceToChars: histogram distance %.3f too large", d)
+	}
+}
+
+func TestLengthHistogramBuckets(t *testing.T) {
+	s := &Set{Patterns: []Pattern{
+		{ID: 0, Data: bytes.Repeat([]byte("a"), 1)},
+		{ID: 1, Data: bytes.Repeat([]byte("b"), 49)},
+		{ID: 2, Data: bytes.Repeat([]byte("c"), 50)},
+		{ID: 3, Data: bytes.Repeat([]byte("d"), 120)},
+	}}
+	h := LengthHistogram(s)
+	if len(h) != 50 {
+		t.Fatalf("histogram has %d buckets, want 50", len(h))
+	}
+	if h[0].Count != 1 || h[48].Count != 1 {
+		t.Fatalf("exact-length buckets wrong: %+v %+v", h[0], h[48])
+	}
+	last := h[49]
+	if !last.Plus || last.Count != 2 {
+		t.Fatalf("50+ bucket wrong: %+v", last)
+	}
+}
+
+func TestSplitCharsBalancedAndComplete(t *testing.T) {
+	s := mustGen(t, 1000, 8)
+	for _, n := range []int{1, 2, 3, 6} {
+		groups := s.SplitChars(n)
+		if len(groups) != n {
+			t.Fatalf("SplitChars(%d) returned %d groups", n, len(groups))
+		}
+		totalPatterns := 0
+		seen := make(map[int]bool)
+		for _, g := range groups {
+			totalPatterns += g.Len()
+			for _, p := range g.Patterns {
+				if seen[p.ID] {
+					t.Fatalf("pattern %d in multiple groups", p.ID)
+				}
+				seen[p.ID] = true
+			}
+		}
+		if totalPatterns != s.Len() {
+			t.Fatalf("SplitChars(%d) lost patterns: %d != %d", n, totalPatterns, s.Len())
+		}
+		if n > 1 {
+			min, max := 1<<30, 0
+			for _, g := range groups {
+				c := g.CharCount()
+				if c < min {
+					min = c
+				}
+				if c > max {
+					max = c
+				}
+			}
+			if max > min*2 {
+				t.Errorf("SplitChars(%d) imbalanced: min %d max %d chars", n, min, max)
+			}
+		}
+	}
+}
+
+func TestParseContentRoundTrip(t *testing.T) {
+	cases := [][]byte{
+		[]byte("/cgi-bin/phf"),
+		{0x90, 0x90, 0x90},
+		[]byte("a|b"),                      // '|' must round-trip via hex
+		{0x00, 'G', 'E', 'T', ' ', 0xFF},   // mixed
+		{'"', '\\'},                        // escapes
+		bytes.Repeat([]byte{0xCC, 'x'}, 8), // alternating
+	}
+	for _, want := range cases {
+		got, err := ParseContent(FormatContent(want))
+		if err != nil {
+			t.Fatalf("%q: %v", want, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("round trip %q -> %q", want, got)
+		}
+	}
+}
+
+func TestParseContentHexForms(t *testing.T) {
+	got, err := ParseContent("|90 90|sh|00|")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []byte{0x90, 0x90, 's', 'h', 0x00}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("got %v want %v", got, want)
+	}
+}
+
+func TestParseContentErrors(t *testing.T) {
+	bad := []string{
+		"",         // empty
+		"|90",      // unterminated
+		"|9|",      // odd hex
+		"|zz|",     // not hex
+		"a\"b",     // unescaped quote
+		"a\\b",     // unescaped backslash
+		"caf\xc3e", // raw non-printable
+		"|90 9|",   // truncated pair
+	}
+	for _, s := range bad {
+		if _, err := ParseContent(s); err == nil {
+			t.Errorf("ParseContent(%q) succeeded, want error", s)
+		}
+	}
+}
+
+func TestParseFileAndWriteFile(t *testing.T) {
+	input := "# comment\n\nweb-phf: /cgi-bin/phf\n|90 90|/bin/sh\n"
+	set, err := ParseFile(bytes.NewReader([]byte(input)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if set.Len() != 2 {
+		t.Fatalf("parsed %d patterns, want 2", set.Len())
+	}
+	if set.Patterns[0].Name != "web-phf" {
+		t.Fatalf("name = %q", set.Patterns[0].Name)
+	}
+	if !bytes.Equal(set.Patterns[1].Data, []byte{0x90, 0x90, '/', 'b', 'i', 'n', '/', 's', 'h'}) {
+		t.Fatalf("pattern 1 = %v", set.Patterns[1].Data)
+	}
+
+	var buf bytes.Buffer
+	if err := WriteFile(&buf, set); err != nil {
+		t.Fatal(err)
+	}
+	set2, err := ParseFile(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if set2.Len() != set.Len() {
+		t.Fatal("write/parse round trip lost patterns")
+	}
+	for i := range set.Patterns {
+		if !bytes.Equal(set.Patterns[i].Data, set2.Patterns[i].Data) {
+			t.Fatalf("pattern %d round trip mismatch", i)
+		}
+	}
+}
+
+func TestParseFileRejectsDuplicates(t *testing.T) {
+	input := "abc\nabc\n"
+	if _, err := ParseFile(bytes.NewReader([]byte(input))); err == nil {
+		t.Fatal("duplicate contents accepted")
+	}
+}
+
+// Property: FormatContent always produces a string ParseContent accepts and
+// inverts, for arbitrary byte content.
+func TestQuickContentRoundTrip(t *testing.T) {
+	f := func(data []byte) bool {
+		if len(data) == 0 {
+			return true
+		}
+		got, err := ParseContent(FormatContent(data))
+		return err == nil && bytes.Equal(got, data)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Reduce output is always a subset of its input.
+func TestQuickReduceSubset(t *testing.T) {
+	full := mustGen(t, 400, 77)
+	contents := make(map[string]bool, full.Len())
+	for _, p := range full.Patterns {
+		contents[string(p.Data)] = true
+	}
+	f := func(seed int64, nSel uint16) bool {
+		n := 1 + int(nSel)%400
+		r, err := full.Reduce(n, seed)
+		if err != nil || r.Len() != n {
+			return false
+		}
+		for _, p := range r.Patterns {
+			if !contents[string(p.Data)] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

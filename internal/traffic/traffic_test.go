@@ -1,0 +1,156 @@
+package traffic
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/ac"
+	"repro/internal/ruleset"
+)
+
+func set(t *testing.T) *ruleset.Set {
+	t.Helper()
+	return ruleset.MustGenerate(ruleset.GenConfig{N: 100, Seed: 5})
+}
+
+func TestGenerateShape(t *testing.T) {
+	pkts, err := Generate(set(t), Config{Packets: 20, Bytes: 512, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkts) != 20 {
+		t.Fatalf("packets = %d", len(pkts))
+	}
+	for i, p := range pkts {
+		if p.ID != i {
+			t.Fatalf("packet %d has ID %d", i, p.ID)
+		}
+		if len(p.Payload) != 512 {
+			t.Fatalf("packet %d size %d", i, len(p.Payload))
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, _ := Generate(set(t), Config{Packets: 5, Bytes: 256, Seed: 9})
+	b, _ := Generate(set(t), Config{Packets: 5, Bytes: 256, Seed: 9})
+	for i := range a {
+		if !bytes.Equal(a[i].Payload, b[i].Payload) {
+			t.Fatalf("packet %d differs across identical seeds", i)
+		}
+	}
+}
+
+func TestGenerateRejectsBadConfig(t *testing.T) {
+	for _, cfg := range []Config{{Packets: 0, Bytes: 10}, {Packets: 5, Bytes: 0}} {
+		if _, err := Generate(nil, cfg); err == nil {
+			t.Errorf("config %+v accepted", cfg)
+		}
+	}
+}
+
+func TestPlantedPatternsArePresent(t *testing.T) {
+	s := set(t)
+	pkts, err := Generate(s, Config{Packets: 30, Bytes: 800, Seed: 2, AttackDensity: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	byID := map[int32][]byte{}
+	for _, p := range s.Patterns {
+		byID[int32(p.ID)] = p.Data
+	}
+	planted := 0
+	for _, pkt := range pkts {
+		for _, id := range pkt.Planted {
+			planted++
+			if !bytes.Contains(pkt.Payload, byID[id]) {
+				// A later plant may overwrite an earlier one; only the last
+				// plant at each offset is guaranteed. Verify at least that
+				// most planted patterns survive.
+				planted--
+			}
+		}
+	}
+	if planted < 20 {
+		t.Fatalf("only %d planted patterns survive in 30 packets at density 2", planted)
+	}
+}
+
+func TestCleanTrafficHasNoPlants(t *testing.T) {
+	pkts, err := Generate(set(t), Config{Packets: 10, Bytes: 200, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range pkts {
+		if len(p.Planted) != 0 {
+			t.Fatalf("clean packet %d has plants", p.ID)
+		}
+	}
+}
+
+func TestProfilesDiffer(t *testing.T) {
+	mk := func(pr Profile) []byte {
+		pkts, err := Generate(nil, Config{Packets: 1, Bytes: 4096, Seed: 4, Profile: pr})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return pkts[0].Payload
+	}
+	uniform, textual, zeroish := mk(Uniform), mk(Textual), mk(Zeroish)
+	countASCII := func(b []byte) int {
+		n := 0
+		for _, c := range b {
+			if c >= 0x20 && c < 0x7F {
+				n++
+			}
+		}
+		return n
+	}
+	countZero := func(b []byte) int {
+		n := 0
+		for _, c := range b {
+			if c == 0 {
+				n++
+			}
+		}
+		return n
+	}
+	if a := countASCII(textual); a < 4000 {
+		t.Errorf("textual profile only %d/4096 ASCII", a)
+	}
+	if z := countZero(zeroish); z < 2000 {
+		t.Errorf("zeroish profile only %d/4096 zeros", z)
+	}
+	if a := countASCII(uniform); a < 1000 || a > 2200 {
+		t.Errorf("uniform profile ASCII count %d implausible", a)
+	}
+}
+
+func TestAdversarialStressesFailMatcher(t *testing.T) {
+	s := set(t)
+	payload, err := Adversarial(s, 8192, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(payload) != 8192 {
+		t.Fatalf("payload size %d", len(payload))
+	}
+	trie, err := ac.New(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fm := ac.NewFailMatcher(trie)
+	fm.FindAll(payload)
+	if spc := fm.StepsPerChar(); spc < 1.10 {
+		t.Fatalf("adversarial payload yields %.3f steps/char on the fail matcher, want >= 1.10", spc)
+	}
+}
+
+func TestAdversarialErrors(t *testing.T) {
+	if _, err := Adversarial(&ruleset.Set{}, 100, 1); err == nil {
+		t.Error("empty set accepted")
+	}
+	if _, err := Adversarial(set(t), 0, 1); err == nil {
+		t.Error("zero size accepted")
+	}
+}

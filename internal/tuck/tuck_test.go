@@ -1,0 +1,350 @@
+package tuck
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/ac"
+	"repro/internal/rng"
+	"repro/internal/ruleset"
+)
+
+func toySet() *ruleset.Set {
+	return &ruleset.Set{Patterns: []ruleset.Pattern{
+		{ID: 0, Data: []byte("he")},
+		{ID: 1, Data: []byte("she")},
+		{ID: 2, Data: []byte("his")},
+		{ID: 3, Data: []byte("hers")},
+	}}
+}
+
+func randomSet(t *testing.T, seed int64, n, alpha, maxLen int) *ruleset.Set {
+	t.Helper()
+	src := rng.New(seed)
+	set := &ruleset.Set{}
+	seen := map[string]bool{}
+	for len(set.Patterns) < n {
+		l := 1 + src.Intn(maxLen)
+		d := make([]byte, l)
+		for i := range d {
+			d[i] = byte('a' + src.Intn(alpha))
+		}
+		if seen[string(d)] {
+			continue
+		}
+		seen[string(d)] = true
+		set.Patterns = append(set.Patterns, ruleset.Pattern{ID: len(set.Patterns), Data: d})
+	}
+	return set
+}
+
+func randomPayload(seed int64, n, alpha int) []byte {
+	src := rng.New(seed)
+	data := make([]byte, n)
+	for i := range data {
+		data[i] = byte('a' + src.Intn(alpha))
+	}
+	return data
+}
+
+func TestBitmapToyMatches(t *testing.T) {
+	b, err := BuildBitmap(toySet())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := b.FindAll([]byte("ushers"))
+	want := []ac.Match{
+		{PatternID: 0, End: 4},
+		{PatternID: 1, End: 4},
+		{PatternID: 3, End: 6},
+	}
+	if !ac.MatchesEqual(got, want) {
+		t.Fatalf("got %v want %v", got, want)
+	}
+}
+
+func TestBitmapNodeCount(t *testing.T) {
+	b, err := BuildBitmap(toySet())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b.Nodes) != 10 {
+		t.Fatalf("nodes = %d, want 10", len(b.Nodes))
+	}
+}
+
+func TestBitmapChildIndexRank(t *testing.T) {
+	var n BitmapNode
+	for _, c := range []byte{'a', 'm', 'z', 0x80, 0xFF} {
+		n.Bitmap[c>>6] |= 1 << (uint(c) & 63)
+	}
+	cases := []struct {
+		c    byte
+		rank int32
+	}{{'a', 0}, {'m', 1}, {'z', 2}, {0x80, 3}, {0xFF, 4}}
+	for _, tc := range cases {
+		if !n.HasChild(tc.c) {
+			t.Fatalf("HasChild(%q) false", tc.c)
+		}
+		if got := n.ChildIndex(tc.c); got != tc.rank {
+			t.Errorf("ChildIndex(%#x) = %d, want %d", tc.c, got, tc.rank)
+		}
+	}
+	if n.HasChild('b') {
+		t.Error("HasChild(b) true")
+	}
+}
+
+func TestBitmapAgainstOracle(t *testing.T) {
+	set := randomSet(t, 1, 40, 4, 8)
+	b, err := BuildBitmap(set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle := ac.NewOracle(set)
+	for trial := int64(0); trial < 10; trial++ {
+		data := randomPayload(trial, 500, 4)
+		if !ac.MatchesEqual(b.FindAll(data), oracle.FindAll(data)) {
+			t.Fatalf("trial %d: bitmap and oracle disagree", trial)
+		}
+	}
+}
+
+func TestBitmapStepsExceedOneOnAdversarialInput(t *testing.T) {
+	set := &ruleset.Set{Patterns: []ruleset.Pattern{
+		{ID: 0, Data: []byte("aaaaaaab")},
+		{ID: 1, Data: []byte("ab")},
+	}}
+	b, err := BuildBitmap(set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := make([]byte, 0, 800)
+	for i := 0; i < 100; i++ {
+		data = append(data, []byte("aaaaaaac")...)
+	}
+	b.FindAll(data)
+	if spc := b.StepsPerChar(); spc <= 1.05 {
+		t.Fatalf("steps/char = %.3f, want > 1.05 (fail pointers cost cycles)", spc)
+	}
+}
+
+func TestBitmapMemoryAccounting(t *testing.T) {
+	set := toySet()
+	b, err := BuildBitmap(set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw := b.MemoryBytes(false)
+	aligned := b.MemoryBytes(true)
+	wantRaw := 10*44 + 4*4 // 10 nodes, 4 pattern-end entries
+	if raw != wantRaw {
+		t.Fatalf("raw memory = %d, want %d", raw, wantRaw)
+	}
+	if aligned <= raw {
+		t.Fatalf("aligned (%d) should exceed raw (%d)", aligned, raw)
+	}
+}
+
+func TestUncompressedBytes(t *testing.T) {
+	if got := UncompressedBytes(10); got != 10*1028 {
+		t.Fatalf("UncompressedBytes(10) = %d", got)
+	}
+}
+
+func TestPathToyMatches(t *testing.T) {
+	p, err := BuildPath(toySet())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := p.FindAll([]byte("ushers"))
+	want := []ac.Match{
+		{PatternID: 0, End: 4},
+		{PatternID: 1, End: 4},
+		{PatternID: 3, End: 6},
+	}
+	if !ac.MatchesEqual(got, want) {
+		t.Fatalf("got %v want %v", got, want)
+	}
+}
+
+func TestPathStateConservation(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		set := randomSet(t, seed, 30, 5, 12)
+		p, err := BuildPath(set)
+		if err != nil {
+			t.Fatal(err)
+		}
+		trie, _ := ac.New(set)
+		if p.countStates() != trie.NumStates() {
+			t.Fatalf("seed %d: %d compressed states, trie has %d", seed, p.countStates(), trie.NumStates())
+		}
+	}
+}
+
+func TestPathCompressionCollapsesChains(t *testing.T) {
+	// One long lonely string: everything below the root collapses into a
+	// single path node.
+	set := &ruleset.Set{Patterns: []ruleset.Pattern{
+		{ID: 0, Data: []byte("abcdefghij")},
+	}}
+	p, err := BuildPath(set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Paths) != 1 {
+		t.Fatalf("paths = %d, want 1", len(p.Paths))
+	}
+	if len(p.Paths[0].Run) != 10 {
+		t.Fatalf("run length = %d, want 10", len(p.Paths[0].Run))
+	}
+	if len(p.Branches) != 1 { // just the root
+		t.Fatalf("branches = %d, want 1", len(p.Branches))
+	}
+	got := p.FindAll([]byte("xxabcdefghijxx"))
+	if len(got) != 1 || got[0].End != 12 {
+		t.Fatalf("matches = %v", got)
+	}
+}
+
+func TestPathAgainstOracle(t *testing.T) {
+	set := randomSet(t, 2, 40, 4, 10)
+	p, err := BuildPath(set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle := ac.NewOracle(set)
+	for trial := int64(10); trial < 20; trial++ {
+		data := randomPayload(trial, 500, 4)
+		if !ac.MatchesEqual(p.FindAll(data), oracle.FindAll(data)) {
+			t.Fatalf("trial %d: path-compressed and oracle disagree", trial)
+		}
+	}
+}
+
+func TestPathMatchInsideRun(t *testing.T) {
+	// Patterns that end mid-run must still report: "abcde" contains "abc".
+	set := &ruleset.Set{Patterns: []ruleset.Pattern{
+		{ID: 0, Data: []byte("abcde")},
+		{ID: 1, Data: []byte("abc")},
+	}}
+	p, err := BuildPath(set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := p.FindAll([]byte("abcde"))
+	want := []ac.Match{
+		{PatternID: 1, End: 3},
+		{PatternID: 0, End: 5},
+	}
+	if !ac.MatchesEqual(got, want) {
+		t.Fatalf("got %v want %v", got, want)
+	}
+}
+
+func TestPathFailIntoRunMiddle(t *testing.T) {
+	// "xabcd" and "abce": scanning "xabce" walks into the long run and must
+	// fail from its middle into the other pattern's states.
+	set := &ruleset.Set{Patterns: []ruleset.Pattern{
+		{ID: 0, Data: []byte("xabcd")},
+		{ID: 1, Data: []byte("abce")},
+	}}
+	p, err := BuildPath(set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := p.FindAll([]byte("xabce"))
+	want := []ac.Match{{PatternID: 1, End: 5}}
+	if !ac.MatchesEqual(got, want) {
+		t.Fatalf("got %v want %v", got, want)
+	}
+}
+
+func TestPathMemorySmallerThanBitmap(t *testing.T) {
+	// Table III: path compression ≈ 2.5x smaller than bitmap on Snort-like
+	// sets (1.1 MB vs 2.8 MB). Require it to win on synthetic sets too.
+	set := ruleset.MustGenerate(ruleset.GenConfig{N: 500, Seed: 42})
+	b, err := BuildBitmap(set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := BuildPath(set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bm, pm := b.MemoryBytes(true), p.MemoryBytes()
+	if pm >= bm {
+		t.Fatalf("path-compressed (%d B) not smaller than bitmap (%d B)", pm, bm)
+	}
+	// And both far below uncompressed.
+	if un := UncompressedBytes(len(b.Nodes)); bm >= un/5 {
+		t.Fatalf("bitmap (%d B) not far below uncompressed (%d B)", bm, un)
+	}
+}
+
+func TestBitmapAndPathAgreeOnSnortLikeSet(t *testing.T) {
+	set := ruleset.MustGenerate(ruleset.GenConfig{N: 300, Seed: 50})
+	b, err := BuildBitmap(set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := BuildPath(set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := rng.New(60)
+	for trial := 0; trial < 5; trial++ {
+		data := make([]byte, 2000)
+		for i := range data {
+			data[i] = src.Byte()
+		}
+		for k := 0; k < 5; k++ {
+			pat := set.Patterns[src.Intn(set.Len())]
+			if len(pat.Data) < len(data) {
+				copy(data[src.Intn(len(data)-len(pat.Data)):], pat.Data)
+			}
+		}
+		if !ac.MatchesEqual(b.FindAll(data), p.FindAll(data)) {
+			t.Fatalf("trial %d: bitmap and path-compressed disagree", trial)
+		}
+	}
+}
+
+// Property: both baselines agree with the oracle on random instances.
+func TestQuickBaselineEquivalence(t *testing.T) {
+	f := func(seed int64, nData uint16) bool {
+		src := rng.New(seed)
+		set := &ruleset.Set{}
+		seen := map[string]bool{}
+		for len(set.Patterns) < 8 {
+			l := 1 + src.Intn(7)
+			d := make([]byte, l)
+			for i := range d {
+				d[i] = byte('a' + src.Intn(3))
+			}
+			if seen[string(d)] {
+				continue
+			}
+			seen[string(d)] = true
+			set.Patterns = append(set.Patterns, ruleset.Pattern{ID: len(set.Patterns), Data: d})
+		}
+		b, err := BuildBitmap(set)
+		if err != nil {
+			return false
+		}
+		p, err := BuildPath(set)
+		if err != nil {
+			return false
+		}
+		data := make([]byte, 1+int(nData)%300)
+		for i := range data {
+			data[i] = byte('a' + src.Intn(3))
+		}
+		want := ac.NewOracle(set).FindAll(data)
+		return ac.MatchesEqual(b.FindAll(data), want) &&
+			ac.MatchesEqual(p.FindAll(data), want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,54 @@
+package dpi
+
+import (
+	"repro/internal/ac"
+	"repro/internal/core"
+)
+
+// Stream scans a packet delivered in arbitrary chunks — the software
+// analogue of an engine consuming bytes as they arrive from the wire.
+// Matches spanning chunk boundaries are found; offsets are relative to the
+// start of the stream (since the last Reset). Stream implements io.Writer.
+type Stream struct {
+	m        *Matcher
+	scanners []*core.Scanner
+	emit     func(Match)
+	consumed int
+}
+
+// NewStream returns a stream that calls emit for every match. One Stream
+// corresponds to one packet/flow; create one per concurrent flow and Reset
+// between packets.
+func (m *Matcher) NewStream(emit func(Match)) *Stream {
+	s := &Stream{m: m, emit: emit}
+	for _, machine := range m.grouped.Machines {
+		s.scanners = append(s.scanners, machine.NewScanner())
+	}
+	return s
+}
+
+// Write consumes the next chunk of payload. It never fails; the error is
+// part of the io.Writer contract. Match offsets emitted by the scanners
+// are already stream-relative because each scanner's position persists
+// across Write calls.
+func (s *Stream) Write(p []byte) (int, error) {
+	for _, sc := range s.scanners {
+		sc.Scan(p, func(am ac.Match) {
+			s.emit(s.m.convert(am, -1))
+		})
+	}
+	s.consumed += len(p)
+	return len(p), nil
+}
+
+// Reset rewinds the stream to start-of-packet: automaton states and the
+// 2-byte histories are cleared, and offsets restart at zero.
+func (s *Stream) Reset() {
+	for _, sc := range s.scanners {
+		sc.Reset()
+	}
+	s.consumed = 0
+}
+
+// Consumed returns the bytes scanned since the last Reset.
+func (s *Stream) Consumed() int { return s.consumed }

@@ -1,0 +1,112 @@
+package dpi
+
+import (
+	"io"
+	"testing"
+)
+
+func TestStreamFindsMatchAcrossChunkBoundary(t *testing.T) {
+	rules := NewRuleset()
+	rules.MustAdd("split-me", []byte("abcdef"))
+	m, err := Compile(rules, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []Match
+	s := m.NewStream(func(mt Match) { got = append(got, mt) })
+	var w io.Writer = s // compile-time io.Writer check
+	w.Write([]byte("xxabc"))
+	w.Write([]byte("def"))
+	if len(got) != 1 {
+		t.Fatalf("matches = %v", got)
+	}
+	if got[0].Start != 2 || got[0].End != 8 {
+		t.Fatalf("offsets = %+v, want [2,8)", got[0])
+	}
+	if s.Consumed() != 8 {
+		t.Fatalf("consumed = %d", s.Consumed())
+	}
+}
+
+func TestStreamByteAtATime(t *testing.T) {
+	rules := NewRuleset()
+	rules.MustAdd("p", []byte("needle"))
+	m, err := Compile(rules, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []Match
+	s := m.NewStream(func(mt Match) { got = append(got, mt) })
+	payload := []byte("hay needle hay needle")
+	for _, b := range payload {
+		s.Write([]byte{b})
+	}
+	if len(got) != 2 {
+		t.Fatalf("matches = %v", got)
+	}
+	ref := m.FindAll(payload)
+	for i := range got {
+		if got[i] != ref[i] {
+			t.Fatalf("streamed match %d = %+v, batch %+v", i, got[i], ref[i])
+		}
+	}
+}
+
+func TestStreamResetSplitsPackets(t *testing.T) {
+	rules := NewRuleset()
+	rules.MustAdd("p", []byte("xyz"))
+	m, err := Compile(rules, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []Match
+	s := m.NewStream(func(mt Match) { got = append(got, mt) })
+	s.Write([]byte("xy"))
+	s.Reset() // packet boundary: the partial "xy" must not combine with "z"
+	s.Write([]byte("z"))
+	if len(got) != 0 {
+		t.Fatalf("cross-packet match: %v", got)
+	}
+	if s.Consumed() != 1 {
+		t.Fatalf("consumed = %d after reset", s.Consumed())
+	}
+	s.Reset()
+	s.Write([]byte("xyz"))
+	if len(got) != 1 || got[0].Start != 0 {
+		t.Fatalf("fresh packet matches = %v", got)
+	}
+}
+
+func TestStreamGroupedMatchesBatch(t *testing.T) {
+	rules, err := GenerateSnortLike(400, 61)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := Compile(rules, Config{Groups: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := append(append([]byte("AA "), rules.Content(7)...), []byte(" ZZ")...)
+	payload = append(payload, rules.Content(211)...)
+
+	var got []Match
+	s := m.NewStream(func(mt Match) { got = append(got, mt) })
+	half := len(payload) / 2
+	s.Write(payload[:half])
+	s.Write(payload[half:])
+
+	want := m.FindAll(payload)
+	if len(got) != len(want) {
+		t.Fatalf("streamed %d matches, batch %d", len(got), len(want))
+	}
+	seen := map[Match]int{}
+	for _, mt := range got {
+		seen[mt]++
+	}
+	for _, mt := range want {
+		if seen[mt] == 0 {
+			t.Fatalf("batch match %+v missing from stream", mt)
+		}
+		seen[mt]--
+	}
+}
