@@ -72,7 +72,9 @@ func NewAccelerator(m *Matcher, d Device) (*Accelerator, error) {
 
 // ScanPackets scans each payload as an independent packet across the
 // accelerator's block sets and returns all matches with PacketID set to the
-// payload index.
+// payload index, in canonical (PacketID, End, PatternID) order — the same
+// guarantee as Engine.ScanPackets, so the hardware model and the software
+// engine are byte-for-byte comparable.
 func (a *Accelerator) ScanPackets(payloads [][]byte) ([]Match, error) {
 	packets := make([]hwsim.Packet, len(payloads))
 	for i, p := range payloads {

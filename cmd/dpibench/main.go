@@ -8,6 +8,8 @@
 //	dpibench -figure 7            # one figure (2, 6, 7 or 8)
 //	dpibench -figure 7 -tsv       # emit the series as TSV instead of a plot
 //	dpibench -ablation            # depth-2 sweep + adversarial comparison
+//	dpibench -parallel            # engine throughput vs worker count
+//	dpibench -parallel -workers 8 # cap the worker sweep
 //	dpibench -seed 2010           # workload seed (default 2010)
 package main
 
@@ -29,14 +31,24 @@ func main() {
 		figure   = flag.Int("figure", 0, "regenerate one figure (1, 2, 6, 7 or 8; 1 emits DOT)")
 		all      = flag.Bool("all", false, "regenerate every table and figure")
 		ablation = flag.Bool("ablation", false, "run the ablation experiments")
+		parallel = flag.Bool("parallel", false, "measure engine throughput vs worker count")
+		workers  = flag.Int("workers", 0, "max workers for -parallel (0 = NumCPU)")
 		tsv      = flag.Bool("tsv", false, "emit figure series as TSV instead of ASCII plots")
 		seed     = flag.Int64("seed", experiments.DefaultSeed, "workload generation seed")
 		steps    = flag.Int("steps", 10, "clock sweep steps for figures 7/8")
 	)
 	flag.Parse()
-	if !*all && *table == 0 && *figure == 0 && !*ablation {
+	if !*all && *table == 0 && *figure == 0 && !*ablation && !*parallel {
 		flag.Usage()
 		os.Exit(2)
+	}
+	if *parallel {
+		cfg := defaultParallelConfig(*seed)
+		cfg.MaxWorkers = *workers
+		if err := runParallel(os.Stdout, cfg); err != nil {
+			fmt.Fprintln(os.Stderr, "dpibench:", err)
+			os.Exit(1)
+		}
 	}
 	if err := run(os.Stdout, *all, *table, *figure, *ablation, *tsv, *seed, *steps); err != nil {
 		fmt.Fprintln(os.Stderr, "dpibench:", err)

@@ -3,7 +3,41 @@ package main
 import (
 	"strings"
 	"testing"
+	"time"
 )
+
+func TestRunParallelSmall(t *testing.T) {
+	var sb strings.Builder
+	cfg := parallelConfig{
+		Strings: 120, Packets: 8, Bytes: 512, Seed: 2010,
+		MinTime: 5 * time.Millisecond, MaxWorkers: 2,
+	}
+	if err := runParallel(&sb, cfg); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"ENGINE PARALLEL SCAN", "Matcher.FindAll", "Engine.ScanPackets", "Gbps", "Speedup"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWorkerSweepShape(t *testing.T) {
+	got := workerSweep(6)
+	want := []int{1, 2, 4, 6}
+	if len(got) != len(want) {
+		t.Fatalf("workerSweep(6) = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("workerSweep(6) = %v, want %v", got, want)
+		}
+	}
+	if one := workerSweep(1); len(one) != 1 || one[0] != 1 {
+		t.Fatalf("workerSweep(1) = %v", one)
+	}
+}
 
 func TestRunTable1(t *testing.T) {
 	var sb strings.Builder

@@ -1,0 +1,132 @@
+package main
+
+// The -parallel mode measures the software engine layer: aggregate scan
+// throughput of Engine.ScanPackets versus worker count, against the
+// single-scanner FindAll baseline. This is the software analogue of the
+// paper's engines-per-block scaling (6 engines per string matching block,
+// multiple blocks per device) — throughput grows with lanes because every
+// lane shares one read-only automaton.
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"time"
+
+	dpi "repro"
+	"repro/internal/report"
+	"repro/internal/ruleset"
+	"repro/internal/traffic"
+)
+
+// parallelConfig sizes the -parallel sweep; tests shrink it.
+type parallelConfig struct {
+	Strings    int
+	Packets    int
+	Bytes      int
+	Seed       int64
+	MinTime    time.Duration // per-row measurement floor
+	MaxWorkers int           // 0 = NumCPU
+}
+
+func defaultParallelConfig(seed int64) parallelConfig {
+	return parallelConfig{
+		Strings: 634,
+		Packets: 256,
+		Bytes:   4096,
+		Seed:    seed,
+		MinTime: 300 * time.Millisecond,
+	}
+}
+
+// workerSweep returns 1, 2, 4, ... capped at max, always ending on max.
+func workerSweep(max int) []int {
+	var ws []int
+	for w := 1; w < max; w *= 2 {
+		ws = append(ws, w)
+	}
+	return append(ws, max)
+}
+
+// measureGbps repeatedly runs scan (which scans batchBytes) until cfg.MinTime
+// has elapsed and returns the aggregate throughput in Gbps.
+func measureGbps(scan func(), batchBytes int64, minTime time.Duration) float64 {
+	start := time.Now()
+	var scanned int64
+	for time.Since(start) < minTime {
+		scan()
+		scanned += batchBytes
+	}
+	return float64(scanned) * 8 / time.Since(start).Seconds() / 1e9
+}
+
+func runParallel(out io.Writer, cfg parallelConfig) error {
+	rules, err := dpi.GenerateSnortLike(cfg.Strings, cfg.Seed)
+	if err != nil {
+		return err
+	}
+	m, err := dpi.Compile(rules, dpi.Config{})
+	if err != nil {
+		return err
+	}
+	// Rebuild the internal set view from the compiled ruleset itself, so the
+	// traffic generator plants attacks against exactly the patterns the
+	// matcher holds.
+	set := &ruleset.Set{}
+	for id := 0; ; id++ {
+		c := rules.Content(id)
+		if c == nil {
+			break
+		}
+		set.Patterns = append(set.Patterns, ruleset.Pattern{ID: id, Data: c, Name: rules.Name(id)})
+	}
+	pkts, err := traffic.Generate(set, traffic.Config{
+		Packets: cfg.Packets, Bytes: cfg.Bytes, Seed: cfg.Seed,
+		AttackDensity: 1, Profile: traffic.Textual,
+	})
+	if err != nil {
+		return err
+	}
+	payloads := make([][]byte, len(pkts))
+	var batchBytes int64
+	for i, p := range pkts {
+		payloads[i] = p.Payload
+		batchBytes += int64(len(p.Payload))
+	}
+
+	// Every row must produce the same match set; count once from the
+	// baseline and verify each engine configuration against it.
+	wantMatches := 0
+	for _, p := range payloads {
+		wantMatches += len(m.FindAll(p))
+	}
+
+	maxWorkers := cfg.MaxWorkers
+	if maxWorkers <= 0 {
+		maxWorkers = runtime.NumCPU()
+	}
+
+	t := &report.Table{
+		Title: fmt.Sprintf("ENGINE PARALLEL SCAN (%d strings, %d packets x %d B, %d matches/batch)",
+			cfg.Strings, cfg.Packets, cfg.Bytes, wantMatches),
+		Headers: []string{"Approach", "Workers", "Gbps", "Speedup"},
+	}
+
+	baseline := measureGbps(func() {
+		for _, p := range payloads {
+			m.FindAll(p)
+		}
+	}, batchBytes, cfg.MinTime)
+	t.AddRow("Matcher.FindAll", 1, fmt.Sprintf("%.3f", baseline), "1.00x")
+
+	for _, w := range workerSweep(maxWorkers) {
+		e := m.NewEngine(w)
+		if got := len(e.ScanPackets(payloads)); got != wantMatches {
+			return fmt.Errorf("dpibench: engine with %d workers found %d matches, want %d", w, got, wantMatches)
+		}
+		gbps := measureGbps(func() { e.ScanPackets(payloads) }, batchBytes, cfg.MinTime)
+		t.AddRow("Engine.ScanPackets", w, fmt.Sprintf("%.3f", gbps),
+			fmt.Sprintf("%.2fx", gbps/baseline))
+	}
+	return t.Render(out)
+}

@@ -11,17 +11,28 @@
 // all states, leaving each state with only the few pointers the table
 // cannot reproduce.
 //
-// Three layers are exposed:
+// Four layers are exposed:
 //
 //   - Ruleset: fixed-string pattern sets — parse Snort-style content
 //     strings, generate synthetic Snort-like sets, reduce while preserving
 //     the length distribution.
 //   - Matcher: the compressed software automaton — compile a Ruleset and
 //     scan payloads at one transition per byte.
+//   - Engine: concurrent software scan-out mirroring the hardware's
+//     engine/block parallelism — a worker pool with pooled scanner state
+//     over the shared immutable automaton. Engine.ScanPackets shards a
+//     batch of payloads across workers; Engine.Flow gives each concurrent
+//     stream its own scanner registers while sharing the compiled machine.
 //   - Accelerator: a functional model of the paper's FPGA design — packed
 //     324-bit memory images, 6-engine string matching blocks, multi-block
 //     scan-out with throughput, resource and power reporting for the
 //     Cyclone III and Stratix III targets.
+//
+// Match ordering is canonical everywhere: FindAll and Scan order by
+// (End, PatternID); Stream and Flow emit that same sequence incrementally
+// (per-chunk sorted, which is globally sorted because a match surfaces in
+// the chunk holding its final byte); Engine.ScanPackets and
+// Accelerator.ScanPackets order by (PacketID, End, PatternID).
 //
 // Quickstart:
 //

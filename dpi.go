@@ -10,14 +10,42 @@ import (
 )
 
 // Ruleset is an ordered set of fixed-string patterns with stable integer
-// IDs (the hardware's 13-bit "string numbers").
+// IDs (the hardware's 13-bit "string numbers"). Content and ID lookups are
+// index-backed, so building and querying Snort-scale sets (10k+ patterns)
+// stays linear overall.
 type Ruleset struct {
 	set *ruleset.Set
+	// byContent maps pattern bytes to the pattern's index in set.Patterns
+	// (duplicate detection in Add); byID maps pattern ID to the same index
+	// (Name/Content lookups). IDs may be sparse after Reduce.
+	byContent map[string]int
+	byID      map[int]int
+	// nextID is the ID the next Add assigns: one past the largest existing
+	// ID, never a reused one. IDs can be sparse after Reduce, so
+	// len(Patterns) alone could collide with a surviving pattern.
+	nextID int
+}
+
+// newRuleset wraps an internal set and builds the lookup indexes.
+func newRuleset(set *ruleset.Set) *Ruleset {
+	r := &Ruleset{
+		set:       set,
+		byContent: make(map[string]int, len(set.Patterns)),
+		byID:      make(map[int]int, len(set.Patterns)),
+	}
+	for i, p := range set.Patterns {
+		r.byContent[string(p.Data)] = i
+		r.byID[p.ID] = i
+		if p.ID >= r.nextID {
+			r.nextID = p.ID + 1
+		}
+	}
+	return r
 }
 
 // NewRuleset returns an empty ruleset.
 func NewRuleset() *Ruleset {
-	return &Ruleset{set: &ruleset.Set{}}
+	return newRuleset(&ruleset.Set{})
 }
 
 // Add appends a pattern and returns its ID. The content must be non-empty
@@ -26,14 +54,15 @@ func (r *Ruleset) Add(name string, content []byte) (int, error) {
 	if len(content) == 0 {
 		return 0, fmt.Errorf("dpi: empty pattern %q", name)
 	}
-	for _, p := range r.set.Patterns {
-		if string(p.Data) == string(content) {
-			return 0, fmt.Errorf("dpi: duplicate pattern content for %q (already added as %q)", name, p.Name)
-		}
+	if i, dup := r.byContent[string(content)]; dup {
+		return 0, fmt.Errorf("dpi: duplicate pattern content for %q (already added as %q)", name, r.set.Patterns[i].Name)
 	}
-	id := len(r.set.Patterns)
+	id := r.nextID
+	r.nextID++
 	data := make([]byte, len(content))
 	copy(data, content)
+	r.byContent[string(data)] = len(r.set.Patterns)
+	r.byID[id] = len(r.set.Patterns)
 	r.set.Patterns = append(r.set.Patterns, ruleset.Pattern{ID: id, Data: data, Name: name})
 	return id, nil
 }
@@ -64,7 +93,7 @@ func ParseRuleset(rd io.Reader) (*Ruleset, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Ruleset{set: set}, nil
+	return newRuleset(set), nil
 }
 
 // GenerateSnortLike produces a deterministic synthetic ruleset whose
@@ -75,7 +104,7 @@ func GenerateSnortLike(n int, seed int64) (*Ruleset, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Ruleset{set: set}, nil
+	return newRuleset(set), nil
 }
 
 // Reduce samples a subset of n patterns preserving the length distribution
@@ -85,7 +114,7 @@ func (r *Ruleset) Reduce(n int, seed int64) (*Ruleset, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Ruleset{set: set}, nil
+	return newRuleset(set), nil
 }
 
 // Len returns the number of patterns.
@@ -96,24 +125,22 @@ func (r *Ruleset) CharCount() int { return r.set.CharCount() }
 
 // Name returns the name of pattern id, or "" if unknown.
 func (r *Ruleset) Name(id int) string {
-	for _, p := range r.set.Patterns {
-		if p.ID == id {
-			return p.Name
-		}
+	if i, ok := r.byID[id]; ok {
+		return r.set.Patterns[i].Name
 	}
 	return ""
 }
 
 // Content returns the bytes of pattern id, or nil if unknown.
 func (r *Ruleset) Content(id int) []byte {
-	for _, p := range r.set.Patterns {
-		if p.ID == id {
-			out := make([]byte, len(p.Data))
-			copy(out, p.Data)
-			return out
-		}
+	i, ok := r.byID[id]
+	if !ok {
+		return nil
 	}
-	return nil
+	p := r.set.Patterns[i]
+	out := make([]byte, len(p.Data))
+	copy(out, p.Data)
+	return out
 }
 
 // Write renders the ruleset in ParseRuleset format.
@@ -157,11 +184,17 @@ type Match struct {
 	PacketID  int
 }
 
-// Matcher is a compiled, compressed pattern matcher.
+// Matcher is a compiled, compressed pattern matcher. A Matcher is immutable
+// after Compile and safe for concurrent use; the per-scan state lives in
+// Streams, Flows and engine workers.
 type Matcher struct {
 	rules   *Ruleset
 	grouped *core.Grouped
 	cfg     Config
+	// patLen[id] is the byte length of pattern id, 0 for unused IDs. IDs are
+	// bounded by the 13-bit hardware string-number range, so a dense slice
+	// beats the per-match linear search over group machines.
+	patLen []int32
 }
 
 // Compile builds the compressed automaton (or automata, if cfg.Groups > 1)
@@ -178,7 +211,17 @@ func Compile(r *Ruleset, cfg Config) (*Matcher, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Matcher{rules: r, grouped: g, cfg: cfg}, nil
+	maxID := 0
+	for _, p := range r.set.Patterns {
+		if p.ID > maxID {
+			maxID = p.ID
+		}
+	}
+	patLen := make([]int32, maxID+1)
+	for _, p := range r.set.Patterns {
+		patLen[p.ID] = int32(len(p.Data))
+	}
+	return &Matcher{rules: r, grouped: g, cfg: cfg, patLen: patLen}, nil
 }
 
 // Rules returns the matcher's ruleset.
@@ -192,11 +235,8 @@ func acMatch(id int32, end int) ac.Match {
 
 func (m *Matcher) convert(am ac.Match, packetID int) Match {
 	length := 0
-	for _, machine := range m.grouped.Machines {
-		if l := machine.Trie.PatternLen(am.PatternID); l > 0 {
-			length = l
-			break
-		}
+	if int(am.PatternID) < len(m.patLen) {
+		length = int(m.patLen[am.PatternID])
 	}
 	return Match{
 		PatternID: int(am.PatternID),
@@ -206,7 +246,8 @@ func (m *Matcher) convert(am ac.Match, packetID int) Match {
 	}
 }
 
-// FindAll scans one payload and returns every match, ordered by end offset.
+// FindAll scans one payload and returns every match in canonical order:
+// ascending End, ties broken by ascending PatternID.
 func (m *Matcher) FindAll(payload []byte) []Match {
 	raw := m.grouped.FindAll(payload)
 	out := make([]Match, len(raw))
@@ -216,12 +257,13 @@ func (m *Matcher) FindAll(payload []byte) []Match {
 	return out
 }
 
-// Scan streams matches to fn as they are found, one automaton transition
-// per input byte per group machine.
+// Scan streams matches to fn, one automaton transition per input byte per
+// group machine. Emission order is canonical and identical to FindAll —
+// ascending End, ties by ascending PatternID — regardless of how the
+// ruleset is split across group machines.
 func (m *Matcher) Scan(payload []byte, fn func(Match)) {
-	for _, machine := range m.grouped.Machines {
-		sc := machine.NewScanner()
-		sc.Scan(payload, func(am ac.Match) { fn(m.convert(am, -1)) })
+	for _, am := range m.grouped.FindAll(payload) {
+		fn(m.convert(am, -1))
 	}
 }
 

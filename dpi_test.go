@@ -201,6 +201,45 @@ func TestReducePublicAPI(t *testing.T) {
 	}
 }
 
+func TestAddAfterReduceDoesNotReuseIDs(t *testing.T) {
+	// Reduce preserves sparse original IDs; a subsequent Add must mint a
+	// fresh ID, not collide with a survivor whose ID equals Len().
+	rs, err := GenerateSnortLike(400, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	small, err := rs.Reduce(100, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := small.MustAdd("fresh", []byte("a brand new pattern"))
+	for prior := 0; prior < id; prior++ {
+		if small.Name(prior) == "fresh" {
+			t.Fatalf("Add reused surviving ID %d", prior)
+		}
+	}
+	if !bytes.Equal(small.Content(id), []byte("a brand new pattern")) {
+		t.Fatalf("Content(%d) = %q", id, small.Content(id))
+	}
+	m, err := Compile(small, Config{})
+	if err != nil {
+		t.Fatalf("compile after reduce+add: %v", err)
+	}
+	got := m.FindAll([]byte("xx a brand new pattern yy"))
+	found := false
+	for _, mt := range got {
+		if mt.PatternID == id {
+			if mt.Start != 3 || mt.End != 3+len("a brand new pattern") {
+				t.Fatalf("match offsets %+v", mt)
+			}
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("added pattern not matched: %v", got)
+	}
+}
+
 func TestAcceleratorEndToEnd(t *testing.T) {
 	rs, err := GenerateSnortLike(600, 31)
 	if err != nil {

@@ -1,0 +1,111 @@
+package dpi
+
+import (
+	"fmt"
+
+	"repro/internal/engine"
+)
+
+// Engine scans many packets and flows concurrently over one compiled
+// Matcher, the software mirror of the paper's hardware parallelism: 6
+// engines per string matching block and multiple blocks per device all
+// read the same block memory (§IV.B). Here every worker and every flow
+// shares the Matcher's immutable automaton and carries only its own
+// scanner registers (current state plus 2-byte history), so concurrency
+// costs per-lane state, never per-lane automata.
+//
+// An Engine is safe for concurrent use: ScanPackets may be called from
+// many goroutines at once and flows may be opened and written
+// concurrently. Each individual Flow is single-goroutine, like the socket
+// it shadows.
+type Engine struct {
+	m   *Matcher
+	eng *engine.Engine
+}
+
+// NewEngine returns an engine with the given batch worker-pool size.
+// workers <= 0 selects one worker per available core (GOMAXPROCS).
+func (m *Matcher) NewEngine(workers int) *Engine {
+	return &Engine{m: m, eng: engine.New(m.grouped, workers)}
+}
+
+// Workers returns the batch worker-pool size.
+func (e *Engine) Workers() int { return e.eng.Workers() }
+
+// ScanPackets scans each payload as an independent packet, sharding the
+// batch across the worker pool, and returns all matches in canonical order:
+// ascending PacketID, then (End, PatternID). The matches for packet i are
+// exactly FindAll(payloads[i]) with PacketID set to i — the same guarantee
+// (and the same order) as Accelerator.ScanPackets.
+func (e *Engine) ScanPackets(payloads [][]byte) []Match {
+	per := e.eng.ScanPackets(payloads)
+	total := 0
+	for _, ms := range per {
+		total += len(ms)
+	}
+	out := make([]Match, 0, total)
+	for pid, ms := range per {
+		for _, am := range ms {
+			out = append(out, e.m.convert(am, pid))
+		}
+	}
+	return out
+}
+
+// Flow is a streaming scan bound to one concurrent stream: it has the
+// Stream API (io.Writer, Reset, Consumed) but checks its scanner state out
+// of the engine's shared pool, so opening and closing flows at connection
+// rate does not allocate in steady state. Close must be called when the
+// flow ends; a Flow is not safe for concurrent use.
+type Flow struct {
+	e    *Engine
+	f    *engine.Flow
+	emit func(Match)
+}
+
+// Flow opens a new per-flow scan that calls emit for every match. Matches
+// found within one Write are emitted sorted by (End, PatternID) with
+// offsets relative to the start of the flow; as with Stream, the emission
+// sequence across Writes equals FindAll of the concatenated stream.
+func (e *Engine) Flow(emit func(Match)) *Flow {
+	return &Flow{e: e, f: e.eng.Flow(), emit: emit}
+}
+
+// Write consumes the next chunk of the flow's payload. It implements
+// io.Writer and never fails while the flow is open; writing to a closed
+// flow returns an error.
+func (f *Flow) Write(p []byte) (int, error) {
+	if f.f == nil {
+		return 0, fmt.Errorf("dpi: write to closed Flow")
+	}
+	for _, am := range f.f.Write(p) {
+		f.emit(f.e.m.convert(am, -1))
+	}
+	return len(p), nil
+}
+
+// Reset rewinds the flow to start-of-packet: automaton states and the
+// 2-byte histories are cleared, and offsets restart at zero.
+func (f *Flow) Reset() {
+	if f.f != nil {
+		f.f.Reset()
+	}
+}
+
+// Consumed returns the bytes scanned since the flow was opened or Reset.
+func (f *Flow) Consumed() int {
+	if f.f == nil {
+		return 0
+	}
+	return f.f.Consumed()
+}
+
+// Close returns the flow's scanner state to the engine pool. Closing twice
+// is a no-op.
+func (f *Flow) Close() error {
+	if f.f != nil {
+		f.f.Close()
+		f.f = nil
+	}
+	return nil
+}

@@ -1,0 +1,324 @@
+package dpi
+
+// Concurrency and ordering tests for the engine layer: batched ScanPackets
+// across the worker pool, concurrent Flow writers, and the canonical
+// match-order guarantees shared by FindAll, Scan, Stream and Engine. Run
+// with -race to exercise the shared-automaton paths.
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/ruleset"
+	"repro/internal/traffic"
+)
+
+// enginePayloads builds a deterministic attack-laden workload over rules.
+func enginePayloads(t testing.TB, rules *Ruleset, packets, bytes int) [][]byte {
+	t.Helper()
+	set := &ruleset.Set{}
+	for id := 0; ; id++ {
+		c := rules.Content(id)
+		if c == nil {
+			break
+		}
+		set.Patterns = append(set.Patterns, ruleset.Pattern{ID: id, Data: c, Name: rules.Name(id)})
+	}
+	pkts, err := traffic.Generate(set, traffic.Config{
+		Packets: packets, Bytes: bytes, Seed: 17, AttackDensity: 2, Profile: traffic.Textual,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	payloads := make([][]byte, len(pkts))
+	for i, p := range pkts {
+		payloads[i] = p.Payload
+	}
+	return payloads
+}
+
+func engineMatcher(t testing.TB, groups int) (*Matcher, [][]byte) {
+	t.Helper()
+	rules, err := GenerateSnortLike(500, 23)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := Compile(rules, Config{Groups: groups})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, enginePayloads(t, rules, 24, 1200)
+}
+
+func TestEngineScanPacketsMatchesFindAll(t *testing.T) {
+	for _, groups := range []int{1, 3} {
+		t.Run(fmt.Sprintf("groups=%d", groups), func(t *testing.T) {
+			m, payloads := engineMatcher(t, groups)
+			e := m.NewEngine(4)
+			got := e.ScanPackets(payloads)
+
+			var want []Match
+			total := 0
+			for pid, p := range payloads {
+				for _, mt := range m.FindAll(p) {
+					mt.PacketID = pid
+					want = append(want, mt)
+				}
+				total += len(p)
+			}
+			if total == 0 || len(want) == 0 {
+				t.Fatal("workload produced no matches; test is vacuous")
+			}
+			if len(got) != len(want) {
+				t.Fatalf("engine found %d matches, FindAll %d", len(got), len(want))
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("match %d: engine %+v, FindAll %+v", i, got[i], want[i])
+				}
+			}
+		})
+	}
+}
+
+func TestEngineScanPacketsCanonicalOrder(t *testing.T) {
+	m, payloads := engineMatcher(t, 2)
+	got := m.NewEngine(8).ScanPackets(payloads)
+	for i := 1; i < len(got); i++ {
+		a, b := got[i-1], got[i]
+		inOrder := a.PacketID < b.PacketID ||
+			(a.PacketID == b.PacketID && (a.End < b.End ||
+				(a.End == b.End && a.PatternID <= b.PatternID)))
+		if !inOrder {
+			t.Fatalf("matches %d..%d out of canonical order: %+v then %+v", i-1, i, a, b)
+		}
+	}
+}
+
+func TestEngineEmptyAndTinyBatches(t *testing.T) {
+	m, payloads := engineMatcher(t, 1)
+	e := m.NewEngine(8)
+	if got := e.ScanPackets(nil); len(got) != 0 {
+		t.Fatalf("nil batch produced matches: %v", got)
+	}
+	if got := e.ScanPackets([][]byte{nil, {}}); len(got) != 0 {
+		t.Fatalf("empty payloads produced matches: %v", got)
+	}
+	// A 1-packet batch must not deadlock or skew ordering with 8 workers.
+	one := e.ScanPackets(payloads[:1])
+	want := m.FindAll(payloads[0])
+	if len(one) != len(want) {
+		t.Fatalf("1-packet batch found %d, FindAll %d", len(one), len(want))
+	}
+}
+
+func TestEngineScanPacketsConcurrentCallers(t *testing.T) {
+	m, payloads := engineMatcher(t, 2)
+	e := m.NewEngine(0)
+	want := e.ScanPackets(payloads)
+	var wg sync.WaitGroup
+	errs := make(chan string, 8)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			got := e.ScanPackets(payloads)
+			if len(got) != len(want) {
+				errs <- fmt.Sprintf("concurrent caller found %d matches, want %d", len(got), len(want))
+				return
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					errs <- fmt.Sprintf("concurrent caller match %d = %+v, want %+v", i, got[i], want[i])
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Fatal(e)
+	}
+}
+
+func TestEngineConcurrentFlows(t *testing.T) {
+	m, payloads := engineMatcher(t, 2)
+	e := m.NewEngine(0)
+	var wg sync.WaitGroup
+	errs := make(chan string, len(payloads))
+	for pid, payload := range payloads {
+		wg.Add(1)
+		go func(pid int, payload []byte) {
+			defer wg.Done()
+			var got []Match
+			f := e.Flow(func(mt Match) { got = append(got, mt) })
+			defer f.Close()
+			// Deliver in uneven chunks to cross scanner-state boundaries.
+			for off := 0; off < len(payload); {
+				n := 1 + (off*7+pid)%97
+				if off+n > len(payload) {
+					n = len(payload) - off
+				}
+				if _, err := f.Write(payload[off : off+n]); err != nil {
+					errs <- err.Error()
+					return
+				}
+				off += n
+			}
+			if f.Consumed() != len(payload) {
+				errs <- fmt.Sprintf("flow %d consumed %d of %d", pid, f.Consumed(), len(payload))
+				return
+			}
+			want := m.FindAll(payload)
+			if len(got) != len(want) {
+				errs <- fmt.Sprintf("flow %d found %d matches, FindAll %d", pid, len(got), len(want))
+				return
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					errs <- fmt.Sprintf("flow %d match %d = %+v, want %+v", pid, i, got[i], want[i])
+					return
+				}
+			}
+		}(pid, payload)
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Fatal(e)
+	}
+}
+
+func TestFlowResetAndClose(t *testing.T) {
+	rules := NewRuleset()
+	rules.MustAdd("p", []byte("xyz"))
+	m, err := Compile(rules, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := m.NewEngine(1)
+	var got []Match
+	f := e.Flow(func(mt Match) { got = append(got, mt) })
+	f.Write([]byte("xy"))
+	f.Reset() // packet boundary: partial "xy" must not combine with "z"
+	f.Write([]byte("z"))
+	if len(got) != 0 {
+		t.Fatalf("cross-packet match: %v", got)
+	}
+	if f.Consumed() != 1 {
+		t.Fatalf("consumed = %d after reset", f.Consumed())
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("xyz")); err == nil {
+		t.Fatal("write to closed flow succeeded")
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal("double close errored")
+	}
+	// Pooled state must come back clean for the next flow.
+	got = nil
+	f2 := e.Flow(func(mt Match) { got = append(got, mt) })
+	defer f2.Close()
+	f2.Write([]byte("xyz"))
+	if len(got) != 1 || got[0].Start != 0 || got[0].End != 3 {
+		t.Fatalf("fresh pooled flow matches = %v", got)
+	}
+}
+
+// TestScanStreamOrderEquivalence is the regression test for the ordering
+// bugfix: Scan and Stream must emit the exact FindAll sequence even when
+// the ruleset is split across group machines.
+func TestScanStreamOrderEquivalence(t *testing.T) {
+	m, payloads := engineMatcher(t, 3)
+	for pid, payload := range payloads {
+		want := m.FindAll(payload)
+
+		var scanned []Match
+		m.Scan(payload, func(mt Match) { scanned = append(scanned, mt) })
+		if len(scanned) != len(want) {
+			t.Fatalf("packet %d: Scan emitted %d matches, FindAll %d", pid, len(scanned), len(want))
+		}
+		for i := range scanned {
+			if scanned[i] != want[i] {
+				t.Fatalf("packet %d: Scan match %d = %+v, FindAll %+v", pid, i, scanned[i], want[i])
+			}
+		}
+
+		var streamed []Match
+		s := m.NewStream(func(mt Match) { streamed = append(streamed, mt) })
+		for off := 0; off < len(payload); {
+			n := 1 + (off*13+pid)%61
+			if off+n > len(payload) {
+				n = len(payload) - off
+			}
+			s.Write(payload[off : off+n])
+			off += n
+		}
+		if len(streamed) != len(want) {
+			t.Fatalf("packet %d: Stream emitted %d matches, FindAll %d", pid, len(streamed), len(want))
+		}
+		for i := range streamed {
+			if streamed[i] != want[i] {
+				t.Fatalf("packet %d: Stream match %d = %+v, FindAll %+v", pid, i, streamed[i], want[i])
+			}
+		}
+	}
+}
+
+// TestEngineAgreesWithAccelerator pins the cross-layer guarantee: software
+// engine batch scan-out and the hardware-model accelerator return the same
+// matches in the same canonical order.
+func TestEngineAgreesWithAccelerator(t *testing.T) {
+	rules, err := GenerateSnortLike(600, 31)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := Compile(rules, Config{Groups: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := NewAccelerator(m, Stratix3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payloads := enginePayloads(t, rules, 12, 900)
+	hw, err := a.ScanPackets(payloads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw := m.NewEngine(4).ScanPackets(payloads)
+	if len(hw) != len(sw) {
+		t.Fatalf("accelerator found %d matches, engine %d", len(hw), len(sw))
+	}
+	for i := range hw {
+		if hw[i] != sw[i] {
+			t.Fatalf("match %d: accelerator %+v, engine %+v", i, hw[i], sw[i])
+		}
+	}
+}
+
+func TestRulesetLargeAddAndLookup(t *testing.T) {
+	// 10k adds with per-add duplicate checks; quadratic scans would make
+	// this test conspicuously slow.
+	r := NewRuleset()
+	for i := 0; i < 10000; i++ {
+		r.MustAdd(fmt.Sprintf("r%d", i), []byte(fmt.Sprintf("pattern-%08d", i)))
+	}
+	if r.Len() != 10000 {
+		t.Fatalf("Len = %d", r.Len())
+	}
+	if _, err := r.Add("dup", []byte("pattern-00004567")); err == nil {
+		t.Fatal("duplicate accepted")
+	}
+	if r.Name(9999) != "r9999" {
+		t.Fatalf("Name(9999) = %q", r.Name(9999))
+	}
+	if !bytes.Equal(r.Content(1234), []byte("pattern-00001234")) {
+		t.Fatalf("Content(1234) = %q", r.Content(1234))
+	}
+}

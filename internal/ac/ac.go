@@ -198,6 +198,19 @@ func (t *Trie) EmitOutputs(s int32, end int, fn func(Match)) {
 	}
 }
 
+// AppendOutputs appends a Match to out for every pattern that ends at
+// state s, walking the same own-outputs-plus-fail-chain as EmitOutputs.
+// It is the allocation-free form for hot scan loops: the caller owns the
+// buffer and amortizes its growth across packets.
+func (t *Trie) AppendOutputs(s int32, end int, out []Match) []Match {
+	for cur := s; cur != None; cur = t.Nodes[cur].OutLink {
+		for _, id := range t.Nodes[cur].Out {
+			out = append(out, Match{PatternID: id, End: end})
+		}
+	}
+	return out
+}
+
 // HasOutput reports whether any pattern ends at state s.
 func (t *Trie) HasOutput(s int32) bool {
 	return len(t.Nodes[s].Out) > 0 || t.Nodes[s].OutLink != None

@@ -44,11 +44,12 @@ func BuildGrouped(set *ruleset.Set, groups int, opts Options) (*Grouped, error) 
 }
 
 // FindAll scans data with every group machine and merges the matches in
-// canonical order.
+// canonical (End, PatternID) order. (The engine layer has its own variant
+// over pooled, Reset scanners — internal/engine.scanPacket.)
 func (g *Grouped) FindAll(data []byte) []ac.Match {
 	var out []ac.Match
 	for _, m := range g.Machines {
-		out = append(out, m.FindAll(data)...)
+		out = m.NewScanner().ScanAppend(data, out)
 	}
 	ac.SortMatches(out)
 	return out

@@ -1,0 +1,191 @@
+// Package engine runs many scans concurrently over one shared compressed
+// automaton, mirroring the paper's hardware parallelism in software: an
+// FPGA string matching block holds 6 engines reading the same block memory,
+// and a device holds several blocks (§IV.B). Here the immutable
+// core.Grouped plays the role of the block memory, and a pooled set of
+// Scanners — one per group machine — plays the role of one hardware engine.
+//
+// Two usage shapes are exposed, matching the two ways traffic reaches a
+// DPI system:
+//
+//   - ScanPackets: batch mode. A slice of independent payloads is sharded
+//     across a worker pool; results come back merged in canonical order.
+//   - Flow: streaming mode. Each concurrent TCP/UDP flow gets its own
+//     scanner state (checked out of the pool) while sharing the compiled
+//     automaton, so millions of flows cost per-flow state only, never
+//     per-flow automata.
+package engine
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/ac"
+	"repro/internal/core"
+)
+
+// Engine is a fixed-size worker pool over a shared immutable automaton.
+// The Engine itself is safe for concurrent use: ScanPackets may be called
+// from many goroutines at once, and Flows may be opened and written
+// concurrently (each individual Flow is single-goroutine, like a socket).
+type Engine struct {
+	g       *core.Grouped
+	workers int
+	// scanners pools scanner sets (one Scanner per group machine). A set is
+	// the software analogue of one hardware engine; pooling keeps steady-
+	// state scanning allocation-free however many batches and flows come
+	// and go.
+	scanners sync.Pool
+}
+
+// New builds an engine over g with the given worker-pool size for batch
+// scans. workers <= 0 selects GOMAXPROCS — one lane per available core.
+func New(g *core.Grouped, workers int) *Engine {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	e := &Engine{g: g, workers: workers}
+	e.scanners.New = func() any {
+		set := make([]*core.Scanner, len(g.Machines))
+		for i, m := range g.Machines {
+			set[i] = m.NewScanner()
+		}
+		return set
+	}
+	return e
+}
+
+// Workers returns the batch-scan worker-pool size.
+func (e *Engine) Workers() int { return e.workers }
+
+func (e *Engine) acquire() []*core.Scanner {
+	return e.scanners.Get().([]*core.Scanner)
+}
+
+func (e *Engine) release(set []*core.Scanner) {
+	e.scanners.Put(set)
+}
+
+// scanPacket scans one payload with a fresh (Reset) scanner set into buf
+// (a reusable worker-local buffer) and returns an exact-size copy of the
+// packet's matches in canonical (End, PatternID) order, plus the grown
+// buffer for the next packet.
+func scanPacket(set []*core.Scanner, payload []byte, buf []ac.Match) ([]ac.Match, []ac.Match) {
+	buf = buf[:0]
+	for _, sc := range set {
+		sc.Reset()
+		buf = sc.ScanAppend(payload, buf)
+	}
+	if len(buf) == 0 {
+		return nil, buf
+	}
+	ac.SortMatches(buf)
+	out := make([]ac.Match, len(buf))
+	copy(out, buf)
+	return out, buf
+}
+
+// ScanPackets scans each payload as an independent packet across the
+// worker pool and returns one match slice per payload, each in canonical
+// (End, PatternID) order — element i is exactly what Grouped.FindAll
+// would return for payloads[i]. Packets are handed to workers via a shared
+// counter, so a batch of wildly mixed payload sizes still load-balances.
+func (e *Engine) ScanPackets(payloads [][]byte) [][]ac.Match {
+	results := make([][]ac.Match, len(payloads))
+	if len(payloads) == 0 {
+		return results
+	}
+	workers := e.workers
+	if workers > len(payloads) {
+		workers = len(payloads)
+	}
+	if workers == 1 {
+		set := e.acquire()
+		var buf []ac.Match
+		for i, p := range payloads {
+			results[i], buf = scanPacket(set, p, buf)
+		}
+		e.release(set)
+		return results
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			set := e.acquire()
+			defer e.release(set)
+			var buf []ac.Match
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(payloads) {
+					return
+				}
+				// Workers write disjoint indices; no further synchronization
+				// is needed on results.
+				results[i], buf = scanPacket(set, payloads[i], buf)
+			}
+		}()
+	}
+	wg.Wait()
+	return results
+}
+
+// Flow is the streaming per-flow scan state: one scanner per group machine,
+// checked out of the engine's pool. A Flow is single-goroutine (like the
+// socket it shadows); open one Flow per concurrent stream.
+type Flow struct {
+	e        *Engine
+	scanners []*core.Scanner
+	buf      []ac.Match
+	consumed int
+}
+
+// Flow checks a scanner set out of the pool and returns it as a fresh
+// stream positioned at start-of-packet. Call Close when the flow ends to
+// return the state to the pool.
+func (e *Engine) Flow() *Flow {
+	set := e.acquire()
+	for _, sc := range set {
+		sc.Reset()
+	}
+	return &Flow{e: e, scanners: set}
+}
+
+// Write consumes the next chunk and returns the matches whose final byte
+// lies in this chunk, sorted by (End, PatternID) with End relative to the
+// start of the flow. The returned slice is reused by the next Write; the
+// caller must consume (or copy) it before writing again.
+func (f *Flow) Write(p []byte) []ac.Match {
+	f.buf = f.buf[:0]
+	for _, sc := range f.scanners {
+		f.buf = sc.ScanAppend(p, f.buf)
+	}
+	ac.SortMatches(f.buf)
+	f.consumed += len(p)
+	return f.buf
+}
+
+// Reset rewinds the flow to start-of-packet without returning its scanners
+// to the pool: states and the 2-byte default-rule histories are cleared.
+func (f *Flow) Reset() {
+	for _, sc := range f.scanners {
+		sc.Reset()
+	}
+	f.consumed = 0
+}
+
+// Consumed returns the bytes scanned since the flow was opened or Reset.
+func (f *Flow) Consumed() int { return f.consumed }
+
+// Close returns the flow's scanner state to the engine pool. The Flow must
+// not be used afterwards.
+func (f *Flow) Close() {
+	if f.scanners == nil {
+		return
+	}
+	f.e.release(f.scanners)
+	f.scanners = nil
+}

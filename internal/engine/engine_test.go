@@ -1,0 +1,117 @@
+package engine
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/ac"
+	"repro/internal/core"
+	"repro/internal/ruleset"
+)
+
+func buildGrouped(t testing.TB, n, groups int) *core.Grouped {
+	t.Helper()
+	set, err := ruleset.Generate(ruleset.GenConfig{N: n, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := core.BuildGrouped(set, groups, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func payloadWith(set *ruleset.Set, id int) []byte {
+	for _, p := range set.Patterns {
+		if p.ID == id {
+			return append(append([]byte(".. "), p.Data...), []byte(" ..")...)
+		}
+	}
+	return nil
+}
+
+func TestScanPacketsPerPacketEqualsFindAll(t *testing.T) {
+	g := buildGrouped(t, 300, 2)
+	var payloads [][]byte
+	for id := 0; id < 40; id++ {
+		payloads = append(payloads, payloadWith(g.Sets[id%2], id))
+	}
+	e := New(g, 4)
+	got := e.ScanPackets(payloads)
+	if len(got) != len(payloads) {
+		t.Fatalf("got %d results for %d payloads", len(got), len(payloads))
+	}
+	for i, p := range payloads {
+		want := g.FindAll(p)
+		if !ac.MatchesEqual(append([]ac.Match(nil), got[i]...), want) {
+			t.Fatalf("packet %d: engine %v, FindAll %v", i, got[i], want)
+		}
+	}
+}
+
+func TestWorkerCountsAgree(t *testing.T) {
+	g := buildGrouped(t, 200, 1)
+	var payloads [][]byte
+	for id := 0; id < 17; id++ {
+		payloads = append(payloads, payloadWith(g.Sets[0], id))
+	}
+	want := New(g, 1).ScanPackets(payloads)
+	for _, workers := range []int{2, 3, 8, 64} {
+		got := New(g, workers).ScanPackets(payloads)
+		for i := range want {
+			if fmt.Sprint(got[i]) != fmt.Sprint(want[i]) {
+				t.Fatalf("workers=%d packet %d: %v, want %v", workers, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestFlowPoolReuseIsClean(t *testing.T) {
+	g := buildGrouped(t, 100, 1)
+	e := New(g, 1)
+	target := g.Sets[0].Patterns[0].Data
+
+	// Leave a flow mid-pattern, close it, and ensure the recycled state
+	// does not leak into the next flow.
+	f := e.Flow()
+	f.Write(target[:len(target)-1])
+	f.Close()
+
+	f2 := e.Flow()
+	defer f2.Close()
+	if ms := f2.Write(target[len(target)-1:]); len(ms) != 0 {
+		t.Fatalf("stale pooled scanner state produced matches: %v", ms)
+	}
+}
+
+func TestConcurrentFlowsShareOneAutomaton(t *testing.T) {
+	g := buildGrouped(t, 300, 3)
+	e := New(g, 0)
+	var wg sync.WaitGroup
+	errs := make(chan string, 32)
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			id := i % 60
+			payload := payloadWith(g.Sets[id%3], id)
+			want := g.FindAll(payload)
+			f := e.Flow()
+			defer f.Close()
+			var got []ac.Match
+			for off := 0; off < len(payload); off++ {
+				got = append(got, f.Write(payload[off:off+1])...)
+			}
+			if !ac.MatchesEqual(got, want) {
+				errs <- fmt.Sprintf("flow %d: got %v, want %v", i, got, want)
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Fatal(e)
+	}
+}

@@ -9,10 +9,20 @@ import (
 // analogue of an engine consuming bytes as they arrive from the wire.
 // Matches spanning chunk boundaries are found; offsets are relative to the
 // start of the stream (since the last Reset). Stream implements io.Writer.
+//
+// Ordering guarantee: matches found within one Write call are emitted
+// sorted by (End, PatternID). A match is always discovered in the chunk
+// containing its final byte and chunks arrive in stream order, so the full
+// emission sequence across Writes is exactly the sequence FindAll would
+// return for the concatenated stream.
+//
+// A Stream is not safe for concurrent use; give each concurrent flow its
+// own Stream (or use Engine.Flow, which additionally pools scanner state).
 type Stream struct {
 	m        *Matcher
 	scanners []*core.Scanner
 	emit     func(Match)
+	buf      []ac.Match // per-chunk merge buffer, reused across Writes
 	consumed int
 }
 
@@ -30,12 +40,16 @@ func (m *Matcher) NewStream(emit func(Match)) *Stream {
 // Write consumes the next chunk of payload. It never fails; the error is
 // part of the io.Writer contract. Match offsets emitted by the scanners
 // are already stream-relative because each scanner's position persists
-// across Write calls.
+// across Write calls. Matches for this chunk are emitted in canonical
+// (End, PatternID) order — see the Stream ordering guarantee.
 func (s *Stream) Write(p []byte) (int, error) {
+	s.buf = s.buf[:0]
 	for _, sc := range s.scanners {
-		sc.Scan(p, func(am ac.Match) {
-			s.emit(s.m.convert(am, -1))
-		})
+		s.buf = sc.ScanAppend(p, s.buf)
+	}
+	ac.SortMatches(s.buf)
+	for _, am := range s.buf {
+		s.emit(s.m.convert(am, -1))
 	}
 	s.consumed += len(p)
 	return len(p), nil
