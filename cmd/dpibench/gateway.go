@@ -1,0 +1,180 @@
+package main
+
+// The -gateway mode measures the full NIDS front-end: framed mixed traffic
+// (interleaved TCP flows plus UDP datagrams) pushed through the Gateway's
+// pipelined ingestion — bounded queue, per-flow lanes over the 5-tuple flow
+// table, burst batching — versus worker count, with a final row in the
+// eviction-churn regime (flow table much smaller than the offered flow
+// count). Every full-capacity row is verified against the per-flow FindAll
+// oracle before it is timed.
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"time"
+
+	dpi "repro"
+	"repro/internal/report"
+	"repro/internal/traffic"
+)
+
+// gatewayBenchConfig sizes the -gateway sweep; tests shrink it.
+type gatewayBenchConfig struct {
+	Strings         int
+	Flows           int
+	SegmentsPerFlow int
+	SegmentBytes    int
+	Datagrams       int
+	DatagramBytes   int
+	ChurnMaxFlows   int // flow-table cap for the churn row
+	Seed            int64
+	MinTime         time.Duration
+	MaxWorkers      int // 0 = NumCPU
+}
+
+func defaultGatewayConfig(seed int64) gatewayBenchConfig {
+	return gatewayBenchConfig{
+		Strings:         634,
+		Flows:           192,
+		SegmentsPerFlow: 8,
+		SegmentBytes:    1200,
+		Datagrams:       256,
+		DatagramBytes:   600,
+		ChurnMaxFlows:   24,
+		Seed:            seed,
+		MinTime:         300 * time.Millisecond,
+	}
+}
+
+func runGateway(out io.Writer, cfg gatewayBenchConfig) error {
+	rules, err := dpi.GenerateSnortLike(cfg.Strings, cfg.Seed)
+	if err != nil {
+		return err
+	}
+	m, err := dpi.Compile(rules, dpi.Config{})
+	if err != nil {
+		return err
+	}
+	set := rules.InternalSet()
+	w, err := traffic.GenerateFlows(set, traffic.FlowConfig{
+		Flows: cfg.Flows, SegmentsPerFlow: cfg.SegmentsPerFlow, SegmentBytes: cfg.SegmentBytes,
+		Seed: cfg.Seed, CrossDensity: 1, AttackDensity: 0.5, Profile: traffic.Textual,
+	})
+	if err != nil {
+		return err
+	}
+	dgrams, err := traffic.Generate(set, traffic.Config{
+		Packets: cfg.Datagrams, Bytes: cfg.DatagramBytes, Seed: cfg.Seed + 1,
+		AttackDensity: 0.5, Profile: traffic.Uniform,
+	})
+	if err != nil {
+		return err
+	}
+
+	// Pre-build the mixed feed: a datagram between stream segments, so both
+	// pipeline paths stay busy.
+	feed := make([]dpi.GatewayPacket, 0, len(w.Packets)+len(dgrams))
+	var feedBytes int64
+	di := 0
+	for _, p := range w.Packets {
+		if di < len(dgrams) && len(feed)%4 == 3 {
+			tup := dpi.FiveTuple{
+				SrcIP: 0x0a800000 + uint32(di), DstIP: 0x0a000001,
+				SrcPort: uint16(20000 + di%40000), DstPort: 53, Proto: dpi.ProtoUDP,
+			}
+			feed = append(feed, dpi.GatewayPacket{Tuple: tup, Payload: dgrams[di].Payload})
+			feedBytes += int64(len(dgrams[di].Payload))
+			di++
+		}
+		feed = append(feed, dpi.GatewayPacket{Tuple: p.Tuple, Payload: p.Payload})
+		feedBytes += int64(len(p.Payload))
+	}
+
+	// Oracle match count at full flow-table capacity: per-flow FindAll over
+	// reassembled streams plus per-datagram FindAll.
+	want := 0
+	for _, s := range w.Streams {
+		want += len(m.FindAll(s))
+	}
+	for _, d := range dgrams[:di] {
+		want += len(m.FindAll(d.Payload))
+	}
+
+	maxWorkers := cfg.MaxWorkers
+	if maxWorkers <= 0 {
+		maxWorkers = runtime.NumCPU()
+	}
+
+	t := &report.Table{
+		Title: fmt.Sprintf("GATEWAY INGESTION (%d strings, %d flows x %d x %d B + %d UDP x %d B, %d oracle matches)",
+			cfg.Strings, cfg.Flows, cfg.SegmentsPerFlow, cfg.SegmentBytes, di, cfg.DatagramBytes, want),
+		Headers: []string{"Mode", "Workers", "MaxFlows", "Gbps", "Speedup", "Matches", "Evicted"},
+	}
+
+	run := func(workers, maxFlows int) (dpi.GatewayStats, error) {
+		e := m.NewEngine(workers)
+		gw := e.Gateway(dpi.GatewayConfig{
+			MaxFlows: maxFlows, StreamWorkers: workers,
+		}, func(dpi.FlowMatch) {})
+		for _, pkt := range feed {
+			if err := gw.Ingest(pkt); err != nil {
+				return dpi.GatewayStats{}, err
+			}
+		}
+		if err := gw.Close(); err != nil {
+			return dpi.GatewayStats{}, err
+		}
+		return gw.Stats(), nil
+	}
+
+	measure := func(workers, maxFlows int) (float64, dpi.GatewayStats, error) {
+		var last dpi.GatewayStats
+		start := time.Now()
+		var scanned int64
+		for time.Since(start) < cfg.MinTime {
+			st, err := run(workers, maxFlows)
+			if err != nil {
+				return 0, st, err
+			}
+			last = st
+			scanned += feedBytes
+		}
+		return float64(scanned) * 8 / time.Since(start).Seconds() / 1e9, last, nil
+	}
+
+	ample := 2 * cfg.Flows
+	baseline := 0.0
+	for _, workers := range workerSweep(maxWorkers) {
+		// Correctness gate before timing: at full capacity the gateway must
+		// reproduce the oracle exactly.
+		st, err := run(workers, ample)
+		if err != nil {
+			return err
+		}
+		if int(st.Matches) != want {
+			return fmt.Errorf("dpibench: gateway with %d workers found %d matches, oracle %d", workers, st.Matches, want)
+		}
+		gbps, st, err := measure(workers, ample)
+		if err != nil {
+			return err
+		}
+		if baseline == 0 {
+			baseline = gbps
+		}
+		t.AddRow("full-table", workers, ample, fmt.Sprintf("%.3f", gbps),
+			fmt.Sprintf("%.2fx", gbps/baseline), st.Matches, st.FlowsEvicted)
+	}
+	// Churn regime: the table is far smaller than the offered flow count,
+	// so eviction runs constantly and detections may be traded for memory.
+	gbps, st, err := measure(maxWorkers, cfg.ChurnMaxFlows)
+	if err != nil {
+		return err
+	}
+	if st.FlowsEvicted == 0 {
+		return fmt.Errorf("dpibench: churn row evicted no flows (cap %d, %d flows)", cfg.ChurnMaxFlows, cfg.Flows)
+	}
+	t.AddRow("churn", maxWorkers, cfg.ChurnMaxFlows, fmt.Sprintf("%.3f", gbps),
+		fmt.Sprintf("%.2fx", gbps/baseline), st.Matches, st.FlowsEvicted)
+	return t.Render(out)
+}

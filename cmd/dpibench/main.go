@@ -10,6 +10,7 @@
 //	dpibench -ablation            # depth-2 sweep + adversarial comparison
 //	dpibench -parallel            # engine throughput vs worker count
 //	dpibench -parallel -workers 8 # cap the worker sweep
+//	dpibench -gateway             # NIDS gateway ingestion throughput
 //	dpibench -seed 2010           # workload seed (default 2010)
 package main
 
@@ -32,13 +33,14 @@ func main() {
 		all      = flag.Bool("all", false, "regenerate every table and figure")
 		ablation = flag.Bool("ablation", false, "run the ablation experiments")
 		parallel = flag.Bool("parallel", false, "measure engine throughput vs worker count")
-		workers  = flag.Int("workers", 0, "max workers for -parallel (0 = NumCPU)")
+		gateway  = flag.Bool("gateway", false, "measure NIDS gateway ingestion throughput vs worker count")
+		workers  = flag.Int("workers", 0, "max workers for -parallel/-gateway (0 = NumCPU)")
 		tsv      = flag.Bool("tsv", false, "emit figure series as TSV instead of ASCII plots")
 		seed     = flag.Int64("seed", experiments.DefaultSeed, "workload generation seed")
 		steps    = flag.Int("steps", 10, "clock sweep steps for figures 7/8")
 	)
 	flag.Parse()
-	if !*all && *table == 0 && *figure == 0 && !*ablation && !*parallel {
+	if !*all && *table == 0 && *figure == 0 && !*ablation && !*parallel && !*gateway {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -46,6 +48,14 @@ func main() {
 		cfg := defaultParallelConfig(*seed)
 		cfg.MaxWorkers = *workers
 		if err := runParallel(os.Stdout, cfg); err != nil {
+			fmt.Fprintln(os.Stderr, "dpibench:", err)
+			os.Exit(1)
+		}
+	}
+	if *gateway {
+		cfg := defaultGatewayConfig(*seed)
+		cfg.MaxWorkers = *workers
+		if err := runGateway(os.Stdout, cfg); err != nil {
 			fmt.Fprintln(os.Stderr, "dpibench:", err)
 			os.Exit(1)
 		}

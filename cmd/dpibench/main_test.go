@@ -39,6 +39,24 @@ func TestWorkerSweepShape(t *testing.T) {
 	}
 }
 
+func TestRunGatewaySmall(t *testing.T) {
+	var sb strings.Builder
+	cfg := gatewayBenchConfig{
+		Strings: 100, Flows: 12, SegmentsPerFlow: 3, SegmentBytes: 200,
+		Datagrams: 10, DatagramBytes: 150, ChurnMaxFlows: 3, Seed: 2010,
+		MinTime: 5 * time.Millisecond, MaxWorkers: 2,
+	}
+	if err := runGateway(&sb, cfg); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"GATEWAY INGESTION", "full-table", "churn", "Gbps", "Evicted"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q:\n%s", want, out)
+		}
+	}
+}
+
 func TestRunTable1(t *testing.T) {
 	var sb strings.Builder
 	if err := run(&sb, false, 1, 0, false, false, 2010, 4); err != nil {

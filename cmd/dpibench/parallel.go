@@ -15,7 +15,6 @@ import (
 
 	dpi "repro"
 	"repro/internal/report"
-	"repro/internal/ruleset"
 	"repro/internal/traffic"
 )
 
@@ -69,18 +68,9 @@ func runParallel(out io.Writer, cfg parallelConfig) error {
 	if err != nil {
 		return err
 	}
-	// Rebuild the internal set view from the compiled ruleset itself, so the
-	// traffic generator plants attacks against exactly the patterns the
+	// The traffic generator plants attacks against exactly the patterns the
 	// matcher holds.
-	set := &ruleset.Set{}
-	for id := 0; ; id++ {
-		c := rules.Content(id)
-		if c == nil {
-			break
-		}
-		set.Patterns = append(set.Patterns, ruleset.Pattern{ID: id, Data: c, Name: rules.Name(id)})
-	}
-	pkts, err := traffic.Generate(set, traffic.Config{
+	pkts, err := traffic.Generate(rules.InternalSet(), traffic.Config{
 		Packets: cfg.Packets, Bytes: cfg.Bytes, Seed: cfg.Seed,
 		AttackDensity: 1, Profile: traffic.Textual,
 	})

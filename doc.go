@@ -11,7 +11,7 @@
 // all states, leaving each state with only the few pointers the table
 // cannot reproduce.
 //
-// Four layers are exposed:
+// Five layers are exposed:
 //
 //   - Ruleset: fixed-string pattern sets — parse Snort-style content
 //     strings, generate synthetic Snort-like sets, reduce while preserving
@@ -23,6 +23,16 @@
 //     over the shared immutable automaton. Engine.ScanPackets shards a
 //     batch of payloads across workers; Engine.Flow gives each concurrent
 //     stream its own scanner registers while sharing the compiled machine.
+//   - Gateway: the NIDS front-end the paper deploys — pipelined packet
+//     ingestion (Ingest, or framed feeds via IngestReader) behind a bounded
+//     queue whose fullness is the backpressure contract. Non-TCP packets
+//     are batched into Engine.ScanPackets-sized bursts; TCP packets are
+//     demultiplexed through a sharded 5-tuple flow table into per-flow
+//     scanner state pinned to hash-chosen lanes, so matches spanning
+//     segment boundaries survive demultiplexing. Flow state is pooled and
+//     bounded: least-recently-active flows are evicted at the MaxFlows cap
+//     and after IdleTimeout logical ticks (time measured in packets), and
+//     an evicted-then-recreated flow always starts from clean state.
 //   - Accelerator: a functional model of the paper's FPGA design — packed
 //     324-bit memory images, 6-engine string matching blocks, multi-block
 //     scan-out with throughput, resource and power reporting for the

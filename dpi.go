@@ -120,6 +120,14 @@ func (r *Ruleset) Reduce(n int, seed int64) (*Ruleset, error) {
 // Len returns the number of patterns.
 func (r *Ruleset) Len() int { return r.set.Len() }
 
+// InternalSet exposes the ruleset's underlying pattern set for in-module
+// tooling: cmd/, examples/ and the test suites hand it to the
+// internal/traffic generators so attacks are planted against exactly the
+// patterns the matcher holds. The type lives in an internal package, so
+// importers outside this module cannot use it; treat the returned set as
+// read-only.
+func (r *Ruleset) InternalSet() *ruleset.Set { return r.set }
+
 // CharCount returns the total pattern bytes.
 func (r *Ruleset) CharCount() int { return r.set.CharCount() }
 

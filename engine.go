@@ -32,6 +32,9 @@ func (m *Matcher) NewEngine(workers int) *Engine {
 // Workers returns the batch worker-pool size.
 func (e *Engine) Workers() int { return e.eng.Workers() }
 
+// Matcher returns the compiled matcher the engine scans with.
+func (e *Engine) Matcher() *Matcher { return e.m }
+
 // ScanPackets scans each payload as an independent packet, sharding the
 // batch across the worker pool, and returns all matches in canonical order:
 // ascending PacketID, then (End, PatternID). The matches for packet i are
@@ -73,13 +76,23 @@ func (e *Engine) Flow(emit func(Match)) *Flow {
 
 // Write consumes the next chunk of the flow's payload. It implements
 // io.Writer and never fails while the flow is open; writing to a closed
-// flow returns an error.
+// flow returns an error. Emitted matches carry PacketID -1; use
+// WritePacket to attribute matches to an ingest sequence number.
 func (f *Flow) Write(p []byte) (int, error) {
+	return f.WritePacket(p, -1)
+}
+
+// WritePacket is Write with match attribution: matches whose final byte
+// lies in p are emitted with PacketID set to packetID. A demultiplexer
+// feeding reassembled segments through per-flow state uses this to report
+// which ingested packet completed a (possibly cross-packet) match, while
+// Start/End stay flow-relative; the Gateway's stream path is built on it.
+func (f *Flow) WritePacket(p []byte, packetID int) (int, error) {
 	if f.f == nil {
 		return 0, fmt.Errorf("dpi: write to closed Flow")
 	}
 	for _, am := range f.f.Write(p) {
-		f.emit(f.e.m.convert(am, -1))
+		f.emit(f.e.m.convert(am, packetID))
 	}
 	return len(p), nil
 }

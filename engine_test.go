@@ -11,22 +11,13 @@ import (
 	"sync"
 	"testing"
 
-	"repro/internal/ruleset"
 	"repro/internal/traffic"
 )
 
 // enginePayloads builds a deterministic attack-laden workload over rules.
 func enginePayloads(t testing.TB, rules *Ruleset, packets, bytes int) [][]byte {
 	t.Helper()
-	set := &ruleset.Set{}
-	for id := 0; ; id++ {
-		c := rules.Content(id)
-		if c == nil {
-			break
-		}
-		set.Patterns = append(set.Patterns, ruleset.Pattern{ID: id, Data: c, Name: rules.Name(id)})
-	}
-	pkts, err := traffic.Generate(set, traffic.Config{
+	pkts, err := traffic.Generate(rules.InternalSet(), traffic.Config{
 		Packets: packets, Bytes: bytes, Seed: 17, AttackDensity: 2, Profile: traffic.Textual,
 	})
 	if err != nil {
@@ -299,6 +290,96 @@ func TestEngineAgreesWithAccelerator(t *testing.T) {
 		if hw[i] != sw[i] {
 			t.Fatalf("match %d: accelerator %+v, engine %+v", i, hw[i], sw[i])
 		}
+	}
+}
+
+// TestScanAPIEquivalenceProperty is the FindAll-equivalence contract as a
+// property over randomized rulesets: for any compiled ruleset and any
+// packet batch, Engine.ScanPackets, Accelerator.ScanPackets and per-packet
+// Flow writes must produce the identical match multiset in the identical
+// canonical (PacketID, End, PatternID) order as the FindAll oracle.
+func TestScanAPIEquivalenceProperty(t *testing.T) {
+	profiles := []traffic.Profile{traffic.Uniform, traffic.Textual, traffic.Zeroish}
+	for trial := 0; trial < 6; trial++ {
+		trial := trial
+		t.Run(fmt.Sprintf("trial=%d", trial), func(t *testing.T) {
+			seed := int64(1000 + 37*trial)
+			rules, err := GenerateSnortLike(80+40*trial, seed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			groups := 1 + trial%3
+			m, err := Compile(rules, Config{Groups: groups})
+			if err != nil {
+				t.Fatal(err)
+			}
+			pkts, err := traffic.Generate(rules.InternalSet(), traffic.Config{
+				Packets: 10, Bytes: 300 + 50*trial, Seed: seed,
+				AttackDensity: 1.5, Profile: profiles[trial%len(profiles)],
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			payloads := make([][]byte, len(pkts))
+			for i, p := range pkts {
+				payloads[i] = p.Payload
+			}
+
+			// Oracle: FindAll per payload, stamped with the packet index.
+			var want []Match
+			for pid, p := range payloads {
+				for _, mt := range m.FindAll(p) {
+					mt.PacketID = pid
+					want = append(want, mt)
+				}
+			}
+
+			check := func(api string, got []Match) {
+				t.Helper()
+				if len(got) != len(want) {
+					t.Fatalf("%s: %d matches, oracle %d", api, len(got), len(want))
+				}
+				for i := range got {
+					if got[i] != want[i] {
+						t.Fatalf("%s: match %d = %+v, oracle %+v", api, i, got[i], want[i])
+					}
+				}
+			}
+
+			check("Engine.ScanPackets", m.NewEngine(1+trial%4).ScanPackets(payloads))
+
+			a, err := NewAccelerator(m, Stratix3)
+			if err != nil {
+				t.Fatal(err)
+			}
+			hw, err := a.ScanPackets(payloads)
+			if err != nil {
+				t.Fatal(err)
+			}
+			check("Accelerator.ScanPackets", hw)
+
+			// Per-packet Flow writes: one pooled flow, Reset between
+			// packets, payload delivered in uneven chunks, matches stamped
+			// with the packet index via WritePacket.
+			e := m.NewEngine(2)
+			var flowed []Match
+			f := e.Flow(func(mt Match) { flowed = append(flowed, mt) })
+			for pid, p := range payloads {
+				for off := 0; off < len(p); {
+					n := 1 + (off*11+pid+trial)%73
+					if off+n > len(p) {
+						n = len(p) - off
+					}
+					if _, err := f.WritePacket(p[off:off+n], pid); err != nil {
+						t.Fatal(err)
+					}
+					off += n
+				}
+				f.Reset()
+			}
+			f.Close()
+			check("Flow.WritePacket", flowed)
+		})
 	}
 }
 

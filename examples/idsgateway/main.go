@@ -1,7 +1,11 @@
-// idsgateway simulates the paper's deployment scenario: an intrusion
-// detection accelerator on an edge router scanning mixed traffic against a
-// large Snort-like ruleset, using the full hardware model — grouped block
-// images on a Stratix III with 6 string matching blocks.
+// idsgateway simulates the paper's deployment scenario end to end: an
+// intrusion detection accelerator on an edge router scanning mixed traffic
+// against a large Snort-like ruleset — now fronted by the real gateway
+// layer. Interleaved TCP connections are demultiplexed through the flow
+// table (bounded live-flow state, LRU + idle eviction), UDP datagrams are
+// batched into engine bursts, and cross-packet attacks that straddle TCP
+// segment boundaries are still caught because each flow carries its scanner
+// registers between packets.
 //
 //	go run ./examples/idsgateway
 package main
@@ -9,15 +13,15 @@ package main
 import (
 	"fmt"
 	"log"
+	"sync"
 
 	dpi "repro"
-	"repro/internal/ruleset"
 	"repro/internal/traffic"
 )
 
 func main() {
 	// A ruleset too large for one block: split across 2 groups, giving 3
-	// concurrent packet sets on the Stratix III (22.1 Gbps, Table II).
+	// concurrent packet sets on the Stratix III (Table II).
 	rules, err := dpi.GenerateSnortLike(1603, 2010)
 	if err != nil {
 		log.Fatal(err)
@@ -31,86 +35,74 @@ func main() {
 		log.Fatal(err)
 	}
 	rep := accel.Report()
-	fmt.Printf("%s: %d blocks as %d sets × %d groups\n",
-		rep.Device, rep.Blocks, rep.ConcurrentSets, rep.Groups)
-	fmt.Printf("  line rate %.1f Gbps, %d B on-chip search structures (%.0f%% word fill), max %.2f W\n",
-		rep.ThroughputGbps, rep.MemoryBytes, 100*rep.FillRatio, rep.MaxPowerW)
+	fmt.Printf("%s: %d blocks as %d sets × %d groups, line rate %.1f Gbps, max %.2f W\n",
+		rep.Device, rep.Blocks, rep.ConcurrentSets, rep.Groups, rep.ThroughputGbps, rep.MaxPowerW)
 
-	// Mixed traffic: mostly clean HTTP-ish packets, some carrying attacks.
-	// (Examples live inside the module, so the traffic generator's internal
-	// pattern-set type is available; external users would bring their own
-	// packets.)
-	set := &ruleset.Set{}
-	for id := 0; ; id++ {
-		c := rules.Content(id)
-		if c == nil {
-			break
-		}
-		set.Patterns = append(set.Patterns, ruleset.Pattern{ID: id, Data: c, Name: rules.Name(id)})
-	}
-	packets, err := traffic.Generate(set, traffic.Config{
-		Packets:       60,
-		Bytes:         1400, // MTU-ish payloads
-		Seed:          7,
-		AttackDensity: 0.4,
-		Profile:       traffic.Textual,
+	// Interleaved multi-flow traffic with exact ground truth, including
+	// attacks deliberately split across TCP segment boundaries.
+	w, err := traffic.GenerateFlows(rules.InternalSet(), traffic.FlowConfig{
+		Flows: 120, SegmentsPerFlow: 6, SegmentBytes: 1000,
+		Seed: 7, CrossDensity: 1.2, AttackDensity: 0.5, Profile: traffic.Textual,
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	payloads := make([][]byte, len(packets))
-	infected := 0
-	for i, p := range packets {
-		payloads[i] = p.Payload
-		if len(p.Planted) > 0 {
-			infected++
+	fmt.Printf("gateway ingesting %d TCP segments from %d flows (%d planted attacks straddle segment boundaries)...\n",
+		len(w.Packets), len(w.Tuples), w.CrossPlants())
+
+	// The software gateway: a bounded ingest queue, per-flow lanes over a
+	// 5-tuple flow table, burst batching for stateless packets.
+	var mu sync.Mutex
+	byTuple := map[dpi.FiveTuple][]dpi.Match{}
+	gw := matcher.NewEngine(0).Gateway(dpi.GatewayConfig{MaxFlows: 512}, func(fm dpi.FlowMatch) {
+		mu.Lock()
+		byTuple[fm.Tuple] = append(byTuple[fm.Tuple], fm.Match)
+		mu.Unlock()
+	})
+	for _, p := range w.Packets {
+		if err := gw.Ingest(dpi.GatewayPacket{Tuple: p.Tuple, Payload: p.Payload}); err != nil {
+			log.Fatal(err)
 		}
 	}
-	fmt.Printf("scanning %d packets (%d carrying planted attacks)...\n", len(packets), infected)
-
-	matches, err := accel.ScanPackets(payloads)
-	if err != nil {
+	if err := gw.Close(); err != nil {
 		log.Fatal(err)
 	}
-	// Very short contents (Snort has 1-2 byte ones) fire constantly on
-	// random traffic — real deployments qualify them with header rules.
-	// Flag packets on matches of 4+ bytes.
-	flagged := map[int]bool{}
-	var strong []dpi.Match
-	for _, m := range matches {
-		if m.End-m.Start >= 4 {
-			flagged[m.PacketID] = true
-			strong = append(strong, m)
-		}
-	}
-	fmt.Printf("  %d raw matches; %d of 4+ bytes across %d flagged packets\n",
-		len(matches), len(strong), len(flagged))
+	st := gw.Stats()
+	fmt.Printf("  %d packets (%d KB), %d matches; flows: %d created, %d evicted (table capped at 512)\n",
+		st.Packets, st.Bytes/1024, st.Matches, st.FlowsCreated, st.FlowsEvicted)
 
-	// Every planted attack must be among the raw matches: the matcher is
-	// exhaustive, so zero false negatives by construction.
-	reported := map[[2]int]bool{}
-	for _, m := range matches {
-		reported[[2]int{m.PacketID, m.PatternID}] = true
-	}
-	missed := 0
-	for _, p := range packets {
-		for _, id := range p.Planted {
-			if !reported[[2]int{p.ID, int(id)}] {
-				missed++ // plants can be overwritten by later plants; see below
+	// Ground truth: the matcher is exhaustive and the table is sized for
+	// the offered load, so every planted attack — including the ones split
+	// across TCP segments — must be reported. (Undersize MaxFlows and
+	// mid-stream evictions would trade detections for bounded memory;
+	// `dpibench -gateway` measures that churn regime.)
+	found, lost := 0, 0
+	for f, plants := range w.Planted {
+		reported := map[[2]int]bool{}
+		mu.Lock()
+		for _, m := range byTuple[w.Tuples[f]] {
+			reported[[2]int{m.PatternID, m.End}] = true
+		}
+		mu.Unlock()
+		for _, pl := range plants {
+			if reported[[2]int{int(pl.PatternID), pl.End}] {
+				found++
+			} else {
+				lost++
 			}
 		}
 	}
-	fmt.Printf("  planted-attack detection: %d possibly-overwritten plants unreported\n", missed)
+	fmt.Printf("  planted-attack detection: %d reported, %d lost to flow eviction\n", found, lost)
 
-	for _, m := range strong[:min(5, len(strong))] {
-		fmt.Printf("  e.g. packet %2d [%4d,%4d) rule %q\n",
-			m.PacketID, m.Start, m.End, rules.Name(m.PatternID))
+	// A few named detections.
+	shown := 0
+	for f, tuple := range w.Tuples {
+		for _, m := range byTuple[tuple] {
+			if m.End-m.Start >= 6 && shown < 5 {
+				fmt.Printf("  e.g. flow %3d (%s) [%4d,%4d) rule %q\n",
+					f, tuple, m.Start, m.End, rules.Name(m.PatternID))
+				shown++
+			}
+		}
 	}
-}
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
 }

@@ -1,0 +1,74 @@
+package dpi_test
+
+// Example smoke tests: every examples/* binary must build and run to
+// completion, and go vet must stay clean, so examples can never silently
+// rot as the API moves. CI runs these on every push; `go test -short`
+// skips them to keep the inner loop fast.
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func TestGoVet(t *testing.T) {
+	if testing.Short() {
+		t.Skip("go vet sweep")
+	}
+	out, err := exec.Command("go", "vet", "./...").CombinedOutput()
+	if err != nil {
+		t.Fatalf("go vet: %v\n%s", err, out)
+	}
+}
+
+func TestExamplesBuildAndRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs every example binary")
+	}
+	entries, err := os.ReadDir("examples")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bin := t.TempDir()
+	ran := 0
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		name := e.Name()
+		ran++
+		t.Run(name, func(t *testing.T) {
+			exe := filepath.Join(bin, name)
+			build := exec.Command("go", "build", "-o", exe, "./"+filepath.Join("examples", name))
+			if out, err := build.CombinedOutput(); err != nil {
+				t.Fatalf("build: %v\n%s", err, out)
+			}
+			cmd := exec.Command(exe)
+			done := make(chan struct{})
+			var out []byte
+			var runErr error
+			go func() {
+				out, runErr = cmd.CombinedOutput()
+				close(done)
+			}()
+			select {
+			case <-done:
+			case <-time.After(3 * time.Minute):
+				cmd.Process.Kill()
+				<-done
+				t.Fatalf("example did not finish within 3m\n%s", out)
+			}
+			if runErr != nil {
+				t.Fatalf("run: %v\n%s", runErr, out)
+			}
+			if len(out) == 0 {
+				t.Fatal("example produced no output")
+			}
+		})
+	}
+	if ran == 0 {
+		t.Fatal("no example directories found")
+	}
+}

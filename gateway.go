@@ -1,0 +1,441 @@
+package dpi
+
+// The gateway layer turns the library into the NIDS front-end the paper
+// deploys (§I): packets arrive tagged with their 5-tuple, are demultiplexed
+// into per-connection streams, and every payload byte flows through the
+// shared compressed automaton at one transition per byte. The software
+// pipeline mirrors the hardware's structure — a bounded ingest queue plays
+// the role of the input FIFO, stateless packets are batched into bursts
+// across the engine's worker lanes, and TCP-like packets are pinned to a
+// lane by flow hash so each connection's scanner registers see its bytes in
+// order, exactly as a hardware engine owns a packet stream.
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/ac"
+	"repro/internal/flowtable"
+	"repro/internal/nids"
+)
+
+// FiveTuple is the packet classification header keying flows, shared with
+// the internal NIDS rule model.
+type FiveTuple = nids.FiveTuple
+
+// IP protocol numbers for FiveTuple.Proto.
+const (
+	ProtoAny  = nids.ProtoAny
+	ProtoICMP = nids.ProtoICMP
+	ProtoTCP  = nids.ProtoTCP
+	ProtoUDP  = nids.ProtoUDP
+)
+
+// GatewayPacket is one ingested packet: a payload tagged with its flow's
+// 5-tuple. The Gateway takes ownership of Payload; callers that reuse
+// buffers must copy first.
+type GatewayPacket struct {
+	Tuple   FiveTuple
+	Payload []byte
+}
+
+// FlowMatch is a match attributed to a flow. For stream-routed (TCP)
+// packets, Start/End are offsets into the flow's reassembled byte stream
+// and PacketID is the ingest sequence number of the packet whose bytes
+// completed the match — cross-packet matches carry the sequence number of
+// the finishing segment. For batch-routed packets, Start/End are offsets
+// into that packet's payload and PacketID is its ingest sequence number.
+type FlowMatch struct {
+	Tuple FiveTuple
+	Match
+}
+
+// GatewayConfig sizes the ingest pipeline. The zero value selects sensible
+// defaults throughout.
+type GatewayConfig struct {
+	// BatchPackets is the burst size for stateless (non-TCP) packets: the
+	// collector accumulates up to this many packets before a burst is
+	// scanned by Engine.ScanPackets. Partial bursts flush whenever the
+	// ingest queue goes momentarily idle, so batching never adds unbounded
+	// latency. Default 64.
+	BatchPackets int
+	// QueueDepth bounds the ingest queue; a full queue blocks Ingest,
+	// which is the gateway's backpressure. Default 4*BatchPackets.
+	QueueDepth int
+	// StreamWorkers is the number of per-flow scan lanes. Each flow is
+	// pinned to one lane by tuple hash, so per-flow packet order (and
+	// therefore cross-packet matching) is preserved while distinct flows
+	// scan in parallel. Default Engine.Workers().
+	StreamWorkers int
+	// MaxFlows softly caps live flow state: when exceeded, the
+	// least-recently-active flows are evicted and their scanner state
+	// returns to the engine pool. The live count stays within MaxFlows
+	// plus the table's shard count. Default 65536; negative disables.
+	MaxFlows int
+	// IdleTimeout evicts a flow after this many table-wide stream packets
+	// pass without it seeing one (a logical clock, deterministic and
+	// load-proportional — a line-rate gateway experiences time in packets).
+	// 0 disables idle eviction.
+	IdleTimeout int
+	// FlowShards is the flow table's lock-shard count. Default 64.
+	FlowShards int
+	// MaxFrameBytes caps the payload length IngestReader accepts per
+	// frame, bounding memory against corrupt or hostile feeds. Default 1MiB.
+	MaxFrameBytes int
+}
+
+func (c GatewayConfig) withDefaults(e *Engine) GatewayConfig {
+	if c.BatchPackets <= 0 {
+		c.BatchPackets = 64
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 4 * c.BatchPackets
+	}
+	if c.StreamWorkers <= 0 {
+		c.StreamWorkers = e.Workers()
+	}
+	if c.MaxFlows == 0 {
+		c.MaxFlows = 1 << 16
+	}
+	if c.MaxFlows < 0 {
+		c.MaxFlows = 0
+	}
+	if c.MaxFrameBytes <= 0 {
+		c.MaxFrameBytes = 1 << 20
+	}
+	return c
+}
+
+// GatewayStats is a point-in-time counter snapshot.
+type GatewayStats struct {
+	Packets       uint64 // packets ingested
+	Bytes         uint64 // payload bytes ingested
+	StreamPackets uint64 // routed through per-flow stream state
+	BatchPackets  uint64 // scanned statelessly in bursts
+	Batches       uint64 // bursts handed to Engine.ScanPackets
+	Matches       uint64 // FlowMatches emitted
+	FlowsLive     int
+	FlowsCreated  uint64
+	FlowsEvicted  uint64 // capacity + idle evictions
+}
+
+// Gateway is a pipelined ingestion front-end over an Engine: a bounded
+// ingest queue, a collector that routes packets, per-flow stream lanes fed
+// through a 5-tuple flow table, and a burst scanner for stateless packets.
+//
+//	Ingest ──▶ queue ──▶ collector ──▶ stream lanes (TCP, per-flow state)
+//	                          └──────▶ burst scanner (Engine.ScanPackets)
+//
+// Ingest and IngestReader may be called from multiple goroutines; emit is
+// invoked concurrently (from the stream lanes and the burst scanner) and
+// must be safe for concurrent use. Close drains the pipeline, flushes any
+// partial burst, and returns all flow state to the engine pool.
+type Gateway struct {
+	e    *Engine
+	cfg  GatewayConfig
+	emit func(FlowMatch)
+
+	in      chan seqPacket
+	batchQ  chan []seqPacket
+	streamQ []chan seqPacket
+	table   *flowtable.Table[*Flow]
+
+	mu     sync.RWMutex // guards closed vs in-flight Ingest sends
+	closed bool
+
+	collectorWg sync.WaitGroup
+	workerWg    sync.WaitGroup
+
+	seq      atomic.Uint64
+	inflight atomic.Int64
+	bytes    atomic.Uint64
+	stream   atomic.Uint64
+	batched  atomic.Uint64
+	bursts   atomic.Uint64
+	matches  atomic.Uint64
+}
+
+type seqPacket struct {
+	tuple   FiveTuple
+	payload []byte
+	seq     int
+}
+
+// Gateway starts a pipelined ingestion front-end over the engine. emit
+// receives every match and must be safe for concurrent use. The returned
+// Gateway is running; feed it with Ingest or IngestReader and Close it to
+// drain.
+func (e *Engine) Gateway(cfg GatewayConfig, emit func(FlowMatch)) *Gateway {
+	cfg = cfg.withDefaults(e)
+	g := &Gateway{
+		e:      e,
+		cfg:    cfg,
+		in:     make(chan seqPacket, cfg.QueueDepth),
+		batchQ: make(chan []seqPacket, 2),
+	}
+	g.emit = func(fm FlowMatch) {
+		g.matches.Add(1)
+		emit(fm)
+	}
+	g.table = flowtable.New(flowtable.Config[*Flow]{
+		New: func(k flowtable.Key) *Flow {
+			return e.Flow(func(m Match) { g.emit(FlowMatch{Tuple: k, Match: m}) })
+		},
+		Evict:     func(_ flowtable.Key, f *Flow) { f.Close() },
+		MaxFlows:  cfg.MaxFlows,
+		IdleTicks: uint64(cfg.IdleTimeout),
+		Shards:    cfg.FlowShards,
+	})
+	g.streamQ = make([]chan seqPacket, cfg.StreamWorkers)
+	for w := range g.streamQ {
+		q := make(chan seqPacket, cfg.QueueDepth/cfg.StreamWorkers+1)
+		g.streamQ[w] = q
+		g.workerWg.Add(1)
+		go g.streamWorker(q)
+	}
+	g.workerWg.Add(1)
+	go g.burstScanner()
+	g.collectorWg.Add(1)
+	go g.collect()
+	return g
+}
+
+// Ingest queues one packet, blocking when the pipeline is saturated (the
+// backpressure contract: a caller reading from a NIC or file cannot outrun
+// the scan stages by more than the queue and burst buffers). It returns an
+// error only on a closed gateway.
+func (g *Gateway) Ingest(pkt GatewayPacket) error {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	if g.closed {
+		return fmt.Errorf("dpi: Ingest on closed Gateway")
+	}
+	seq := g.seq.Add(1) - 1
+	g.inflight.Add(1)
+	g.bytes.Add(uint64(len(pkt.Payload)))
+	g.in <- seqPacket{tuple: pkt.Tuple, payload: pkt.Payload, seq: int(seq)}
+	return nil
+}
+
+// Flush blocks until every packet ingested before the call has been
+// scanned (the queue is drained, partial bursts included), making Stats
+// and EvictIdleFlows deterministic checkpoints. Packets ingested
+// concurrently with Flush may keep it waiting.
+func (g *Gateway) Flush() {
+	for g.inflight.Load() != 0 {
+		time.Sleep(50 * time.Microsecond)
+	}
+}
+
+// IngestReader ingests framed packets from r until EOF (see WriteFrame for
+// the frame format) and returns how many packets it ingested. Backpressure
+// propagates to the reader: when the pipeline is saturated, reading pauses.
+func (g *Gateway) IngestReader(r io.Reader) (int, error) {
+	br := bufio.NewReader(r)
+	n := 0
+	for {
+		pkt, err := ReadFrame(br, g.cfg.MaxFrameBytes)
+		if err == io.EOF {
+			return n, nil
+		}
+		if err != nil {
+			return n, err
+		}
+		if err := g.Ingest(pkt); err != nil {
+			return n, err
+		}
+		n++
+	}
+}
+
+// collect is the routing stage: one goroutine drains the ingest queue,
+// sends TCP-like packets to their flow's lane, and accumulates everything
+// else into ScanPackets-sized bursts. A partial burst is flushed whenever
+// the queue goes idle, so batching trades no latency under light load.
+func (g *Gateway) collect() {
+	defer g.collectorWg.Done()
+	defer func() {
+		close(g.batchQ)
+		for _, q := range g.streamQ {
+			close(q)
+		}
+	}()
+	batch := make([]seqPacket, 0, g.cfg.BatchPackets)
+	flush := func() {
+		if len(batch) > 0 {
+			g.batchQ <- batch
+			batch = make([]seqPacket, 0, g.cfg.BatchPackets)
+		}
+	}
+	route := func(p seqPacket) {
+		if p.tuple.Proto == ProtoTCP {
+			g.streamQ[int(p.tuple.Hash64()%uint64(len(g.streamQ)))] <- p
+			return
+		}
+		batch = append(batch, p)
+		if len(batch) >= g.cfg.BatchPackets {
+			flush()
+		}
+	}
+	for {
+		select {
+		case p, ok := <-g.in:
+			if !ok {
+				flush()
+				return
+			}
+			route(p)
+		default:
+			// Queue momentarily idle: don't sit on a partial burst.
+			flush()
+			p, ok := <-g.in
+			if !ok {
+				return
+			}
+			route(p)
+		}
+	}
+}
+
+// streamWorker owns one per-flow lane: every packet of a given flow lands
+// on the same lane (hash-pinned by the collector), so writes into the
+// flow's scanner state are ordered without per-packet locking beyond the
+// flow table's entry lock.
+func (g *Gateway) streamWorker(q <-chan seqPacket) {
+	defer g.workerWg.Done()
+	for p := range q {
+		g.stream.Add(1)
+		g.table.Do(p.tuple, func(f *Flow) {
+			f.WritePacket(p.payload, p.seq)
+		})
+		g.inflight.Add(-1)
+	}
+}
+
+// burstScanner scans stateless bursts with the engine's worker pool,
+// reusing one results buffer across bursts so steady-state batch scanning
+// does not allocate per burst.
+func (g *Gateway) burstScanner() {
+	defer g.workerWg.Done()
+	var buf [][]ac.Match
+	for batch := range g.batchQ {
+		g.bursts.Add(1)
+		g.batched.Add(uint64(len(batch)))
+		payloads := make([][]byte, len(batch))
+		for i, p := range batch {
+			payloads[i] = p.payload
+		}
+		buf = g.e.eng.ScanPacketsInto(payloads, buf)
+		for i, ms := range buf {
+			for _, am := range ms {
+				g.emit(FlowMatch{Tuple: batch[i].tuple, Match: g.e.m.convert(am, batch[i].seq)})
+			}
+		}
+		g.inflight.Add(-int64(len(batch)))
+	}
+}
+
+// Close drains the pipeline: it stops accepting packets, flushes any
+// partial burst, waits for the scan stages to finish, and returns all flow
+// state to the engine pool. Close is idempotent.
+func (g *Gateway) Close() error {
+	g.mu.Lock()
+	if g.closed {
+		g.mu.Unlock()
+		return nil
+	}
+	g.closed = true
+	g.mu.Unlock()
+	close(g.in)
+	g.collectorWg.Wait()
+	g.workerWg.Wait()
+	g.table.Close()
+	return nil
+}
+
+// EvictIdleFlows exhaustively evicts flows beyond the configured
+// IdleTimeout (the pipeline also evicts opportunistically as packets
+// arrive) and returns how many were evicted.
+func (g *Gateway) EvictIdleFlows() int { return g.table.EvictIdle() }
+
+// Stats returns a counter snapshot. It may be called while the gateway is
+// running; counters are monotone but mutually unsynchronized.
+func (g *Gateway) Stats() GatewayStats {
+	ts := g.table.Stats()
+	return GatewayStats{
+		Packets:       g.seq.Load(),
+		Bytes:         g.bytes.Load(),
+		StreamPackets: g.stream.Load(),
+		BatchPackets:  g.batched.Load(),
+		Batches:       g.bursts.Load(),
+		Matches:       g.matches.Load(),
+		FlowsLive:     ts.Live,
+		FlowsCreated:  ts.Created,
+		FlowsEvicted:  ts.EvictedCap + ts.EvictedIdle,
+	}
+}
+
+// Frame format for IngestReader/WriteFrame: a 17-byte big-endian header —
+// SrcIP(4) DstIP(4) SrcPort(2) DstPort(2) Proto(1) PayloadLen(4) —
+// followed by PayloadLen payload bytes.
+const frameHeaderLen = 17
+
+// WriteFrame writes pkt in the gateway's frame format.
+func WriteFrame(w io.Writer, pkt GatewayPacket) error {
+	var hdr [frameHeaderLen]byte
+	binary.BigEndian.PutUint32(hdr[0:], pkt.Tuple.SrcIP)
+	binary.BigEndian.PutUint32(hdr[4:], pkt.Tuple.DstIP)
+	binary.BigEndian.PutUint16(hdr[8:], pkt.Tuple.SrcPort)
+	binary.BigEndian.PutUint16(hdr[10:], pkt.Tuple.DstPort)
+	hdr[12] = pkt.Tuple.Proto
+	binary.BigEndian.PutUint32(hdr[13:], uint32(len(pkt.Payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(pkt.Payload)
+	return err
+}
+
+// ReadFrame reads one framed packet. It returns io.EOF cleanly at a frame
+// boundary and io.ErrUnexpectedEOF on a truncated frame. Frames whose
+// payload exceeds maxPayload are rejected without allocating.
+func ReadFrame(r io.Reader, maxPayload int) (GatewayPacket, error) {
+	var hdr [frameHeaderLen]byte
+	if _, err := io.ReadFull(r, hdr[:1]); err != nil {
+		return GatewayPacket{}, err // io.EOF here is a clean end of feed
+	}
+	if _, err := io.ReadFull(r, hdr[1:]); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return GatewayPacket{}, err
+	}
+	n := binary.BigEndian.Uint32(hdr[13:])
+	if int64(n) > int64(maxPayload) {
+		return GatewayPacket{}, fmt.Errorf("dpi: frame payload %d exceeds limit %d", n, maxPayload)
+	}
+	pkt := GatewayPacket{
+		Tuple: FiveTuple{
+			SrcIP:   binary.BigEndian.Uint32(hdr[0:]),
+			DstIP:   binary.BigEndian.Uint32(hdr[4:]),
+			SrcPort: binary.BigEndian.Uint16(hdr[8:]),
+			DstPort: binary.BigEndian.Uint16(hdr[10:]),
+			Proto:   hdr[12],
+		},
+	}
+	if n > 0 {
+		pkt.Payload = make([]byte, n)
+		if _, err := io.ReadFull(r, pkt.Payload); err != nil {
+			if err == io.EOF {
+				err = io.ErrUnexpectedEOF
+			}
+			return GatewayPacket{}, err
+		}
+	}
+	return pkt, nil
+}

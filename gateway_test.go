@@ -1,0 +1,532 @@
+package dpi
+
+// Gateway tests: demultiplexing correctness against the per-flow FindAll
+// oracle (cross-packet plants included), eviction bounds under 10k-flow
+// churn, framed ingestion, backpressure accounting, and frame-format
+// fuzzing. Run with -race; every interesting path here is concurrent.
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"sync"
+	"testing"
+
+	"repro/internal/ruleset"
+	"repro/internal/traffic"
+)
+
+// collector gathers FlowMatches keyed by tuple; emit is called from
+// several pipeline goroutines, so it locks.
+type collector struct {
+	mu      sync.Mutex
+	byTuple map[FiveTuple][]Match
+}
+
+func newCollector() *collector {
+	return &collector{byTuple: map[FiveTuple][]Match{}}
+}
+
+func (c *collector) emit(fm FlowMatch) {
+	c.mu.Lock()
+	c.byTuple[fm.Tuple] = append(c.byTuple[fm.Tuple], fm.Match)
+	c.mu.Unlock()
+}
+
+// gatewayMatcher compiles a mid-size grouped matcher and returns its
+// internal pattern-set view for the traffic generators.
+func gatewayMatcher(t testing.TB, strings int, groups int) (*Matcher, *ruleset.Set) {
+	t.Helper()
+	rules, err := GenerateSnortLike(strings, 77)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := Compile(rules, Config{Groups: groups})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, rules.InternalSet()
+}
+
+// sameMatchSeq compares got against want ignoring PacketID (the oracle
+// scans whole streams, the gateway attributes segments).
+func sameMatchSeq(got, want []Match) bool {
+	if len(got) != len(want) {
+		return false
+	}
+	for i := range got {
+		if got[i].PatternID != want[i].PatternID || got[i].Start != want[i].Start || got[i].End != want[i].End {
+			return false
+		}
+	}
+	return true
+}
+
+func TestGatewayDemuxMatchesPerFlowOracle(t *testing.T) {
+	m, set := gatewayMatcher(t, 300, 2)
+	w, err := traffic.GenerateFlows(set, traffic.FlowConfig{
+		Flows: 40, SegmentsPerFlow: 6, SegmentBytes: 150, Seed: 11,
+		CrossDensity: 2, AttackDensity: 1, Profile: traffic.Textual,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.CrossPlants() == 0 {
+		t.Fatal("workload has no cross-packet plants; test is vacuous")
+	}
+	c := newCollector()
+	gw := m.NewEngine(4).Gateway(GatewayConfig{StreamWorkers: 3}, c.emit)
+	for _, p := range w.Packets {
+		if err := gw.Ingest(GatewayPacket{Tuple: p.Tuple, Payload: p.Payload}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := gw.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// (flow, seq) -> global ingest sequence number, for PacketID checks.
+	globalSeq := map[[2]int]int{}
+	for i, p := range w.Packets {
+		globalSeq[[2]int{p.FlowID, p.Seq}] = i
+	}
+
+	segBytes := 150
+	matched := 0
+	for f, tuple := range w.Tuples {
+		want := m.FindAll(w.Streams[f])
+		got := c.byTuple[tuple]
+		if !sameMatchSeq(got, want) {
+			t.Fatalf("flow %d: gateway reported %d matches, oracle %d (or order differs)\ngot  %+v\nwant %+v",
+				f, len(got), len(want), got, want)
+		}
+		matched += len(got)
+		// Every match must be attributed to the ingest sequence number of
+		// the segment holding its final byte.
+		for _, mt := range got {
+			seg := (mt.End - 1) / segBytes
+			if wantSeq, ok := globalSeq[[2]int{f, seg}]; !ok || mt.PacketID != wantSeq {
+				t.Fatalf("flow %d match %+v: PacketID %d, want ingest seq %d of segment %d",
+					f, mt, mt.PacketID, wantSeq, seg)
+			}
+		}
+		// Exactly the planted cross-packet matches (and all other plants)
+		// must be present.
+		reported := map[[2]int]bool{}
+		for _, mt := range got {
+			reported[[2]int{mt.PatternID, mt.End}] = true
+		}
+		for _, pl := range w.Planted[f] {
+			if !reported[[2]int{int(pl.PatternID), pl.End}] {
+				t.Fatalf("flow %d: planted pattern %d ending at %d (cross=%v) unreported",
+					f, pl.PatternID, pl.End, pl.CrossPacket)
+			}
+		}
+	}
+	if matched == 0 {
+		t.Fatal("no matches at all; test is vacuous")
+	}
+	st := gw.Stats()
+	if st.Packets != uint64(len(w.Packets)) || st.StreamPackets != st.Packets || st.BatchPackets != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.FlowsCreated != uint64(len(w.Tuples)) || st.FlowsEvicted != 0 || st.FlowsLive != 0 {
+		t.Fatalf("flow accounting after Close: %+v", st)
+	}
+	if st.Matches != uint64(matched) {
+		t.Fatalf("match counter %d, collected %d", st.Matches, matched)
+	}
+}
+
+func TestGatewayMixedProtocolRouting(t *testing.T) {
+	m, set := gatewayMatcher(t, 200, 1)
+	w, err := traffic.GenerateFlows(set, traffic.FlowConfig{
+		Flows: 10, SegmentsPerFlow: 4, SegmentBytes: 120, Seed: 3,
+		CrossDensity: 1, Profile: traffic.Uniform,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dgrams, err := traffic.Generate(set, traffic.Config{
+		Packets: 30, Bytes: 300, Seed: 4, AttackDensity: 1.5, Profile: traffic.Textual,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := newCollector()
+	gw := m.NewEngine(2).Gateway(GatewayConfig{BatchPackets: 8}, c.emit)
+
+	// Interleave: a datagram between stream segments; record each
+	// datagram's ingest seq and distinct UDP tuple.
+	type dgram struct {
+		tuple FiveTuple
+		seq   int
+		data  []byte
+	}
+	var sent []dgram
+	seq := 0
+	di := 0
+	for _, p := range w.Packets {
+		if di < len(dgrams) {
+			tup := FiveTuple{SrcIP: 0x0a000001, DstIP: 0x0a000002, SrcPort: uint16(40000 + di), DstPort: 53, Proto: ProtoUDP}
+			if err := gw.Ingest(GatewayPacket{Tuple: tup, Payload: dgrams[di].Payload}); err != nil {
+				t.Fatal(err)
+			}
+			sent = append(sent, dgram{tuple: tup, seq: seq, data: dgrams[di].Payload})
+			seq++
+			di++
+		}
+		if err := gw.Ingest(GatewayPacket{Tuple: p.Tuple, Payload: p.Payload}); err != nil {
+			t.Fatal(err)
+		}
+		seq++
+	}
+	if err := gw.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Stream side still matches the oracle exactly.
+	for f, tuple := range w.Tuples {
+		if !sameMatchSeq(c.byTuple[tuple], m.FindAll(w.Streams[f])) {
+			t.Fatalf("flow %d diverged from oracle with mixed traffic", f)
+		}
+	}
+	// Each datagram behaves as an independent packet: FindAll of its
+	// payload, attributed to its own tuple and ingest seq.
+	for _, d := range sent {
+		want := m.FindAll(d.data)
+		got := c.byTuple[d.tuple]
+		if !sameMatchSeq(got, want) {
+			t.Fatalf("datagram %v: got %d matches, want %d", d.tuple, len(got), len(want))
+		}
+		for _, mt := range got {
+			if mt.PacketID != d.seq {
+				t.Fatalf("datagram match %+v: PacketID %d, want %d", mt, mt.PacketID, d.seq)
+			}
+		}
+	}
+	st := gw.Stats()
+	if st.BatchPackets != uint64(len(sent)) || st.StreamPackets != uint64(len(w.Packets)) {
+		t.Fatalf("routing stats = %+v", st)
+	}
+	if st.Batches == 0 {
+		t.Fatal("no bursts flushed")
+	}
+}
+
+// TestGatewayChurnKeepsLiveFlowsBounded is the acceptance churn test: 10k
+// flows through a 256-flow table must stay bounded by eviction the whole
+// way through.
+func TestGatewayChurnKeepsLiveFlowsBounded(t *testing.T) {
+	m, set := gatewayMatcher(t, 120, 1)
+	const maxFlows, shards = 256, 16
+	w, err := traffic.GenerateFlows(set, traffic.FlowConfig{
+		Flows: 10000, SegmentsPerFlow: 2, SegmentBytes: 48, Seed: 21,
+		CrossDensity: 0.1, Profile: traffic.Zeroish,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var matches atomic64
+	gw := m.NewEngine(2).Gateway(GatewayConfig{
+		MaxFlows: maxFlows, FlowShards: shards, StreamWorkers: 4,
+	}, func(FlowMatch) { matches.add(1) })
+	peak := 0
+	for i, p := range w.Packets {
+		if err := gw.Ingest(GatewayPacket{Tuple: p.Tuple, Payload: p.Payload}); err != nil {
+			t.Fatal(err)
+		}
+		if i%512 == 0 {
+			if live := gw.Stats().FlowsLive; live > peak {
+				peak = live
+			}
+		}
+	}
+	if err := gw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st := gw.Stats()
+	if live := st.FlowsLive; live != 0 {
+		t.Fatalf("%d flows live after Close", live)
+	}
+	if peak > maxFlows+shards {
+		t.Fatalf("live flows peaked at %d, soft cap is %d", peak, maxFlows+shards)
+	}
+	if st.FlowsEvicted == 0 || st.FlowsCreated < 10000 {
+		t.Fatalf("churn stats = %+v", st)
+	}
+	if st.Packets != 20000 {
+		t.Fatalf("ingested %d packets", st.Packets)
+	}
+}
+
+type atomic64 struct {
+	mu sync.Mutex
+	n  uint64
+}
+
+func (a *atomic64) add(d uint64) { a.mu.Lock(); a.n += d; a.mu.Unlock() }
+
+// TestGatewayEvictedFlowRestartsClean pins the matcher-level consequence
+// of eviction: scanner state does not survive an evict/recreate cycle, so
+// a pattern split around the eviction is (correctly) not matched, while an
+// undisturbed split is.
+func TestGatewayEvictedFlowRestartsClean(t *testing.T) {
+	rules := NewRuleset()
+	rules.MustAdd("split", []byte("abcdef"))
+	m, err := Compile(rules, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := newCollector()
+	// One lane and a 1-flow table make eviction order deterministic.
+	gw := m.NewEngine(1).Gateway(GatewayConfig{
+		MaxFlows: 1, FlowShards: 1, StreamWorkers: 1,
+	}, c.emit)
+	a := FiveTuple{SrcIP: 1, DstIP: 2, SrcPort: 10, DstPort: 80, Proto: ProtoTCP}
+	b := FiveTuple{SrcIP: 3, DstIP: 4, SrcPort: 11, DstPort: 80, Proto: ProtoTCP}
+	ingest := func(tup FiveTuple, s string) {
+		t.Helper()
+		if err := gw.Ingest(GatewayPacket{Tuple: tup, Payload: []byte(s)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ingest(a, "abc")
+	ingest(b, "zz")  // evicts a's half-fed flow
+	ingest(a, "def") // recreated: must NOT complete the split match
+	ingest(a, "abc")
+	ingest(a, "def") // undisturbed split across packets: must match
+	if err := gw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got := c.byTuple[a]
+	if len(got) != 1 {
+		t.Fatalf("matches on recreated flow = %+v, want exactly the undisturbed split", got)
+	}
+	// Offsets are relative to the recreated flow's stream: "def"+"abc"+"def".
+	if got[0].Start != 3 || got[0].End != 9 {
+		t.Fatalf("match offsets = %+v, want [3,9)", got[0])
+	}
+	if st := gw.Stats(); st.FlowsEvicted == 0 {
+		t.Fatalf("no evictions recorded: %+v", st)
+	}
+}
+
+func TestGatewayIngestReaderFrames(t *testing.T) {
+	m, set := gatewayMatcher(t, 150, 1)
+	w, err := traffic.GenerateFlows(set, traffic.FlowConfig{
+		Flows: 8, SegmentsPerFlow: 5, SegmentBytes: 100, Seed: 13,
+		CrossDensity: 1.5, Profile: traffic.Textual,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var feed bytes.Buffer
+	for _, p := range w.Packets {
+		if err := WriteFrame(&feed, GatewayPacket{Tuple: p.Tuple, Payload: p.Payload}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c := newCollector()
+	gw := m.NewEngine(2).Gateway(GatewayConfig{}, c.emit)
+	n, err := gw.IngestReader(&feed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(w.Packets) {
+		t.Fatalf("ingested %d frames, want %d", n, len(w.Packets))
+	}
+	if err := gw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	for f, tuple := range w.Tuples {
+		if !sameMatchSeq(c.byTuple[tuple], m.FindAll(w.Streams[f])) {
+			t.Fatalf("flow %d diverged from oracle over framed ingestion", f)
+		}
+	}
+}
+
+func TestReadFrameErrors(t *testing.T) {
+	pkt := GatewayPacket{
+		Tuple:   FiveTuple{SrcIP: 1, DstIP: 2, SrcPort: 3, DstPort: 4, Proto: ProtoTCP},
+		Payload: []byte("hello"),
+	}
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, pkt); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+
+	// Clean EOF at a frame boundary.
+	if _, err := ReadFrame(bytes.NewReader(nil), 100); err != io.EOF {
+		t.Fatalf("empty feed: err = %v, want io.EOF", err)
+	}
+	// Truncation anywhere inside a frame is ErrUnexpectedEOF.
+	for _, cut := range []int{1, frameHeaderLen - 1, frameHeaderLen, len(full) - 1} {
+		if _, err := ReadFrame(bytes.NewReader(full[:cut]), 100); err != io.ErrUnexpectedEOF {
+			t.Fatalf("cut at %d: err = %v, want ErrUnexpectedEOF", cut, err)
+		}
+	}
+	// Oversize payload is rejected before allocation.
+	if _, err := ReadFrame(bytes.NewReader(full), len(pkt.Payload)-1); err == nil {
+		t.Fatal("oversize frame accepted")
+	}
+	// Round trip.
+	got, err := ReadFrame(bytes.NewReader(full), 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Tuple != pkt.Tuple || !bytes.Equal(got.Payload, pkt.Payload) {
+		t.Fatalf("round trip: %+v", got)
+	}
+}
+
+func TestGatewayBackpressureLosesNothing(t *testing.T) {
+	m, set := gatewayMatcher(t, 100, 1)
+	pkts, err := traffic.Generate(set, traffic.Config{
+		Packets: 400, Bytes: 200, Seed: 5, AttackDensity: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := newCollector()
+	// A tiny queue and burst size force constant backpressure stalls.
+	gw := m.NewEngine(1).Gateway(GatewayConfig{BatchPackets: 2, QueueDepth: 2, StreamWorkers: 1}, c.emit)
+	var wg sync.WaitGroup
+	const ingesters = 4
+	for gi := 0; gi < ingesters; gi++ {
+		wg.Add(1)
+		go func(gi int) {
+			defer wg.Done()
+			for i := gi; i < len(pkts); i += ingesters {
+				tup := FiveTuple{SrcIP: uint32(i), DstIP: 9, SrcPort: 1, DstPort: 2, Proto: ProtoUDP}
+				if i%3 == 0 {
+					tup.Proto = ProtoTCP // mix both pipeline paths
+				}
+				if err := gw.Ingest(GatewayPacket{Tuple: tup, Payload: pkts[i].Payload}); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(gi)
+	}
+	wg.Wait()
+	if err := gw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st := gw.Stats()
+	if st.Packets != uint64(len(pkts)) {
+		t.Fatalf("ingested %d, want %d", st.Packets, len(pkts))
+	}
+	if st.StreamPackets+st.BatchPackets != st.Packets {
+		t.Fatalf("pipeline lost packets: %+v", st)
+	}
+	// Every payload went through exactly one scan path; with per-packet
+	// unique tuples the total match count must equal the per-payload oracle.
+	want := 0
+	for _, p := range pkts {
+		want += len(m.FindAll(p.Payload))
+	}
+	if int(st.Matches) != want {
+		t.Fatalf("matches = %d, oracle %d", st.Matches, want)
+	}
+}
+
+func TestGatewayClosedBehaviour(t *testing.T) {
+	m, _ := gatewayMatcher(t, 60, 1)
+	gw := m.NewEngine(1).Gateway(GatewayConfig{}, func(FlowMatch) {})
+	if err := gw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := gw.Close(); err != nil {
+		t.Fatal("second Close errored:", err)
+	}
+	if err := gw.Ingest(GatewayPacket{}); err == nil {
+		t.Fatal("Ingest after Close succeeded")
+	}
+	if _, err := gw.IngestReader(bytes.NewReader(make([]byte, frameHeaderLen))); err == nil {
+		t.Fatal("IngestReader after Close succeeded")
+	}
+}
+
+func TestGatewayIdleEviction(t *testing.T) {
+	rules := NewRuleset()
+	rules.MustAdd("p", []byte("needle"))
+	m, err := Compile(rules, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gw := m.NewEngine(1).Gateway(GatewayConfig{IdleTimeout: 8, StreamWorkers: 1, FlowShards: 1}, func(FlowMatch) {})
+	a := FiveTuple{SrcIP: 1, DstIP: 2, SrcPort: 1, DstPort: 2, Proto: ProtoTCP}
+	if err := gw.Ingest(GatewayPacket{Tuple: a, Payload: []byte("x")}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		b := FiveTuple{SrcIP: 7, DstIP: 8, SrcPort: uint16(i), DstPort: 2, Proto: ProtoTCP}
+		if err := gw.Ingest(GatewayPacket{Tuple: b, Payload: []byte("y")}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	gw.Flush()
+	gw.EvictIdleFlows()
+	st := gw.Stats()
+	if st.StreamPackets != 21 || st.FlowsCreated != 21 {
+		t.Fatalf("pipeline not drained by Flush: %+v", st)
+	}
+	if st.FlowsEvicted == 0 {
+		t.Fatalf("idle flow never evicted: %+v", st)
+	}
+	if err := gw.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// FuzzReadFrame: arbitrary bytes must never panic the frame parser, and
+// any successfully parsed frame must re-encode to exactly the bytes
+// consumed.
+func FuzzReadFrame(f *testing.F) {
+	var seed bytes.Buffer
+	WriteFrame(&seed, GatewayPacket{
+		Tuple:   FiveTuple{SrcIP: 0x01020304, DstIP: 0x05060708, SrcPort: 80, DstPort: 443, Proto: ProtoTCP},
+		Payload: []byte("GET /cgi-bin/phf"),
+	})
+	f.Add(seed.Bytes())
+	f.Add([]byte{})
+	f.Add(bytes.Repeat([]byte{0xff}, frameHeaderLen))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := bytes.NewReader(data)
+		pkt, err := ReadFrame(r, 1<<16)
+		if err != nil {
+			return
+		}
+		consumed := len(data) - r.Len()
+		var re bytes.Buffer
+		if err := WriteFrame(&re, pkt); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(re.Bytes(), data[:consumed]) {
+			t.Fatalf("re-encoded frame differs from consumed bytes:\n% x\n% x", re.Bytes(), data[:consumed])
+		}
+	})
+}
+
+func ExampleGateway() {
+	rules := NewRuleset()
+	rules.MustAdd("traversal", []byte("../../"))
+	m, err := Compile(rules, Config{})
+	if err != nil {
+		panic(err)
+	}
+	var mu sync.Mutex
+	gw := m.NewEngine(2).Gateway(GatewayConfig{}, func(fm FlowMatch) {
+		mu.Lock()
+		fmt.Printf("%s: %s at [%d,%d)\n", fm.Tuple, "traversal", fm.Start, fm.End)
+		mu.Unlock()
+	})
+	web := FiveTuple{SrcIP: 0x0a000001, DstIP: 0x0a000002, SrcPort: 3333, DstPort: 80, Proto: ProtoTCP}
+	// The attack spans two TCP segments; per-flow state catches it.
+	gw.Ingest(GatewayPacket{Tuple: web, Payload: []byte("GET /..")})
+	gw.Ingest(GatewayPacket{Tuple: web, Payload: []byte("/../etc/passwd")})
+	gw.Close()
+	// Output: tcp 10.0.0.1:3333 > 10.0.0.2:80: traversal at [5,11)
+}

@@ -92,7 +92,23 @@ func scanPacket(set []*core.Scanner, payload []byte, buf []ac.Match) ([]ac.Match
 // would return for payloads[i]. Packets are handed to workers via a shared
 // counter, so a batch of wildly mixed payload sizes still load-balances.
 func (e *Engine) ScanPackets(payloads [][]byte) [][]ac.Match {
-	results := make([][]ac.Match, len(payloads))
+	return e.ScanPacketsInto(payloads, nil)
+}
+
+// ScanPacketsInto is ScanPackets reusing results' backing array when it is
+// large enough, for callers (like a gateway scanning an endless burst
+// sequence) that want steady-state batch scans free of per-batch slice
+// allocation. The per-packet match slices are still freshly allocated —
+// they are the scan's output and may be retained by the caller.
+func (e *Engine) ScanPacketsInto(payloads [][]byte, results [][]ac.Match) [][]ac.Match {
+	if cap(results) >= len(payloads) {
+		results = results[:len(payloads)]
+		for i := range results {
+			results[i] = nil
+		}
+	} else {
+		results = make([][]ac.Match, len(payloads))
+	}
 	if len(payloads) == 0 {
 		return results
 	}

@@ -1,0 +1,353 @@
+package flowtable
+
+// Race-oriented tests for the flow table: the interesting properties are
+// all concurrent — ingest across many 5-tuples, eviction racing in-flight
+// writes, and the clean-state guarantee for evicted-then-recreated flows.
+// Run with -race (CI does).
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/nids"
+)
+
+// fakeFlow records writes and guards against use-after-evict: every table
+// bug of interest (double close, write racing close, resurrection after
+// eviction) trips one of its atomic checks.
+type fakeFlow struct {
+	key    Key
+	data   []byte
+	inUse  atomic.Bool
+	closed atomic.Bool
+}
+
+type harness struct {
+	t       *testing.T
+	table   *Table[*fakeFlow]
+	mu      sync.Mutex
+	evicted []*fakeFlow
+}
+
+func newHarness(t *testing.T, maxFlows int, idleTicks uint64, shards int) *harness {
+	h := &harness{t: t}
+	h.table = New(Config[*fakeFlow]{
+		New: func(k Key) *fakeFlow { return &fakeFlow{key: k} },
+		Evict: func(k Key, f *fakeFlow) {
+			if f.inUse.Load() {
+				t.Error("flow evicted while a write was in flight")
+			}
+			if f.closed.Swap(true) {
+				t.Error("flow evicted twice")
+			}
+			h.mu.Lock()
+			h.evicted = append(h.evicted, f)
+			h.mu.Unlock()
+		},
+		MaxFlows:  maxFlows,
+		IdleTicks: idleTicks,
+		Shards:    shards,
+	})
+	return h
+}
+
+// write appends p to the keyed flow through the table, with the
+// use-after-evict tripwires armed.
+func (h *harness) write(k Key, p []byte) bool {
+	return h.table.Do(k, func(f *fakeFlow) {
+		if f.closed.Load() {
+			h.t.Error("write reached a closed flow")
+		}
+		if f.inUse.Swap(true) {
+			h.t.Error("two writes on one flow at once")
+		}
+		f.data = append(f.data, p...)
+		f.inUse.Store(false)
+	})
+}
+
+func tuple(i int) Key {
+	return Key{
+		SrcIP:   nids.IPv4(10, byte(i>>16), byte(i>>8), byte(i)),
+		DstIP:   nids.IPv4(192, 168, 0, 1),
+		SrcPort: uint16(1024 + i%50000),
+		DstPort: 80,
+		Proto:   nids.ProtoTCP,
+	}
+}
+
+func TestDoCreatesThenReuses(t *testing.T) {
+	h := newHarness(t, 0, 0, 1)
+	if created := h.write(tuple(1), []byte("ab")); !created {
+		t.Fatal("first Do did not create")
+	}
+	if created := h.write(tuple(1), []byte("cd")); created {
+		t.Fatal("second Do recreated the flow")
+	}
+	h.table.Do(tuple(1), func(f *fakeFlow) {
+		if string(f.data) != "abcd" {
+			t.Fatalf("flow data = %q", f.data)
+		}
+	})
+	if h.table.Len() != 1 {
+		t.Fatalf("Len = %d", h.table.Len())
+	}
+}
+
+func TestCapacityEvictionIsLRU(t *testing.T) {
+	// One shard so LRU order is global and deterministic.
+	h := newHarness(t, 3, 0, 1)
+	for i := 0; i < 3; i++ {
+		h.write(tuple(i), []byte("x"))
+	}
+	h.write(tuple(0), nil) // touch 0: LRU order is now 1, 2, 0
+	h.write(tuple(3), nil) // over cap: evicts 1
+	h.write(tuple(4), nil) // over cap: evicts 2
+	if h.table.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", h.table.Len())
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if len(h.evicted) != 2 || h.evicted[0].key != tuple(1) || h.evicted[1].key != tuple(2) {
+		keys := make([]Key, len(h.evicted))
+		for i, f := range h.evicted {
+			keys[i] = f.key
+		}
+		t.Fatalf("evicted %v, want tuples 1 then 2", keys)
+	}
+	st := h.table.Stats()
+	if st.EvictedCap != 2 || st.EvictedIdle != 0 || st.Created != 5 || st.Live != 3 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestIdleEviction(t *testing.T) {
+	h := newHarness(t, 0, 4, 1)
+	h.write(tuple(0), nil) // tick 1
+	for i := 0; i < 6; i++ {
+		h.write(tuple(1), nil) // ticks 2..7; tuple 0 idle for >4 by tick 6
+	}
+	if h.table.Len() != 1 {
+		t.Fatalf("opportunistic idle eviction missed: Len = %d", h.table.Len())
+	}
+	if st := h.table.Stats(); st.EvictedIdle != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	// EvictIdle sweeps everything left once the clock has moved on.
+	for i := 0; i < 10; i++ {
+		h.write(tuple(2), nil)
+	}
+	live := h.table.Len()
+	h.table.clock.Add(100)
+	if n := h.table.EvictIdle(); n != live {
+		t.Fatalf("EvictIdle = %d, want %d", n, live)
+	}
+	if h.table.Len() != 0 {
+		t.Fatalf("Len = %d after sweep", h.table.Len())
+	}
+}
+
+// TestIdleEvictionTickSkewDoesNotEvictFreshFlows is the regression test
+// for the unsigned-underflow bug: Do draws its tick before taking the
+// shard lock, so a concurrent touch can stamp an entry with a tick ahead
+// of the one running the idle check. The subtraction must not underflow
+// and evict a flow that was active moments ago.
+func TestIdleEvictionTickSkewDoesNotEvictFreshFlows(t *testing.T) {
+	h := newHarness(t, 0, 5, 1)
+	h.write(tuple(0), nil)
+	// Simulate the racing touch: stamp the entry with a tick the next Do
+	// has not reached yet.
+	s := &h.table.shards[0]
+	s.mu.Lock()
+	for _, e := range s.flows {
+		e.last = h.table.clock.Load() + 3
+	}
+	s.mu.Unlock()
+	h.write(tuple(1), nil) // opportunistic idle check sees tick < tail.last
+	if st := h.table.Stats(); st.EvictedIdle != 0 {
+		t.Fatalf("fresh flow evicted by tick skew: %+v", st)
+	}
+	if n := h.table.EvictIdle(); n != 0 {
+		t.Fatalf("EvictIdle evicted %d fresh flows under tick skew", n)
+	}
+	if h.table.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", h.table.Len())
+	}
+}
+
+func TestEvictedThenRecreatedStartsClean(t *testing.T) {
+	h := newHarness(t, 2, 0, 1)
+	h.write(tuple(0), []byte("xy")) // partial state in flow 0
+	h.write(tuple(1), nil)
+	h.write(tuple(2), nil) // evicts 0 (LRU)
+	created := h.write(tuple(0), []byte("z"))
+	if !created {
+		t.Fatal("evicted flow was not recreated")
+	}
+	h.table.Do(tuple(0), func(f *fakeFlow) {
+		if string(f.data) != "z" {
+			t.Fatalf("recreated flow carried stale state: %q", f.data)
+		}
+	})
+}
+
+func TestCloseEvictsEverything(t *testing.T) {
+	h := newHarness(t, 0, 0, 4)
+	for i := 0; i < 100; i++ {
+		h.write(tuple(i), []byte("p"))
+	}
+	h.table.Close()
+	if h.table.Len() != 0 {
+		t.Fatalf("Len = %d after Close", h.table.Len())
+	}
+	h.mu.Lock()
+	n := len(h.evicted)
+	h.mu.Unlock()
+	if n != 100 {
+		t.Fatalf("evicted %d flows, want 100", n)
+	}
+	// The table stays usable: a Do after Close recreates.
+	if !h.write(tuple(7), nil) {
+		t.Fatal("Do after Close did not create")
+	}
+}
+
+func TestConcurrentIngestManyTuples(t *testing.T) {
+	h := newHarness(t, 0, 0, 16)
+	const goroutines = 8
+	const flowsPer = 64
+	const writes = 40
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for w := 0; w < writes; w++ {
+				for i := 0; i < flowsPer; i++ {
+					// Goroutines own disjoint tuples, so each flow sees
+					// single-writer traffic like a real demultiplexer lane.
+					h.write(tuple(g*flowsPer+i), []byte{byte(w)})
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if h.table.Len() != goroutines*flowsPer {
+		t.Fatalf("Len = %d, want %d", h.table.Len(), goroutines*flowsPer)
+	}
+	for g := 0; g < goroutines; g++ {
+		for i := 0; i < flowsPer; i++ {
+			h.table.Do(tuple(g*flowsPer+i), func(f *fakeFlow) {
+				if len(f.data) != writes {
+					t.Errorf("flow (%d,%d) saw %d writes, want %d", g, i, len(f.data), writes)
+				}
+			})
+		}
+	}
+}
+
+func TestEvictionRacingWrites(t *testing.T) {
+	// Heavy churn through a tiny table: every write risks racing a
+	// capacity eviction of the very flow it is writing. The fakeFlow
+	// tripwires plus -race verify the entry-lock protocol.
+	h := newHarness(t, 8, 16, 4)
+	const goroutines = 8
+	const writes = 2000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for w := 0; w < writes; w++ {
+				// 32 hot tuples shared by all goroutines, hashed over 4
+				// shards with room for only 8 flows: constant evict/recreate.
+				h.write(tuple(w%32), []byte{byte(g)})
+			}
+		}(g)
+	}
+	wg.Wait()
+	st := h.table.Stats()
+	if st.EvictedCap == 0 {
+		t.Fatal("churn produced no capacity evictions; test is vacuous")
+	}
+	if st.Live > 8+4 { // soft cap: MaxFlows + Shards
+		t.Fatalf("live flows %d exceed soft cap", st.Live)
+	}
+	if got := uint64(st.Live) + st.EvictedCap + st.EvictedIdle; got != st.Created {
+		t.Fatalf("accounting: live+evicted = %d, created = %d", got, st.Created)
+	}
+	h.table.Close()
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if uint64(len(h.evicted)) != st.Created {
+		t.Fatalf("evict callbacks %d != created %d after Close", len(h.evicted), st.Created)
+	}
+}
+
+func TestShardRoundingAndDefaults(t *testing.T) {
+	tb := New(Config[*fakeFlow]{
+		New:    func(k Key) *fakeFlow { return &fakeFlow{key: k} },
+		Evict:  func(Key, *fakeFlow) {},
+		Shards: 5,
+	})
+	if len(tb.shards) != 8 {
+		t.Fatalf("shards = %d, want 8", len(tb.shards))
+	}
+	if d := New(Config[*fakeFlow]{New: func(k Key) *fakeFlow { return nil }, Evict: func(Key, *fakeFlow) {}}); len(d.shards) != 64 {
+		t.Fatalf("default shards = %d, want 64", len(d.shards))
+	}
+}
+
+func TestHash64Spreads(t *testing.T) {
+	// Sanity: tuples differing in one field land on many shards.
+	seen := map[uint64]bool{}
+	for i := 0; i < 256; i++ {
+		k := tuple(0)
+		k.SrcPort = uint16(i)
+		seen[k.Hash64()&63] = true
+	}
+	if len(seen) < 32 {
+		t.Fatalf("256 port-varied tuples hit only %d of 64 shards", len(seen))
+	}
+}
+
+func BenchmarkDoHit(b *testing.B) {
+	tb := New(Config[*fakeFlow]{
+		New:   func(k Key) *fakeFlow { return &fakeFlow{key: k} },
+		Evict: func(Key, *fakeFlow) {},
+	})
+	k := tuple(1)
+	tb.Do(k, func(*fakeFlow) {})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tb.Do(k, func(*fakeFlow) {})
+	}
+}
+
+func BenchmarkDoChurn(b *testing.B) {
+	tb := New(Config[*fakeFlow]{
+		New:      func(k Key) *fakeFlow { return &fakeFlow{key: k} },
+		Evict:    func(Key, *fakeFlow) {},
+		MaxFlows: 1024,
+	})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tb.Do(tuple(i%8192), func(*fakeFlow) {})
+	}
+}
+
+func ExampleTable() {
+	tb := New(Config[*fakeFlow]{
+		New:      func(k Key) *fakeFlow { return &fakeFlow{key: k} },
+		Evict:    func(Key, *fakeFlow) {},
+		MaxFlows: 2,
+		Shards:   1,
+	})
+	for i := 0; i < 3; i++ {
+		tb.Do(tuple(i), func(*fakeFlow) {})
+	}
+	fmt.Println(tb.Len(), tb.Stats().EvictedCap)
+	// Output: 2 1
+}

@@ -37,6 +37,40 @@ type FiveTuple struct {
 	Proto   byte
 }
 
+// Hash64 returns a well-mixed 64-bit hash of the tuple, suitable for
+// sharding flow tables and pinning flows to scan lanes. All five fields
+// feed the hash; the SplitMix64 finalizer spreads them so that flows
+// differing only in a port still land on different shards.
+func (t FiveTuple) Hash64() uint64 {
+	h := uint64(t.SrcIP)<<32 | uint64(t.DstIP)
+	h ^= uint64(t.SrcPort)<<16 ^ uint64(t.DstPort) ^ uint64(t.Proto)<<40
+	h ^= h >> 30
+	h *= 0xBF58476D1CE4E5B9
+	h ^= h >> 27
+	h *= 0x94D049BB133111EB
+	return h ^ h>>31
+}
+
+// String renders the tuple in the usual "proto src > dst" form.
+func (t FiveTuple) String() string {
+	proto := fmt.Sprintf("ip(%d)", t.Proto)
+	switch t.Proto {
+	case ProtoAny:
+		proto = "any"
+	case ProtoICMP:
+		proto = "icmp"
+	case ProtoTCP:
+		proto = "tcp"
+	case ProtoUDP:
+		proto = "udp"
+	}
+	return fmt.Sprintf("%s %s:%d > %s:%d", proto, ipString(t.SrcIP), t.SrcPort, ipString(t.DstIP), t.DstPort)
+}
+
+func ipString(ip uint32) string {
+	return fmt.Sprintf("%d.%d.%d.%d", byte(ip>>24), byte(ip>>16), byte(ip>>8), byte(ip))
+}
+
 // Prefix is an IPv4 CIDR prefix. Bits==0 matches any address.
 type Prefix struct {
 	Addr uint32

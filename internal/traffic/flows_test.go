@@ -1,0 +1,140 @@
+package traffic
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/ruleset"
+)
+
+func flowSet(t *testing.T) *ruleset.Set {
+	t.Helper()
+	set, err := ruleset.Generate(ruleset.GenConfig{N: 60, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return set
+}
+
+func TestGenerateFlowsStructure(t *testing.T) {
+	set := flowSet(t)
+	cfg := FlowConfig{
+		Flows: 12, SegmentsPerFlow: 5, SegmentBytes: 120, Seed: 99,
+		CrossDensity: 2, AttackDensity: 1, Profile: Textual,
+	}
+	w, err := GenerateFlows(set, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(w.Packets) != cfg.Flows*cfg.SegmentsPerFlow {
+		t.Fatalf("packets = %d", len(w.Packets))
+	}
+	// Per-flow packets arrive in seq order and reassemble to the stream.
+	nextSeq := make([]int, cfg.Flows)
+	rebuilt := make([][]byte, cfg.Flows)
+	for _, p := range w.Packets {
+		if p.Seq != nextSeq[p.FlowID] {
+			t.Fatalf("flow %d got seq %d, want %d", p.FlowID, p.Seq, nextSeq[p.FlowID])
+		}
+		nextSeq[p.FlowID]++
+		if len(p.Payload) != cfg.SegmentBytes {
+			t.Fatalf("segment size %d", len(p.Payload))
+		}
+		if p.Tuple != w.Tuples[p.FlowID] {
+			t.Fatalf("flow %d tuple mismatch", p.FlowID)
+		}
+		if got, want := p.Last, p.Seq == cfg.SegmentsPerFlow-1; got != want {
+			t.Fatalf("flow %d seq %d Last = %v", p.FlowID, p.Seq, got)
+		}
+		rebuilt[p.FlowID] = append(rebuilt[p.FlowID], p.Payload...)
+	}
+	for f := range rebuilt {
+		if !bytes.Equal(rebuilt[f], w.Streams[f]) {
+			t.Fatalf("flow %d segments do not reassemble to its stream", f)
+		}
+	}
+	// Tuples are unique per flow.
+	seen := map[string]bool{}
+	for _, tp := range w.Tuples {
+		k := tp.String()
+		if seen[k] {
+			t.Fatalf("duplicate tuple %s", k)
+		}
+		seen[k] = true
+	}
+}
+
+func TestGenerateFlowsPlantsAreExact(t *testing.T) {
+	set := flowSet(t)
+	cfg := FlowConfig{
+		Flows: 20, SegmentsPerFlow: 4, SegmentBytes: 200, Seed: 7,
+		CrossDensity: 2, AttackDensity: 2, Profile: Uniform,
+	}
+	w, err := GenerateFlows(set, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byID := map[int32][]byte{}
+	for _, p := range set.Patterns {
+		byID[int32(p.ID)] = p.Data
+	}
+	total, cross := 0, 0
+	for f, plants := range w.Planted {
+		for _, pl := range plants {
+			data := byID[pl.PatternID]
+			if data == nil {
+				t.Fatalf("plant references unknown pattern %d", pl.PatternID)
+			}
+			start := pl.End - len(data)
+			if !bytes.Equal(w.Streams[f][start:pl.End], data) {
+				t.Fatalf("flow %d: plant %d not intact at [%d,%d)", f, pl.PatternID, start, pl.End)
+			}
+			straddles := start/cfg.SegmentBytes != (pl.End-1)/cfg.SegmentBytes
+			if straddles != pl.CrossPacket {
+				t.Fatalf("flow %d: plant at [%d,%d) CrossPacket=%v, boundaries say %v",
+					f, start, pl.End, pl.CrossPacket, straddles)
+			}
+			total++
+			if pl.CrossPacket {
+				cross++
+			}
+		}
+	}
+	if total == 0 || cross == 0 {
+		t.Fatalf("workload planted %d patterns (%d cross-packet); test is vacuous", total, cross)
+	}
+	if w.CrossPlants() != cross {
+		t.Fatalf("CrossPlants() = %d, counted %d", w.CrossPlants(), cross)
+	}
+}
+
+func TestGenerateFlowsDeterministic(t *testing.T) {
+	set := flowSet(t)
+	cfg := FlowConfig{Flows: 6, SegmentsPerFlow: 3, SegmentBytes: 64, Seed: 42, CrossDensity: 1}
+	a, err := GenerateFlows(set, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GenerateFlows(set, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Packets) != len(b.Packets) {
+		t.Fatal("packet counts differ")
+	}
+	for i := range a.Packets {
+		if a.Packets[i].FlowID != b.Packets[i].FlowID || !bytes.Equal(a.Packets[i].Payload, b.Packets[i].Payload) {
+			t.Fatalf("packet %d differs between identical seeds", i)
+		}
+	}
+}
+
+func TestGenerateFlowsValidation(t *testing.T) {
+	set := flowSet(t)
+	if _, err := GenerateFlows(set, FlowConfig{Flows: 0, SegmentsPerFlow: 1, SegmentBytes: 1}); err == nil {
+		t.Fatal("accepted zero flows")
+	}
+	if _, err := GenerateFlows(set, FlowConfig{Flows: 1, SegmentsPerFlow: 1, SegmentBytes: 64, CrossDensity: 1}); err == nil {
+		t.Fatal("accepted cross plants with a single segment")
+	}
+}

@@ -43,13 +43,22 @@ func (m *Matcher) NewStream(emit func(Match)) *Stream {
 // across Write calls. Matches for this chunk are emitted in canonical
 // (End, PatternID) order — see the Stream ordering guarantee.
 func (s *Stream) Write(p []byte) (int, error) {
+	return s.WritePacket(p, -1)
+}
+
+// WritePacket is Write with match attribution: matches completed by this
+// chunk are emitted with PacketID set to packetID (Write uses -1). Start
+// and End remain stream-relative. This mirrors Flow.WritePacket so a
+// demultiplexer can tie cross-packet matches back to the segment that
+// finished them.
+func (s *Stream) WritePacket(p []byte, packetID int) (int, error) {
 	s.buf = s.buf[:0]
 	for _, sc := range s.scanners {
 		s.buf = sc.ScanAppend(p, s.buf)
 	}
 	ac.SortMatches(s.buf)
 	for _, am := range s.buf {
-		s.emit(s.m.convert(am, -1))
+		s.emit(s.m.convert(am, packetID))
 	}
 	s.consumed += len(p)
 	return len(p), nil

@@ -2,6 +2,7 @@ package dpi
 
 import (
 	"io"
+	"sync"
 	"testing"
 )
 
@@ -75,6 +76,92 @@ func TestStreamResetSplitsPackets(t *testing.T) {
 	if len(got) != 1 || got[0].Start != 0 {
 		t.Fatalf("fresh packet matches = %v", got)
 	}
+}
+
+// fuzzMatchers compiles the shared fuzz corpus matchers once: a ruleset
+// mixing pathological hand-picked patterns (overlapping suffixes, shared
+// prefixes, binary bytes, length-1) with a generated Snort-like tail, as a
+// 1-group and a 3-group machine.
+var fuzzMatchers struct {
+	once       sync.Once
+	one, multi *Matcher
+	err        error
+}
+
+func getFuzzMatchers(t testing.TB) (one, multi *Matcher) {
+	fuzzMatchers.once.Do(func() {
+		rules, err := GenerateSnortLike(120, 2010)
+		if err != nil {
+			fuzzMatchers.err = err
+			return
+		}
+		for _, p := range [][]byte{
+			[]byte("he"), []byte("she"), []byte("his"), []byte("hers"),
+			[]byte("a"), []byte("ab"), []byte("abc"), []byte("bc"),
+			{0x00}, {0x00, 0x01}, {0xff, 0x00, 0xff},
+		} {
+			// Generated contents can collide with the handcrafted ones;
+			// duplicates are simply skipped.
+			rules.Add("hand", p)
+		}
+		if fuzzMatchers.one, err = Compile(rules, Config{}); err != nil {
+			fuzzMatchers.err = err
+			return
+		}
+		fuzzMatchers.multi, err = Compile(rules, Config{Groups: 3})
+		fuzzMatchers.err = err
+	})
+	if fuzzMatchers.err != nil {
+		t.Fatal(fuzzMatchers.err)
+	}
+	return fuzzMatchers.one, fuzzMatchers.multi
+}
+
+// FuzzStreamChunkEquivalence is the FindAll-equivalence contract under
+// fuzz: any payload delivered through a Stream in arbitrary chunks (empty
+// chunks and byte-at-a-time included) must emit exactly the FindAll match
+// sequence of the concatenation — same matches, same canonical order, for
+// single-group and multi-group matchers alike.
+func FuzzStreamChunkEquivalence(f *testing.F) {
+	f.Add([]byte("she sells hers and his seashells"), []byte{3, 1, 7})
+	f.Add([]byte("abcabcabc"), []byte{1, 1, 1, 1, 1, 1, 1, 1})
+	f.Add([]byte{0xff, 0x00, 0xff, 0x00, 0x01, 0x00}, []byte{2, 0, 3})
+	f.Add([]byte("no matches at all here"), []byte{200})
+	f.Add([]byte{}, []byte{5})
+	f.Fuzz(func(t *testing.T, payload []byte, cuts []byte) {
+		one, multi := getFuzzMatchers(t)
+		for name, m := range map[string]*Matcher{"1-group": one, "3-group": multi} {
+			want := m.FindAll(payload)
+			var got []Match
+			s := m.NewStream(func(mt Match) { got = append(got, mt) })
+			// cuts drives the chunking: cut value n means "write n bytes
+			// next" (0 = an empty write); leftover bytes go in one final
+			// write. This lets the fuzzer place boundaries anywhere,
+			// including straddling every match.
+			off := 0
+			for _, c := range cuts {
+				n := int(c)
+				if n > len(payload)-off {
+					n = len(payload) - off
+				}
+				s.Write(payload[off : off+n])
+				off += n
+			}
+			s.Write(payload[off:])
+			if s.Consumed() != len(payload) {
+				t.Fatalf("%s: consumed %d of %d", name, s.Consumed(), len(payload))
+			}
+			if len(got) != len(want) {
+				t.Fatalf("%s: stream emitted %d matches, FindAll %d\ncuts %v\ngot  %+v\nwant %+v",
+					name, len(got), len(want), cuts, got, want)
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("%s: match %d = %+v, FindAll %+v (cuts %v)", name, i, got[i], want[i], cuts)
+				}
+			}
+		}
+	})
 }
 
 func TestStreamGroupedMatchesBatch(t *testing.T) {
