@@ -1,16 +1,24 @@
 package main
 
 // The -gateway mode measures the full NIDS front-end: framed mixed traffic
-// (interleaved TCP flows plus UDP datagrams) pushed through the Gateway's
-// pipelined ingestion — bounded queue, per-flow lanes over the 5-tuple flow
-// table, burst batching — versus worker count, with a final row in the
-// eviction-churn regime (flow table much smaller than the offered flow
-// count). Every full-capacity row is verified against the per-flow FindAll
-// oracle before it is timed.
+// (interleaved sequenced TCP flows plus UDP datagrams) pushed through the
+// Gateway's pipelined ingestion — bounded queue, per-flow lanes over the
+// 5-tuple flow table, TCP reassembly, burst batching — versus worker
+// count, plus a row with out-of-order/retransmitted delivery (the
+// reassembly regime) and a final row in the eviction-churn regime (flow
+// table much smaller than the offered flow count). Every full-capacity row
+// is verified against the per-flow FindAll oracle before it is timed; an
+// oracle mismatch fails the run (exit 1), which is what CI gates on.
+//
+// Alongside the text table the run can emit a machine-readable JSON report
+// (-json) carrying the same rows plus the oracle outcome per row, for
+// regression tracking across CI runs.
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
+	"os"
 	"runtime"
 	"time"
 
@@ -28,6 +36,8 @@ type gatewayBenchConfig struct {
 	Datagrams       int
 	DatagramBytes   int
 	ChurnMaxFlows   int // flow-table cap for the churn row
+	ReorderWindow   int // segment displacement for the reordered row
+	RetransDensity  float64
 	Seed            int64
 	MinTime         time.Duration
 	MaxWorkers      int // 0 = NumCPU
@@ -42,12 +52,79 @@ func defaultGatewayConfig(seed int64) gatewayBenchConfig {
 		Datagrams:       256,
 		DatagramBytes:   600,
 		ChurnMaxFlows:   24,
+		ReorderWindow:   4,
+		RetransDensity:  0.5,
 		Seed:            seed,
 		MinTime:         300 * time.Millisecond,
 	}
 }
 
-func runGateway(out io.Writer, cfg gatewayBenchConfig) error {
+// gatewayBenchRow is one measured configuration in the JSON report.
+type gatewayBenchRow struct {
+	Mode       string  `json:"mode"`
+	Workers    int     `json:"workers"`
+	MaxFlows   int     `json:"max_flows"`
+	Gbps       float64 `json:"gbps"`
+	Speedup    float64 `json:"speedup"`
+	Matches    uint64  `json:"matches"`
+	Evicted    uint64  `json:"flows_evicted"`
+	OutOfOrder uint64  `json:"out_of_order_segs"`
+	Duplicate  uint64  `json:"duplicate_bytes"`
+	OracleWant int     `json:"oracle_want"` // 0 when the row is not oracle-gated
+	OracleOK   bool    `json:"oracle_ok"`
+}
+
+// gatewayBenchReport is the machine-readable artifact CI uploads and gates
+// on: OK is false iff any oracle-gated row mismatched.
+type gatewayBenchReport struct {
+	Strings         int               `json:"strings"`
+	Flows           int               `json:"flows"`
+	SegmentsPerFlow int               `json:"segments_per_flow"`
+	SegmentBytes    int               `json:"segment_bytes"`
+	Datagrams       int               `json:"datagrams"`
+	Seed            int64             `json:"seed"`
+	Rows            []gatewayBenchRow `json:"rows"`
+	OK              bool              `json:"ok"`
+}
+
+// gatewayFeed is one prebuilt ingest sequence with its oracle match count.
+type gatewayFeed struct {
+	packets []dpi.GatewayPacket
+	bytes   int64
+	want    int // per-flow FindAll + per-datagram FindAll oracle
+}
+
+// buildGatewayFeed interleaves a datagram between stream segments so both
+// pipeline paths stay busy, and computes the oracle match count.
+func buildGatewayFeed(m *dpi.Matcher, w *traffic.FlowWorkload, dgrams []traffic.Packet) gatewayFeed {
+	var f gatewayFeed
+	f.packets = make([]dpi.GatewayPacket, 0, len(w.Packets)+len(dgrams))
+	di := 0
+	for _, p := range w.Packets {
+		if di < len(dgrams) && len(f.packets)%4 == 3 {
+			tup := dpi.FiveTuple{
+				SrcIP: 0x0a800000 + uint32(di), DstIP: 0x0a000001,
+				SrcPort: uint16(20000 + di%40000), DstPort: 53, Proto: dpi.ProtoUDP,
+			}
+			f.packets = append(f.packets, dpi.GatewayPacket{Tuple: tup, Payload: dgrams[di].Payload})
+			f.bytes += int64(len(dgrams[di].Payload))
+			di++
+		}
+		f.packets = append(f.packets, dpi.GatewayPacket{
+			Tuple: p.Tuple, Seq: p.TCPSeq, Flags: dpi.TCPFlags(p.Flags), Payload: p.Payload,
+		})
+		f.bytes += int64(len(p.Payload))
+	}
+	for _, s := range w.Streams {
+		f.want += len(m.FindAll(s))
+	}
+	for _, d := range dgrams[:di] {
+		f.want += len(m.FindAll(d.Payload))
+	}
+	return f
+}
+
+func runGateway(out io.Writer, jsonPath string, cfg gatewayBenchConfig) error {
 	rules, err := dpi.GenerateSnortLike(cfg.Strings, cfg.Seed)
 	if err != nil {
 		return err
@@ -57,10 +134,18 @@ func runGateway(out io.Writer, cfg gatewayBenchConfig) error {
 		return err
 	}
 	set := rules.InternalSet()
-	w, err := traffic.GenerateFlows(set, traffic.FlowConfig{
+	flowCfg := traffic.FlowConfig{
 		Flows: cfg.Flows, SegmentsPerFlow: cfg.SegmentsPerFlow, SegmentBytes: cfg.SegmentBytes,
 		Seed: cfg.Seed, CrossDensity: 1, AttackDensity: 0.5, Profile: traffic.Textual,
-	})
+		Sequenced: true,
+	}
+	inorder, err := traffic.GenerateFlows(set, flowCfg)
+	if err != nil {
+		return err
+	}
+	flowCfg.ReorderWindow = cfg.ReorderWindow
+	flowCfg.RetransmitDensity = cfg.RetransDensity
+	reordered, err := traffic.GenerateFlows(set, flowCfg)
 	if err != nil {
 		return err
 	}
@@ -71,35 +156,8 @@ func runGateway(out io.Writer, cfg gatewayBenchConfig) error {
 	if err != nil {
 		return err
 	}
-
-	// Pre-build the mixed feed: a datagram between stream segments, so both
-	// pipeline paths stay busy.
-	feed := make([]dpi.GatewayPacket, 0, len(w.Packets)+len(dgrams))
-	var feedBytes int64
-	di := 0
-	for _, p := range w.Packets {
-		if di < len(dgrams) && len(feed)%4 == 3 {
-			tup := dpi.FiveTuple{
-				SrcIP: 0x0a800000 + uint32(di), DstIP: 0x0a000001,
-				SrcPort: uint16(20000 + di%40000), DstPort: 53, Proto: dpi.ProtoUDP,
-			}
-			feed = append(feed, dpi.GatewayPacket{Tuple: tup, Payload: dgrams[di].Payload})
-			feedBytes += int64(len(dgrams[di].Payload))
-			di++
-		}
-		feed = append(feed, dpi.GatewayPacket{Tuple: p.Tuple, Payload: p.Payload})
-		feedBytes += int64(len(p.Payload))
-	}
-
-	// Oracle match count at full flow-table capacity: per-flow FindAll over
-	// reassembled streams plus per-datagram FindAll.
-	want := 0
-	for _, s := range w.Streams {
-		want += len(m.FindAll(s))
-	}
-	for _, d := range dgrams[:di] {
-		want += len(m.FindAll(d.Payload))
-	}
+	inFeed := buildGatewayFeed(m, inorder, dgrams)
+	reFeed := buildGatewayFeed(m, reordered, dgrams)
 
 	maxWorkers := cfg.MaxWorkers
 	if maxWorkers <= 0 {
@@ -107,17 +165,32 @@ func runGateway(out io.Writer, cfg gatewayBenchConfig) error {
 	}
 
 	t := &report.Table{
-		Title: fmt.Sprintf("GATEWAY INGESTION (%d strings, %d flows x %d x %d B + %d UDP x %d B, %d oracle matches)",
-			cfg.Strings, cfg.Flows, cfg.SegmentsPerFlow, cfg.SegmentBytes, di, cfg.DatagramBytes, want),
-		Headers: []string{"Mode", "Workers", "MaxFlows", "Gbps", "Speedup", "Matches", "Evicted"},
+		Title: fmt.Sprintf("GATEWAY INGESTION (%d strings, %d flows x %d x %d B + UDP, reorder window %d, %d/%d oracle matches)",
+			cfg.Strings, cfg.Flows, cfg.SegmentsPerFlow, cfg.SegmentBytes, cfg.ReorderWindow, inFeed.want, reFeed.want),
+		Headers: []string{"Mode", "Workers", "MaxFlows", "Gbps", "Speedup", "Matches", "Evicted", "OOOSegs", "DupBytes"},
+	}
+	rep := gatewayBenchReport{
+		Strings: cfg.Strings, Flows: cfg.Flows, SegmentsPerFlow: cfg.SegmentsPerFlow,
+		SegmentBytes: cfg.SegmentBytes, Datagrams: cfg.Datagrams, Seed: cfg.Seed,
+		OK: true,
+	}
+	writeJSON := func() error {
+		if jsonPath == "" {
+			return nil
+		}
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		return os.WriteFile(jsonPath, append(data, '\n'), 0o644)
 	}
 
-	run := func(workers, maxFlows int) (dpi.GatewayStats, error) {
+	run := func(feed gatewayFeed, workers, maxFlows int) (dpi.GatewayStats, error) {
 		e := m.NewEngine(workers)
 		gw := e.Gateway(dpi.GatewayConfig{
 			MaxFlows: maxFlows, StreamWorkers: workers,
 		}, func(dpi.FlowMatch) {})
-		for _, pkt := range feed {
+		for _, pkt := range feed.packets {
 			if err := gw.Ingest(pkt); err != nil {
 				return dpi.GatewayStats{}, err
 			}
@@ -128,46 +201,82 @@ func runGateway(out io.Writer, cfg gatewayBenchConfig) error {
 		return gw.Stats(), nil
 	}
 
-	measure := func(workers, maxFlows int) (float64, dpi.GatewayStats, error) {
+	measure := func(feed gatewayFeed, workers, maxFlows int) (float64, dpi.GatewayStats, error) {
 		var last dpi.GatewayStats
 		start := time.Now()
 		var scanned int64
 		for time.Since(start) < cfg.MinTime {
-			st, err := run(workers, maxFlows)
+			st, err := run(feed, workers, maxFlows)
 			if err != nil {
 				return 0, st, err
 			}
 			last = st
-			scanned += feedBytes
+			scanned += feed.bytes
 		}
 		return float64(scanned) * 8 / time.Since(start).Seconds() / 1e9, last, nil
 	}
 
 	ample := 2 * cfg.Flows
 	baseline := 0.0
+	// benchRow measures one oracle-gated configuration; a mismatch is
+	// recorded in the JSON report and fails the run after the report is
+	// written, so CI keeps the artifact explaining the failure.
+	benchRow := func(mode string, feed gatewayFeed, workers, maxFlows int) error {
+		st, err := run(feed, workers, maxFlows)
+		if err != nil {
+			return err
+		}
+		ok := int(st.Matches) == feed.want
+		if ok {
+			gbps, tst, err := measure(feed, workers, maxFlows)
+			if err != nil {
+				return err
+			}
+			st = tst
+			if baseline == 0 {
+				baseline = gbps
+			}
+			t.AddRow(mode, workers, maxFlows, fmt.Sprintf("%.3f", gbps),
+				fmt.Sprintf("%.2fx", gbps/baseline), st.Matches, st.FlowsEvicted,
+				st.OutOfOrderSegs, st.DuplicateBytes)
+			rep.Rows = append(rep.Rows, gatewayBenchRow{
+				Mode: mode, Workers: workers, MaxFlows: maxFlows,
+				Gbps: gbps, Speedup: gbps / baseline,
+				Matches: st.Matches, Evicted: st.FlowsEvicted,
+				OutOfOrder: st.OutOfOrderSegs, Duplicate: st.DuplicateBytes,
+				OracleWant: feed.want, OracleOK: true,
+			})
+			return nil
+		}
+		rep.Rows = append(rep.Rows, gatewayBenchRow{
+			Mode: mode, Workers: workers, MaxFlows: maxFlows,
+			Matches: st.Matches, Evicted: st.FlowsEvicted,
+			OutOfOrder: st.OutOfOrderSegs, Duplicate: st.DuplicateBytes,
+			OracleWant: feed.want, OracleOK: false,
+		})
+		rep.OK = false
+		if err := writeJSON(); err != nil {
+			return err
+		}
+		return fmt.Errorf("dpibench: gateway %s with %d workers found %d matches, oracle %d",
+			mode, workers, st.Matches, feed.want)
+	}
+
 	for _, workers := range workerSweep(maxWorkers) {
-		// Correctness gate before timing: at full capacity the gateway must
-		// reproduce the oracle exactly.
-		st, err := run(workers, ample)
-		if err != nil {
+		if err := benchRow("full-table", inFeed, workers, ample); err != nil {
 			return err
 		}
-		if int(st.Matches) != want {
-			return fmt.Errorf("dpibench: gateway with %d workers found %d matches, oracle %d", workers, st.Matches, want)
-		}
-		gbps, st, err := measure(workers, ample)
-		if err != nil {
-			return err
-		}
-		if baseline == 0 {
-			baseline = gbps
-		}
-		t.AddRow("full-table", workers, ample, fmt.Sprintf("%.3f", gbps),
-			fmt.Sprintf("%.2fx", gbps/baseline), st.Matches, st.FlowsEvicted)
+	}
+	// Reassembly regime: the same connections delivered out of order with
+	// retransmissions; the oracle is unchanged because reassembly restores
+	// the streams exactly.
+	if err := benchRow("reordered", reFeed, maxWorkers, ample); err != nil {
+		return err
 	}
 	// Churn regime: the table is far smaller than the offered flow count,
-	// so eviction runs constantly and detections may be traded for memory.
-	gbps, st, err := measure(maxWorkers, cfg.ChurnMaxFlows)
+	// so eviction runs constantly and detections may be traded for memory;
+	// no oracle gate applies.
+	gbps, st, err := measure(reFeed, maxWorkers, cfg.ChurnMaxFlows)
 	if err != nil {
 		return err
 	}
@@ -175,6 +284,17 @@ func runGateway(out io.Writer, cfg gatewayBenchConfig) error {
 		return fmt.Errorf("dpibench: churn row evicted no flows (cap %d, %d flows)", cfg.ChurnMaxFlows, cfg.Flows)
 	}
 	t.AddRow("churn", maxWorkers, cfg.ChurnMaxFlows, fmt.Sprintf("%.3f", gbps),
-		fmt.Sprintf("%.2fx", gbps/baseline), st.Matches, st.FlowsEvicted)
+		fmt.Sprintf("%.2fx", gbps/baseline), st.Matches, st.FlowsEvicted,
+		st.OutOfOrderSegs, st.DuplicateBytes)
+	rep.Rows = append(rep.Rows, gatewayBenchRow{
+		Mode: "churn", Workers: maxWorkers, MaxFlows: cfg.ChurnMaxFlows,
+		Gbps: gbps, Speedup: gbps / baseline,
+		Matches: st.Matches, Evicted: st.FlowsEvicted,
+		OutOfOrder: st.OutOfOrderSegs, Duplicate: st.DuplicateBytes,
+		OracleOK: true, // not oracle-gated
+	})
+	if err := writeJSON(); err != nil {
+		return err
+	}
 	return t.Render(out)
 }

@@ -11,6 +11,7 @@
 //	dpibench -parallel            # engine throughput vs worker count
 //	dpibench -parallel -workers 8 # cap the worker sweep
 //	dpibench -gateway             # NIDS gateway ingestion throughput
+//	dpibench -gateway -json out.json  # plus a machine-readable report
 //	dpibench -seed 2010           # workload seed (default 2010)
 package main
 
@@ -34,6 +35,7 @@ func main() {
 		ablation = flag.Bool("ablation", false, "run the ablation experiments")
 		parallel = flag.Bool("parallel", false, "measure engine throughput vs worker count")
 		gateway  = flag.Bool("gateway", false, "measure NIDS gateway ingestion throughput vs worker count")
+		jsonOut  = flag.String("json", "", "with -gateway: also write the report (rows + oracle outcome) as JSON to this path")
 		workers  = flag.Int("workers", 0, "max workers for -parallel/-gateway (0 = NumCPU)")
 		tsv      = flag.Bool("tsv", false, "emit figure series as TSV instead of ASCII plots")
 		seed     = flag.Int64("seed", experiments.DefaultSeed, "workload generation seed")
@@ -55,7 +57,7 @@ func main() {
 	if *gateway {
 		cfg := defaultGatewayConfig(*seed)
 		cfg.MaxWorkers = *workers
-		if err := runGateway(os.Stdout, cfg); err != nil {
+		if err := runGateway(os.Stdout, *jsonOut, cfg); err != nil {
 			fmt.Fprintln(os.Stderr, "dpibench:", err)
 			os.Exit(1)
 		}

@@ -1,6 +1,9 @@
 package main
 
 import (
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 	"time"
@@ -41,19 +44,54 @@ func TestWorkerSweepShape(t *testing.T) {
 
 func TestRunGatewaySmall(t *testing.T) {
 	var sb strings.Builder
+	jsonPath := filepath.Join(t.TempDir(), "gateway-bench.json")
 	cfg := gatewayBenchConfig{
 		Strings: 100, Flows: 12, SegmentsPerFlow: 3, SegmentBytes: 200,
-		Datagrams: 10, DatagramBytes: 150, ChurnMaxFlows: 3, Seed: 2010,
+		Datagrams: 10, DatagramBytes: 150, ChurnMaxFlows: 3,
+		ReorderWindow: 2, RetransDensity: 0.5, Seed: 2010,
 		MinTime: 5 * time.Millisecond, MaxWorkers: 2,
 	}
-	if err := runGateway(&sb, cfg); err != nil {
+	if err := runGateway(&sb, jsonPath, cfg); err != nil {
 		t.Fatal(err)
 	}
 	out := sb.String()
-	for _, want := range []string{"GATEWAY INGESTION", "full-table", "churn", "Gbps", "Evicted"} {
+	for _, want := range []string{"GATEWAY INGESTION", "full-table", "reordered", "churn", "Gbps", "Evicted", "OOOSegs"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("missing %q:\n%s", want, out)
 		}
+	}
+	data, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep gatewayBenchReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("JSON report does not parse: %v\n%s", err, data)
+	}
+	if !rep.OK {
+		t.Fatalf("report not OK: %s", data)
+	}
+	// full-table sweep (2 workers -> 2 rows) + reordered + churn.
+	if len(rep.Rows) != 4 {
+		t.Fatalf("report has %d rows: %s", len(rep.Rows), data)
+	}
+	var sawReordered bool
+	for _, r := range rep.Rows {
+		if !r.OracleOK {
+			t.Fatalf("row %+v failed its oracle but report.OK is true", r)
+		}
+		if r.Mode == "reordered" {
+			sawReordered = true
+			if r.OutOfOrder == 0 {
+				t.Errorf("reordered row buffered no segments: %+v", r)
+			}
+			if r.OracleWant == 0 || r.Matches != uint64(r.OracleWant) {
+				t.Errorf("reordered row not oracle-gated: %+v", r)
+			}
+		}
+	}
+	if !sawReordered {
+		t.Fatal("no reordered row in the report")
 	}
 }
 

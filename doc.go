@@ -24,14 +24,24 @@
 //     batch of payloads across workers; Engine.Flow gives each concurrent
 //     stream its own scanner registers while sharing the compiled machine.
 //   - Gateway: the NIDS front-end the paper deploys — pipelined packet
-//     ingestion (Ingest, or framed feeds via IngestReader) behind a bounded
-//     queue whose fullness is the backpressure contract. Non-TCP packets
-//     are batched into Engine.ScanPackets-sized bursts; TCP packets are
-//     demultiplexed through a sharded 5-tuple flow table into per-flow
-//     scanner state pinned to hash-chosen lanes, so matches spanning
-//     segment boundaries survive demultiplexing. Flow state is pooled and
-//     bounded: least-recently-active flows are evicted at the MaxFlows cap
-//     and after IdleTimeout logical ticks (time measured in packets), and
+//     ingestion (Ingest, or framed feeds via IngestReader; frame format v2
+//     carries the TCP seq/flags) behind a bounded queue whose fullness is
+//     the backpressure contract. Non-TCP packets are batched into
+//     Engine.ScanPackets-sized bursts; TCP packets are demultiplexed
+//     through a sharded 5-tuple flow table into per-flow scanner state
+//     pinned to hash-chosen lanes. Segments tagged FlagSeq pass through
+//     TCP reassembly first (configurable overlap policy, bounded per-flow
+//     and global buffering, gap timeout/skip, SYN/FIN/RST lifecycle), so
+//     matches spanning segment boundaries survive demultiplexing even when
+//     segments arrive out of order, overlapping or retransmitted. Header
+//     rules (VerdictRule) classify each flow's 5-tuple before any payload
+//     byte is scanned — pass exempts, drop discards unscanned, alert tags
+//     every match with the admitting rule — with the decision reported
+//     through OnVerdict before any match from that flow. Flow state is
+//     pooled and bounded: least-recently-active flows are evicted at the
+//     MaxFlows cap and after IdleTimeout logical ticks (time measured in
+//     packets), a FIN returns scanner state to the pool immediately (the
+//     entry lingers to absorb stragglers), an RST tears the flow down, and
 //     an evicted-then-recreated flow always starts from clean state.
 //   - Accelerator: a functional model of the paper's FPGA design — packed
 //     324-bit memory images, 6-engine string matching blocks, multi-block

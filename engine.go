@@ -105,6 +105,17 @@ func (f *Flow) Reset() {
 	}
 }
 
+// SkipGap advances the flow position by n bytes that were never seen (a
+// TCP reassembly gap skipped on loss): scanner registers are invalidated —
+// a match cannot span unseen bytes — but offsets of later matches remain
+// absolute in the flow's true byte stream. The Gateway calls this when a
+// flow's gap timeout expires.
+func (f *Flow) SkipGap(n int) {
+	if f.f != nil && n > 0 {
+		f.f.SkipGap(n)
+	}
+}
+
 // Consumed returns the bytes scanned since the flow was opened or Reset.
 func (f *Flow) Consumed() int {
 	if f.f == nil {

@@ -6,15 +6,31 @@ package dpi
 // shared compressed automaton at one transition per byte. The software
 // pipeline mirrors the hardware's structure — a bounded ingest queue plays
 // the role of the input FIFO, stateless packets are batched into bursts
-// across the engine's worker lanes, and TCP-like packets are pinned to a
-// lane by flow hash so each connection's scanner registers see its bytes in
-// order, exactly as a hardware engine owns a packet stream.
+// across the engine's worker lanes, and TCP packets are pinned to a lane by
+// flow hash so each connection's scanner registers see its bytes in order,
+// exactly as a hardware engine owns a packet stream.
+//
+// Two stages sit between a lane and the scanner, completing the NIDS model:
+//
+//   - TCP reassembly (internal/reassembly): segments carrying a sequence
+//     number (FlagSeq) are reordered into the connection's contiguous byte
+//     stream before scanning, with a configurable overlap policy, bounded
+//     buffering, and a gap timeout so loss cannot wedge a flow. This closes
+//     the segmentation-evasion hole: a signature split or shuffled across
+//     segments is still seen contiguously by the matcher.
+//   - Header-rule verdicts (internal/nids): rules classify the 5-tuple
+//     before any payload byte is scanned. A pass rule exempts the flow from
+//     inspection, a drop rule discards it unscanned, and an alert rule tags
+//     every match with the rule that admitted it. The verdict is decided
+//     once per flow (per packet for stateless traffic) and reported through
+//     OnVerdict before any match from that flow is emitted.
 
 import (
 	"bufio"
 	"encoding/binary"
 	"fmt"
 	"io"
+	"math"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -22,11 +38,29 @@ import (
 	"repro/internal/ac"
 	"repro/internal/flowtable"
 	"repro/internal/nids"
+	"repro/internal/reassembly"
 )
 
 // FiveTuple is the packet classification header keying flows, shared with
 // the internal NIDS rule model.
 type FiveTuple = nids.FiveTuple
+
+// HeaderRule is the 5-tuple classification half of a NIDS rule: protocol,
+// source/destination CIDR prefixes and port ranges. The zero value matches
+// every packet.
+type HeaderRule = nids.HeaderRule
+
+// Prefix is an IPv4 CIDR prefix for HeaderRule nets; the zero value
+// matches any address.
+type Prefix = nids.Prefix
+
+// PortRange is an inclusive port interval for HeaderRule ports; the zero
+// value matches any port.
+type PortRange = nids.PortRange
+
+// IPv4 packs four octets into the uint32 address form used by FiveTuple
+// and Prefix.
+func IPv4(a, b, c, d byte) uint32 { return nids.IPv4(a, b, c, d) }
 
 // IP protocol numbers for FiveTuple.Proto.
 const (
@@ -36,23 +70,112 @@ const (
 	ProtoUDP  = nids.ProtoUDP
 )
 
+// TCPFlags carries the TCP control bits the gateway acts on, plus FlagSeq,
+// which marks the Seq field as meaningful. A packet without FlagSeq takes
+// the pre-reassembly path: its bytes append at the flow's current stream
+// position, trusting the feed to deliver segments in order.
+type TCPFlags uint8
+
+const (
+	FlagFIN TCPFlags = 1 << 0 // connection finished after this segment
+	FlagSYN TCPFlags = 1 << 1 // connection start; Seq is the ISN
+	FlagRST TCPFlags = 1 << 2 // abort: tear the flow down immediately
+	// FlagSeq marks Seq as valid, routing the packet through TCP
+	// reassembly. Feeds that guarantee in-order delivery may omit it.
+	FlagSeq TCPFlags = 1 << 7
+)
+
+// OverlapPolicy selects which bytes win when TCP segments overlap in the
+// reassembly buffer. Bytes already delivered to the scanner are immutable
+// under either policy.
+type OverlapPolicy = reassembly.Policy
+
+const (
+	// FirstWins keeps the bytes that arrived first (Snort's default).
+	FirstWins = reassembly.FirstWins
+	// LastWins lets retransmissions overwrite buffered, unscanned bytes.
+	LastWins = reassembly.LastWins
+)
+
 // GatewayPacket is one ingested packet: a payload tagged with its flow's
-// 5-tuple. The Gateway takes ownership of Payload; callers that reuse
-// buffers must copy first.
+// 5-tuple and, for TCP segments from a real capture, the sequence number
+// and control flags driving reassembly and connection lifecycle. The
+// Gateway takes ownership of Payload; callers that reuse buffers must copy
+// first.
 type GatewayPacket struct {
-	Tuple   FiveTuple
+	Tuple FiveTuple
+	// Seq is the TCP sequence number of Payload[0] (of the SYN itself on a
+	// SYN segment). It is honoured only when Flags has FlagSeq set.
+	Seq     uint32
+	Flags   TCPFlags
 	Payload []byte
+}
+
+// Verdict is the action a header rule attaches to a flow or packet.
+type Verdict uint8
+
+const (
+	// VerdictNone: no header rule matched; the payload is scanned and
+	// matches carry no rule attribution.
+	VerdictNone Verdict = iota
+	// VerdictAlert: scan the payload; matches carry the rule's ID.
+	VerdictAlert
+	// VerdictDrop: discard the flow/packet without scanning.
+	VerdictDrop
+	// VerdictPass: exempt the flow/packet from inspection.
+	VerdictPass
+)
+
+// String implements fmt.Stringer.
+func (v Verdict) String() string {
+	switch v {
+	case VerdictAlert:
+		return "alert"
+	case VerdictDrop:
+		return "drop"
+	case VerdictPass:
+		return "pass"
+	}
+	return "none"
+}
+
+// VerdictRule is one gateway header rule: a 5-tuple classifier plus the
+// action to take on flows it matches. Rules are evaluated in slice order
+// and the first match wins, so put the most specific rules first. A rule
+// whose Verdict is VerdictNone acts as VerdictAlert.
+type VerdictRule struct {
+	ID      int
+	Name    string
+	Header  HeaderRule
+	Verdict Verdict
+}
+
+// FlowVerdict reports one classification decision: for stream (TCP) flows
+// it fires once per connection on the first packet, before any match from
+// that flow; for stateless packets it fires per packet. Only decisions
+// made by a configured rule are reported.
+type FlowVerdict struct {
+	Tuple    FiveTuple
+	Verdict  Verdict
+	RuleID   int
+	RuleName string
 }
 
 // FlowMatch is a match attributed to a flow. For stream-routed (TCP)
 // packets, Start/End are offsets into the flow's reassembled byte stream
 // and PacketID is the ingest sequence number of the packet whose bytes
-// completed the match — cross-packet matches carry the sequence number of
-// the finishing segment. For batch-routed packets, Start/End are offsets
-// into that packet's payload and PacketID is its ingest sequence number.
+// completed the match — for a match completed by buffered out-of-order
+// bytes, that is the packet whose arrival released those bytes. For
+// batch-routed packets, Start/End are offsets into that packet's payload
+// and PacketID is its ingest sequence number.
 type FlowMatch struct {
 	Tuple FiveTuple
 	Match
+	// Verdict and RuleID carry the header-rule gate that admitted this
+	// flow or packet to scanning: VerdictAlert and the rule's ID when a
+	// rule matched, VerdictNone and -1 otherwise.
+	Verdict Verdict
+	RuleID  int
 }
 
 // GatewayConfig sizes the ingest pipeline. The zero value selects sensible
@@ -87,6 +210,33 @@ type GatewayConfig struct {
 	// MaxFrameBytes caps the payload length IngestReader accepts per
 	// frame, bounding memory against corrupt or hostile feeds. Default 1MiB.
 	MaxFrameBytes int
+
+	// OverlapPolicy resolves overlapping TCP segments in the reassembly
+	// buffer. Default FirstWins.
+	OverlapPolicy OverlapPolicy
+	// MaxFlowBuffer caps one flow's buffered out-of-order bytes; under
+	// pressure the bytes furthest from the delivery point are dropped
+	// first. Default 256 KiB.
+	MaxFlowBuffer int
+	// MaxTotalBuffer caps buffered out-of-order bytes across all flows.
+	// Default 16 MiB; negative disables the cap (held bytes are still
+	// tracked for Stats.BufferedBytes).
+	MaxTotalBuffer int
+	// GapTimeout is how many stream packets (gateway-wide, the same
+	// logical clock as IdleTimeout) a flow may stall on a missing segment
+	// before the gap is skipped: scanner state is invalidated across the
+	// unseen bytes and scanning resumes at the first buffered byte, so a
+	// single lost segment cannot wedge a flow. Default 4096; negative
+	// disables skipping.
+	GapTimeout int
+
+	// Rules classify each flow's 5-tuple before payload scanning; see
+	// VerdictRule. No rules means every packet is scanned unattributed.
+	Rules []VerdictRule
+	// OnVerdict, when non-nil, receives every rule classification (see
+	// FlowVerdict). Like the match callback it is invoked concurrently
+	// from pipeline stages and must be safe for concurrent use.
+	OnVerdict func(FlowVerdict)
 }
 
 func (c GatewayConfig) withDefaults(e *Engine) GatewayConfig {
@@ -108,6 +258,18 @@ func (c GatewayConfig) withDefaults(e *Engine) GatewayConfig {
 	if c.MaxFrameBytes <= 0 {
 		c.MaxFrameBytes = 1 << 20
 	}
+	if c.MaxFlowBuffer <= 0 {
+		c.MaxFlowBuffer = 256 << 10
+	}
+	if c.MaxTotalBuffer == 0 {
+		c.MaxTotalBuffer = 16 << 20
+	}
+	if c.GapTimeout == 0 {
+		c.GapTimeout = 4096
+	}
+	if c.GapTimeout < 0 {
+		c.GapTimeout = 0 // disabled
+	}
 	return c
 }
 
@@ -119,22 +281,42 @@ type GatewayStats struct {
 	BatchPackets  uint64 // scanned statelessly in bursts
 	Batches       uint64 // bursts handed to Engine.ScanPackets
 	Matches       uint64 // FlowMatches emitted
+
+	// TCP reassembly (FlagSeq segments only).
+	ReassembledBytes uint64 // bytes delivered to scanners in stream order
+	BufferedBytes    int    // out-of-order bytes currently held, all flows
+	OutOfOrderSegs   uint64 // segments that had to be buffered
+	DuplicateBytes   uint64 // retransmitted/overlapping bytes discarded
+	ReassemblyDrops  uint64 // bytes dropped to the flow/global buffer caps
+	GapSkips         uint64 // gaps skipped on timeout
+	GapSkippedBytes  uint64 // unseen bytes skipped past
+
+	// Header-rule verdicts.
+	VerdictAlerts uint64 // flows/packets admitted by an alert rule
+	VerdictDrops  uint64 // flows/packets discarded unscanned
+	VerdictPasses uint64 // flows/packets exempted unscanned
+	DroppedBytes  uint64 // payload bytes of verdict-dropped traffic
+
 	FlowsLive     int
 	FlowsCreated  uint64
-	FlowsEvicted  uint64 // capacity + idle evictions
+	FlowsEvicted  uint64 // capacity + idle evictions + RST teardowns
+	FlowsFinished uint64 // completed via FIN (scanner state released early)
+	FlowsReset    uint64 // torn down by RST
 }
 
 // Gateway is a pipelined ingestion front-end over an Engine: a bounded
 // ingest queue, a collector that routes packets, per-flow stream lanes fed
-// through a 5-tuple flow table, and a burst scanner for stateless packets.
+// through a 5-tuple flow table (with TCP reassembly and header-rule
+// verdicts ahead of the scanner), and a burst scanner for stateless
+// packets.
 //
-//	Ingest ──▶ queue ──▶ collector ──▶ stream lanes (TCP, per-flow state)
-//	                          └──────▶ burst scanner (Engine.ScanPackets)
+//	Ingest ──▶ queue ──▶ collector ──▶ stream lanes ─▶ verdict ─▶ reassembly ─▶ per-flow scan
+//	                          └──────▶ burst scanner ─▶ verdict ─▶ Engine.ScanPackets
 //
-// Ingest and IngestReader may be called from multiple goroutines; emit is
-// invoked concurrently (from the stream lanes and the burst scanner) and
-// must be safe for concurrent use. Close drains the pipeline, flushes any
-// partial burst, and returns all flow state to the engine pool.
+// Ingest and IngestReader may be called from multiple goroutines; emit and
+// OnVerdict are invoked concurrently (from the stream lanes and the burst
+// scanner) and must be safe for concurrent use. Close drains the pipeline,
+// flushes any partial burst, and returns all flow state to the engine pool.
 type Gateway struct {
 	e    *Engine
 	cfg  GatewayConfig
@@ -143,9 +325,11 @@ type Gateway struct {
 	in      chan seqPacket
 	batchQ  chan []seqPacket
 	streamQ []chan seqPacket
-	table   *flowtable.Table[*Flow]
+	table   *flowtable.Table[*gwFlow]
+	budget  *reassembly.Budget
+	asmCfg  reassembly.Config
 
-	mu     sync.RWMutex // guards closed vs in-flight Ingest sends
+	mu     sync.RWMutex // guards closed vs in-flight Ingest sends; Flush holds it exclusively
 	closed bool
 
 	collectorWg sync.WaitGroup
@@ -158,12 +342,27 @@ type Gateway struct {
 	batched  atomic.Uint64
 	bursts   atomic.Uint64
 	matches  atomic.Uint64
+
+	reassembled   atomic.Uint64
+	oooSegs       atomic.Uint64
+	dupBytes      atomic.Uint64
+	asmDropped    atomic.Uint64
+	gapSkips      atomic.Uint64
+	gapSkipBytes  atomic.Uint64
+	flowsFinished atomic.Uint64
+	flowsReset    atomic.Uint64
+	verdictAlerts atomic.Uint64
+	verdictDrops  atomic.Uint64
+	verdictPasses atomic.Uint64
+	droppedBytes  atomic.Uint64
 }
 
 type seqPacket struct {
 	tuple   FiveTuple
 	payload []byte
-	seq     int
+	seq     int // global ingest sequence number (PacketID attribution)
+	seq32   uint32
+	flags   TCPFlags
 }
 
 // Gateway starts a pipelined ingestion front-end over the engine. emit
@@ -178,15 +377,34 @@ func (e *Engine) Gateway(cfg GatewayConfig, emit func(FlowMatch)) *Gateway {
 		in:     make(chan seqPacket, cfg.QueueDepth),
 		batchQ: make(chan []seqPacket, 2),
 	}
+	// A negative MaxTotalBuffer disables the global cap but the budget is
+	// still kept, with an effectively infinite limit, so Stats can always
+	// report how many out-of-order bytes are held across flows.
+	if cfg.MaxTotalBuffer > 0 {
+		g.budget = reassembly.NewBudget(cfg.MaxTotalBuffer)
+	} else {
+		g.budget = reassembly.NewBudget(math.MaxInt64)
+	}
+	g.asmCfg = reassembly.Config{
+		Policy:       cfg.OverlapPolicy,
+		MaxFlowBytes: cfg.MaxFlowBuffer,
+		Budget:       g.budget,
+		GapTimeout:   uint64(cfg.GapTimeout),
+	}
 	g.emit = func(fm FlowMatch) {
 		g.matches.Add(1)
 		emit(fm)
 	}
-	g.table = flowtable.New(flowtable.Config[*Flow]{
-		New: func(k flowtable.Key) *Flow {
-			return e.Flow(func(m Match) { g.emit(FlowMatch{Tuple: k, Match: m}) })
+	g.table = flowtable.New(flowtable.Config[*gwFlow]{
+		New: func(k flowtable.Key) *gwFlow {
+			fl := &gwFlow{g: g, tuple: k}
+			fl.verdict, fl.ruleIdx = g.classify(k)
+			if fl.verdict == VerdictNone || fl.verdict == VerdictAlert {
+				fl.open()
+			}
+			return fl
 		},
-		Evict:     func(_ flowtable.Key, f *Flow) { f.Close() },
+		Evict:     func(_ flowtable.Key, fl *gwFlow) { fl.close() },
 		MaxFlows:  cfg.MaxFlows,
 		IdleTicks: uint64(cfg.IdleTimeout),
 		Shards:    cfg.FlowShards,
@@ -205,6 +423,205 @@ func (e *Engine) Gateway(cfg GatewayConfig, emit func(FlowMatch)) *Gateway {
 	return g
 }
 
+// classify runs the header rules over one 5-tuple: first matching rule
+// wins; no rule means scan without attribution.
+func (g *Gateway) classify(t FiveTuple) (Verdict, int) {
+	for i := range g.cfg.Rules {
+		if g.cfg.Rules[i].Header.Matches(t) {
+			v := g.cfg.Rules[i].Verdict
+			if v == VerdictNone {
+				v = VerdictAlert
+			}
+			return v, i
+		}
+	}
+	return VerdictNone, -1
+}
+
+// notifyVerdict counts a rule decision and forwards it to OnVerdict.
+func (g *Gateway) notifyVerdict(t FiveTuple, v Verdict, idx int) {
+	if idx < 0 {
+		return
+	}
+	switch v {
+	case VerdictAlert:
+		g.verdictAlerts.Add(1)
+	case VerdictDrop:
+		g.verdictDrops.Add(1)
+	case VerdictPass:
+		g.verdictPasses.Add(1)
+	}
+	if g.cfg.OnVerdict != nil {
+		r := &g.cfg.Rules[idx]
+		g.cfg.OnVerdict(FlowVerdict{Tuple: t, Verdict: v, RuleID: r.ID, RuleName: r.Name})
+	}
+}
+
+// gwFlow is one connection's gateway-side state: the verdict decided from
+// its first packet, the reassembly stream (created on the first FlagSeq
+// segment), and the engine flow holding its scanner registers. All methods
+// run under the flow-table entry lock, so a gwFlow is effectively
+// single-goroutine.
+type gwFlow struct {
+	g        *Gateway
+	tuple    FiveTuple
+	f        *Flow
+	asm      *reassembly.Stream
+	verdict  Verdict
+	ruleIdx  int // index into cfg.Rules; -1 when no rule matched
+	notified bool
+	// done marks a connection completed by FIN. The entry lingers as a
+	// husk (TIME_WAIT, in spirit) so straggling retransmissions are
+	// recognized and discarded instead of respawning the flow; a SYN
+	// re-opens it as a new connection. An RST, by contrast, removes the
+	// entry from the table immediately — a post-RST straggler therefore
+	// starts a fresh flow (midstream pickup), like any unseen tuple.
+	done bool
+}
+
+// open checks scanner state out of the engine pool and binds the match
+// emission path, stamping each match with the flow's verdict attribution.
+func (fl *gwFlow) open() {
+	v, rid := VerdictNone, -1
+	if fl.ruleIdx >= 0 {
+		v = VerdictAlert
+		rid = fl.g.cfg.Rules[fl.ruleIdx].ID
+	}
+	g := fl.g
+	fl.f = g.e.Flow(func(m Match) {
+		g.emit(FlowMatch{Tuple: fl.tuple, Match: m, Verdict: v, RuleID: rid})
+	})
+}
+
+// ingest processes one segment. It reports whether the flow should be
+// removed from the table right now (RST teardown).
+func (fl *gwFlow) ingest(p seqPacket, tick uint64) bool {
+	g := fl.g
+	if !fl.notified {
+		fl.notified = true
+		g.notifyVerdict(fl.tuple, fl.verdict, fl.ruleIdx)
+	}
+	// RST tears the connection down whatever its verdict or husk state —
+	// a dropped/passed or FIN-closed flow must not pin a table slot after
+	// the endpoints abort it.
+	if p.flags&FlagRST != 0 {
+		if !fl.done {
+			g.flowsReset.Add(1)
+		}
+		fl.teardown()
+		return true
+	}
+	switch fl.verdict {
+	case VerdictDrop:
+		g.droppedBytes.Add(uint64(len(p.payload)))
+		return false
+	case VerdictPass:
+		return false
+	}
+	if fl.done {
+		if p.flags&FlagSYN == 0 {
+			g.dupBytes.Add(uint64(len(p.payload)))
+			return false
+		}
+		// A SYN on a closed tuple is a new connection: fresh scanner
+		// state, fresh reassembly positions — and its own verdict event
+		// (the once-per-connection contract follows connections, not
+		// table entries).
+		fl.done = false
+		fl.asm = nil
+		fl.open()
+		g.notifyVerdict(fl.tuple, fl.verdict, fl.ruleIdx)
+	}
+	if p.flags&FlagSeq == 0 {
+		// Pre-reassembly semantics: the feed vouches for ordering and the
+		// bytes append at the flow's current stream position.
+		fl.f.WritePacket(p.payload, p.seq)
+		if p.flags&FlagFIN != 0 {
+			fl.finish()
+		}
+		return false
+	}
+	if fl.asm == nil {
+		fl.asm = reassembly.NewStream(g.asmCfg)
+	}
+	// Explicit flag translation: the gateway and reassembly bit values
+	// happen to coincide, but relying on that would let a renumbering in
+	// either package silently misroute FIN/SYN. RST never reaches the
+	// reassembler — it returned above.
+	var rf reassembly.Flags
+	if p.flags&FlagFIN != 0 {
+		rf |= reassembly.FIN
+	}
+	if p.flags&FlagSYN != 0 {
+		rf |= reassembly.SYN
+	}
+	res := fl.asm.Segment(p.seq32, p.payload, rf, tick,
+		func(chunk []byte, skipped int) {
+			if skipped > 0 {
+				fl.f.SkipGap(skipped)
+			}
+			fl.f.WritePacket(chunk, p.seq)
+		})
+	g.reassembled.Add(uint64(res.Delivered))
+	if res.Buffered > 0 {
+		g.oooSegs.Add(1)
+	}
+	if res.Duplicate > 0 {
+		g.dupBytes.Add(uint64(res.Duplicate))
+	}
+	if res.Dropped > 0 {
+		g.asmDropped.Add(uint64(res.Dropped))
+	}
+	if res.Skipped > 0 {
+		g.gapSkips.Add(1)
+		g.gapSkipBytes.Add(uint64(res.Skipped))
+	}
+	if res.Event == reassembly.EventFinished {
+		fl.finish()
+	}
+	return false
+}
+
+// finish retires a FIN-completed connection: scanner state returns to the
+// pool immediately instead of waiting for table eviction; the husk entry
+// stays behind to absorb stragglers.
+func (fl *gwFlow) finish() {
+	if fl.f != nil {
+		fl.f.Close()
+		fl.f = nil
+	}
+	if fl.asm != nil {
+		fl.asm.Release()
+	}
+	fl.done = true
+	fl.g.flowsFinished.Add(1)
+}
+
+// teardown aborts the connection (RST): buffered bytes and scanner state
+// are released; the caller removes the table entry.
+func (fl *gwFlow) teardown() {
+	if fl.f != nil {
+		fl.f.Close()
+		fl.f = nil
+	}
+	if fl.asm != nil {
+		fl.asm.Release()
+	}
+	fl.done = true
+}
+
+// close releases everything; the flow-table eviction callback.
+func (fl *gwFlow) close() {
+	if fl.f != nil {
+		fl.f.Close()
+		fl.f = nil
+	}
+	if fl.asm != nil {
+		fl.asm.Release()
+		fl.asm = nil
+	}
+}
+
 // Ingest queues one packet, blocking when the pipeline is saturated (the
 // backpressure contract: a caller reading from a NIC or file cannot outrun
 // the scan stages by more than the queue and burst buffers). It returns an
@@ -218,15 +635,19 @@ func (g *Gateway) Ingest(pkt GatewayPacket) error {
 	seq := g.seq.Add(1) - 1
 	g.inflight.Add(1)
 	g.bytes.Add(uint64(len(pkt.Payload)))
-	g.in <- seqPacket{tuple: pkt.Tuple, payload: pkt.Payload, seq: int(seq)}
+	g.in <- seqPacket{tuple: pkt.Tuple, payload: pkt.Payload, seq: int(seq), seq32: pkt.Seq, flags: pkt.Flags}
 	return nil
 }
 
 // Flush blocks until every packet ingested before the call has been
 // scanned (the queue is drained, partial bursts included), making Stats
-// and EvictIdleFlows deterministic checkpoints. Packets ingested
-// concurrently with Flush may keep it waiting.
+// and EvictIdleFlows deterministic checkpoints. Flush serializes against
+// Ingest: concurrent Ingest calls block until the flush completes, so the
+// drain barrier cannot be raced past — Flush returns only at a true
+// everything-scanned point.
 func (g *Gateway) Flush() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
 	for g.inflight.Load() != 0 {
 		time.Sleep(50 * time.Microsecond)
 	}
@@ -305,35 +726,64 @@ func (g *Gateway) collect() {
 // streamWorker owns one per-flow lane: every packet of a given flow lands
 // on the same lane (hash-pinned by the collector), so writes into the
 // flow's scanner state are ordered without per-packet locking beyond the
-// flow table's entry lock.
+// flow table's entry lock. The lane's packet counter doubles as the
+// logical clock for reassembly gap timeouts.
 func (g *Gateway) streamWorker(q <-chan seqPacket) {
 	defer g.workerWg.Done()
 	for p := range q {
-		g.stream.Add(1)
-		g.table.Do(p.tuple, func(f *Flow) {
-			f.WritePacket(p.payload, p.seq)
-		})
+		tick := g.stream.Add(1)
+		var removeNow bool
+		g.table.Do(p.tuple, func(fl *gwFlow) { removeNow = fl.ingest(p, tick) })
+		if removeNow {
+			// RST teardown: the same lane owns every packet of this flow,
+			// so no concurrent Do on the tuple can interleave here.
+			g.table.Remove(p.tuple)
+		}
 		g.inflight.Add(-1)
 	}
 }
 
-// burstScanner scans stateless bursts with the engine's worker pool,
-// reusing one results buffer across bursts so steady-state batch scanning
+// burstScanner scans stateless bursts with the engine's worker pool. The
+// verdict stage runs per packet here (stateless traffic has no flow to
+// remember a decision on): drop/pass packets never reach the engine, and
+// matches on alert-admitted packets carry the rule attribution. One
+// results buffer is reused across bursts so steady-state batch scanning
 // does not allocate per burst.
 func (g *Gateway) burstScanner() {
 	defer g.workerWg.Done()
 	var buf [][]ac.Match
+	var kept []seqPacket
+	var payloads [][]byte
+	var ruleIdx []int
 	for batch := range g.batchQ {
 		g.bursts.Add(1)
 		g.batched.Add(uint64(len(batch)))
-		payloads := make([][]byte, len(batch))
-		for i, p := range batch {
-			payloads[i] = p.payload
+		kept, payloads, ruleIdx = kept[:0], payloads[:0], ruleIdx[:0]
+		for _, p := range batch {
+			v, idx := g.classify(p.tuple)
+			g.notifyVerdict(p.tuple, v, idx)
+			switch v {
+			case VerdictDrop:
+				g.droppedBytes.Add(uint64(len(p.payload)))
+				continue
+			case VerdictPass:
+				continue
+			}
+			kept = append(kept, p)
+			payloads = append(payloads, p.payload)
+			ruleIdx = append(ruleIdx, idx)
 		}
-		buf = g.e.eng.ScanPacketsInto(payloads, buf)
-		for i, ms := range buf {
-			for _, am := range ms {
-				g.emit(FlowMatch{Tuple: batch[i].tuple, Match: g.e.m.convert(am, batch[i].seq)})
+		if len(kept) > 0 {
+			buf = g.e.eng.ScanPacketsInto(payloads, buf)
+			for i, ms := range buf {
+				v, rid := VerdictNone, -1
+				if ruleIdx[i] >= 0 {
+					v = VerdictAlert
+					rid = g.cfg.Rules[ruleIdx[i]].ID
+				}
+				for _, am := range ms {
+					g.emit(FlowMatch{Tuple: kept[i].tuple, Match: g.e.m.convert(am, kept[i].seq), Verdict: v, RuleID: rid})
+				}
 			}
 		}
 		g.inflight.Add(-int64(len(batch)))
@@ -374,26 +824,51 @@ func (g *Gateway) Stats() GatewayStats {
 		BatchPackets:  g.batched.Load(),
 		Batches:       g.bursts.Load(),
 		Matches:       g.matches.Load(),
+
+		ReassembledBytes: g.reassembled.Load(),
+		BufferedBytes:    g.budget.Used(),
+		OutOfOrderSegs:   g.oooSegs.Load(),
+		DuplicateBytes:   g.dupBytes.Load(),
+		ReassemblyDrops:  g.asmDropped.Load(),
+		GapSkips:         g.gapSkips.Load(),
+		GapSkippedBytes:  g.gapSkipBytes.Load(),
+
+		VerdictAlerts: g.verdictAlerts.Load(),
+		VerdictDrops:  g.verdictDrops.Load(),
+		VerdictPasses: g.verdictPasses.Load(),
+		DroppedBytes:  g.droppedBytes.Load(),
+
 		FlowsLive:     ts.Live,
 		FlowsCreated:  ts.Created,
-		FlowsEvicted:  ts.EvictedCap + ts.EvictedIdle,
+		FlowsEvicted:  ts.EvictedCap + ts.EvictedIdle + ts.Removed,
+		FlowsFinished: g.flowsFinished.Load(),
+		FlowsReset:    g.flowsReset.Load(),
 	}
 }
 
-// Frame format for IngestReader/WriteFrame: a 17-byte big-endian header —
-// SrcIP(4) DstIP(4) SrcPort(2) DstPort(2) Proto(1) PayloadLen(4) —
-// followed by PayloadLen payload bytes.
-const frameHeaderLen = 17
+// Frame format v2 for IngestReader/WriteFrame: a 23-byte big-endian header —
+// Version(1)=2 SrcIP(4) DstIP(4) SrcPort(2) DstPort(2) Proto(1) Flags(1)
+// Seq(4) PayloadLen(4) — followed by PayloadLen payload bytes. v2 extends
+// the original 17-byte format with the leading version byte plus the TCP
+// Flags/Seq fields that drive reassembly; v1 frames (which had no version
+// byte) are no longer accepted — re-encode feeds with WriteFrame.
+const (
+	frameVersion   = 2
+	frameHeaderLen = 23
+)
 
 // WriteFrame writes pkt in the gateway's frame format.
 func WriteFrame(w io.Writer, pkt GatewayPacket) error {
 	var hdr [frameHeaderLen]byte
-	binary.BigEndian.PutUint32(hdr[0:], pkt.Tuple.SrcIP)
-	binary.BigEndian.PutUint32(hdr[4:], pkt.Tuple.DstIP)
-	binary.BigEndian.PutUint16(hdr[8:], pkt.Tuple.SrcPort)
-	binary.BigEndian.PutUint16(hdr[10:], pkt.Tuple.DstPort)
-	hdr[12] = pkt.Tuple.Proto
-	binary.BigEndian.PutUint32(hdr[13:], uint32(len(pkt.Payload)))
+	hdr[0] = frameVersion
+	binary.BigEndian.PutUint32(hdr[1:], pkt.Tuple.SrcIP)
+	binary.BigEndian.PutUint32(hdr[5:], pkt.Tuple.DstIP)
+	binary.BigEndian.PutUint16(hdr[9:], pkt.Tuple.SrcPort)
+	binary.BigEndian.PutUint16(hdr[11:], pkt.Tuple.DstPort)
+	hdr[13] = pkt.Tuple.Proto
+	hdr[14] = byte(pkt.Flags)
+	binary.BigEndian.PutUint32(hdr[15:], pkt.Seq)
+	binary.BigEndian.PutUint32(hdr[19:], uint32(len(pkt.Payload)))
 	if _, err := w.Write(hdr[:]); err != nil {
 		return err
 	}
@@ -402,12 +877,16 @@ func WriteFrame(w io.Writer, pkt GatewayPacket) error {
 }
 
 // ReadFrame reads one framed packet. It returns io.EOF cleanly at a frame
-// boundary and io.ErrUnexpectedEOF on a truncated frame. Frames whose
-// payload exceeds maxPayload are rejected without allocating.
+// boundary and io.ErrUnexpectedEOF on a truncated frame. Frames with an
+// unknown version byte are rejected immediately; frames whose payload
+// exceeds maxPayload are rejected without allocating.
 func ReadFrame(r io.Reader, maxPayload int) (GatewayPacket, error) {
 	var hdr [frameHeaderLen]byte
 	if _, err := io.ReadFull(r, hdr[:1]); err != nil {
 		return GatewayPacket{}, err // io.EOF here is a clean end of feed
+	}
+	if hdr[0] != frameVersion {
+		return GatewayPacket{}, fmt.Errorf("dpi: unsupported frame version %d (want %d)", hdr[0], frameVersion)
 	}
 	if _, err := io.ReadFull(r, hdr[1:]); err != nil {
 		if err == io.EOF {
@@ -415,18 +894,20 @@ func ReadFrame(r io.Reader, maxPayload int) (GatewayPacket, error) {
 		}
 		return GatewayPacket{}, err
 	}
-	n := binary.BigEndian.Uint32(hdr[13:])
+	n := binary.BigEndian.Uint32(hdr[19:])
 	if int64(n) > int64(maxPayload) {
 		return GatewayPacket{}, fmt.Errorf("dpi: frame payload %d exceeds limit %d", n, maxPayload)
 	}
 	pkt := GatewayPacket{
 		Tuple: FiveTuple{
-			SrcIP:   binary.BigEndian.Uint32(hdr[0:]),
-			DstIP:   binary.BigEndian.Uint32(hdr[4:]),
-			SrcPort: binary.BigEndian.Uint16(hdr[8:]),
-			DstPort: binary.BigEndian.Uint16(hdr[10:]),
-			Proto:   hdr[12],
+			SrcIP:   binary.BigEndian.Uint32(hdr[1:]),
+			DstIP:   binary.BigEndian.Uint32(hdr[5:]),
+			SrcPort: binary.BigEndian.Uint16(hdr[9:]),
+			DstPort: binary.BigEndian.Uint16(hdr[11:]),
+			Proto:   hdr[13],
 		},
+		Flags: TCPFlags(hdr[14]),
+		Seq:   binary.BigEndian.Uint32(hdr[15:]),
 	}
 	if n > 0 {
 		pkt.Payload = make([]byte, n)

@@ -30,6 +30,16 @@ func (s *Scanner) Reset() {
 	s.pos = 0
 }
 
+// SkipAhead invalidates the scan state as Reset does (start state, empty
+// history — a match must never span bytes the scanner did not see) but
+// advances the position by n unseen bytes, so match end offsets emitted
+// after a reassembly gap skip remain absolute in the flow's byte stream.
+func (s *Scanner) SkipAhead(n int) {
+	s.state = ac.Root
+	s.h1, s.h2 = HistNone, HistNone
+	s.pos += n
+}
+
 // Step consumes one input byte and reports the new state. Exactly one
 // transition is taken per byte — the guaranteed 1 character/cycle property.
 func (s *Scanner) Step(c byte) int32 {

@@ -196,6 +196,17 @@ func (f *Flow) Reset() {
 // Consumed returns the bytes scanned since the flow was opened or Reset.
 func (f *Flow) Consumed() int { return f.consumed }
 
+// SkipGap records n stream bytes the flow will never see (a reassembly
+// gap skipped on timeout): scanner states and histories are invalidated —
+// no match may span unseen bytes — while the stream position advances, so
+// subsequent matches keep absolute offsets into the flow's true stream.
+func (f *Flow) SkipGap(n int) {
+	for _, sc := range f.scanners {
+		sc.SkipAhead(n)
+	}
+	f.consumed += n
+}
+
 // Close returns the flow's scanner state to the engine pool. The Flow must
 // not be used afterwards.
 func (f *Flow) Close() {

@@ -115,3 +115,28 @@ func TestConcurrentFlowsShareOneAutomaton(t *testing.T) {
 		t.Fatal(e)
 	}
 }
+
+// TestFlowSkipGap: a gap skip invalidates match state across the unseen
+// bytes while keeping later match offsets absolute in the stream.
+func TestFlowSkipGap(t *testing.T) {
+	set := &ruleset.Set{Patterns: []ruleset.Pattern{{ID: 0, Data: []byte("needle"), Name: "needle"}}}
+	g, err := core.BuildGrouped(set, 1, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := New(g, 1)
+	f := e.Flow()
+	defer f.Close()
+	f.Write([]byte("xxneed")) // half a match, then 10 unseen bytes
+	f.SkipGap(10)
+	if ms := f.Write([]byte("le")); len(ms) != 0 {
+		t.Fatalf("match spans a gap: %+v", ms)
+	}
+	if f.Consumed() != 18 {
+		t.Fatalf("Consumed = %d, want 18", f.Consumed())
+	}
+	ms := f.Write([]byte("..needle"))
+	if len(ms) != 1 || ms[0].End != 26 {
+		t.Fatalf("post-gap match = %+v, want End 26 (absolute)", ms)
+	}
+}

@@ -63,6 +63,7 @@ type Stats struct {
 	Created     uint64
 	EvictedIdle uint64
 	EvictedCap  uint64
+	Removed     uint64 // explicit Remove calls (connection teardown)
 	Clock       uint64
 }
 
@@ -77,6 +78,7 @@ type Table[F any] struct {
 	created     atomic.Uint64
 	evictedIdle atomic.Uint64
 	evictedCap  atomic.Uint64
+	removed     atomic.Uint64
 }
 
 type shard[F any] struct {
@@ -212,6 +214,26 @@ func (t *Table[F]) finish(victims []*entry[F]) {
 	}
 }
 
+// Remove evicts key's flow immediately, reporting whether it was present.
+// The gateway uses it for TCP lifecycle teardown (an RST aborts the
+// connection): the entry is unlinked under the shard lock, then released
+// like any eviction — after any in-flight Do on it has finished.
+func (t *Table[F]) Remove(key Key) bool {
+	s := &t.shards[key.Hash64()&t.mask]
+	s.mu.Lock()
+	e, ok := s.flows[key]
+	if ok {
+		s.remove(e)
+		t.live.Add(-1)
+		t.removed.Add(1)
+	}
+	s.mu.Unlock()
+	if ok {
+		t.finish([]*entry[F]{e})
+	}
+	return ok
+}
+
 // EvictIdle exhaustively evicts every flow idle for more than the
 // configured IdleTicks and returns how many it evicted. It is a no-op when
 // idle eviction is disabled.
@@ -265,6 +287,7 @@ func (t *Table[F]) Stats() Stats {
 		Created:     t.created.Load(),
 		EvictedIdle: t.evictedIdle.Load(),
 		EvictedCap:  t.evictedCap.Load(),
+		Removed:     t.removed.Load(),
 		Clock:       t.clock.Load(),
 	}
 }

@@ -351,3 +351,59 @@ func ExampleTable() {
 	fmt.Println(tb.Len(), tb.Stats().EvictedCap)
 	// Output: 2 1
 }
+
+func TestRemoveEvictsImmediately(t *testing.T) {
+	h := newHarness(t, 0, 0, 4)
+	h.write(tuple(1), []byte("a"))
+	h.write(tuple(2), []byte("b"))
+	if !h.table.Remove(tuple(1)) {
+		t.Fatal("Remove missed a live flow")
+	}
+	if h.table.Remove(tuple(1)) {
+		t.Fatal("Remove found an already-removed flow")
+	}
+	if h.table.Len() != 1 {
+		t.Fatalf("Len = %d after Remove", h.table.Len())
+	}
+	st := h.table.Stats()
+	if st.Removed != 1 || st.Created != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+	h.mu.Lock()
+	evicted := len(h.evicted)
+	h.mu.Unlock()
+	if evicted != 1 {
+		t.Fatalf("Evict ran %d times", evicted)
+	}
+	// A recreated flow after Remove starts clean.
+	h.write(tuple(1), []byte("x"))
+	h.table.Do(tuple(1), func(f *fakeFlow) {
+		if string(f.data) != "x" {
+			t.Fatalf("recreated flow data = %q", f.data)
+		}
+	})
+}
+
+func TestRemoveRacingWrites(t *testing.T) {
+	h := newHarness(t, 0, 0, 2)
+	const writers, rounds = 4, 400
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				k := tuple(i % 8)
+				if w == 0 && i%5 == 0 {
+					h.table.Remove(k)
+				} else {
+					h.write(k, []byte{byte(i)})
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	h.table.Close()
+	// The fakeFlow tripwires (double close, write-after-close) are the
+	// assertions; run under -race.
+}

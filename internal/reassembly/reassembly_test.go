@@ -1,0 +1,323 @@
+package reassembly
+
+// Stream-level tests: every permutation property here is re-proven end to
+// end through the Gateway in the root package; these pin the mechanism in
+// isolation — overlap policies, cap eviction ordering, gap skip, lifecycle
+// flags, and sequence wraparound.
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+// feed pushes one segment and returns the delivered bytes (concatenated)
+// plus the skip amount reported before the first chunk.
+func feed(t *testing.T, s *Stream, seq uint32, payload string, flags Flags, tick uint64) (string, int, Result) {
+	t.Helper()
+	var got bytes.Buffer
+	skip := 0
+	r := s.Segment(seq, []byte(payload), flags, tick, func(chunk []byte, skippedBefore int) {
+		if skippedBefore > 0 {
+			if skip != 0 {
+				t.Fatal("two skips reported in one call")
+			}
+			skip = skippedBefore
+		}
+		got.Write(chunk)
+	})
+	return got.String(), skip, r
+}
+
+func TestInOrderDelivery(t *testing.T) {
+	s := NewStream(Config{})
+	out, _, r := feed(t, s, 1000, "hello ", 0, 0)
+	if out != "hello " || r.Delivered != 6 {
+		t.Fatalf("first segment: %q %+v", out, r)
+	}
+	out, _, r = feed(t, s, 1006, "world", FIN, 1)
+	if out != "world" || r.Event != EventFinished {
+		t.Fatalf("second segment: %q %+v", out, r)
+	}
+	if !s.Finished() || s.Pos() != 11 {
+		t.Fatalf("finished=%v pos=%d", s.Finished(), s.Pos())
+	}
+}
+
+func TestOutOfOrderReassembly(t *testing.T) {
+	s := NewStream(Config{})
+	// Segments arrive 2, 0, 1 — delivery must come out in stream order.
+	if out, _, r := feed(t, s, 1000, "", SYN, 0); out != "" || r.Buffered != 0 {
+		t.Fatalf("syn: %+v", r)
+	}
+	out, _, r := feed(t, s, 1011, "cccc", 0, 1)
+	if out != "" || r.Buffered != 4 {
+		t.Fatalf("future segment delivered early: %q %+v", out, r)
+	}
+	out, _, _ = feed(t, s, 1001, "aaaaa", 0, 2)
+	if out != "aaaaa" {
+		t.Fatalf("in-order head: %q", out)
+	}
+	out, _, r = feed(t, s, 1006, "bbbbb", 0, 3)
+	if out != "bbbbbcccc" {
+		t.Fatalf("hole fill must drain the buffer: %q", out)
+	}
+	if r.Delivered != 9 || s.HeldBytes() != 0 {
+		t.Fatalf("drain accounting: %+v held=%d", r, s.HeldBytes())
+	}
+}
+
+func TestSequenceWraparound(t *testing.T) {
+	s := NewStream(Config{})
+	isn := uint32(0xFFFFFFF8) // 8 bytes before wrap
+	feed(t, s, isn, "", SYN, 0)
+	out, _, _ := feed(t, s, isn+1, "0123456", 0, 1) // crosses 2^32
+	if out != "0123456" {
+		t.Fatalf("pre-wrap: %q", out)
+	}
+	out, _, _ = feed(t, s, isn+8, "89", 0, 2) // seq wrapped to 0x00000000
+	if out != "89" || s.Pos() != 9 {
+		t.Fatalf("post-wrap: %q pos=%d", out, s.Pos())
+	}
+}
+
+func TestRetransmitExactDuplicate(t *testing.T) {
+	for _, pol := range []Policy{FirstWins, LastWins} {
+		s := NewStream(Config{Policy: pol})
+		feed(t, s, 0, "abcdef", 0, 0)
+		out, _, r := feed(t, s, 0, "abcdef", 0, 1)
+		if out != "" || r.Duplicate != 6 || r.Delivered != 0 {
+			t.Fatalf("%v: delivered retransmit: %q %+v", pol, out, r)
+		}
+		// Partial overlap with new tail: only the tail is delivered.
+		out, _, r = feed(t, s, 3, "defghi", 0, 2)
+		if out != "ghi" || r.Duplicate != 3 {
+			t.Fatalf("%v: overlap tail: %q %+v", pol, out, r)
+		}
+	}
+}
+
+// TestConflictingRetransmitPolicies is the policy-divergence case: the
+// same undelivered range is sent twice with different bytes.
+func TestConflictingRetransmitPolicies(t *testing.T) {
+	run := func(pol Policy) string {
+		s := NewStream(Config{Policy: pol})
+		feed(t, s, 0, "", SYN, 0)
+		// Hole at [0,4); first copy of [4,8) says AAAA, second says BBBB.
+		feed(t, s, 5, "AAAA", 0, 1)
+		feed(t, s, 5, "BBBB", 0, 2)
+		out, _, _ := feed(t, s, 1, "head", 0, 3)
+		return out
+	}
+	if got := run(FirstWins); got != "headAAAA" {
+		t.Fatalf("FirstWins reassembled %q, want headAAAA", got)
+	}
+	if got := run(LastWins); got != "headBBBB" {
+		t.Fatalf("LastWins reassembled %q, want headBBBB", got)
+	}
+}
+
+// TestInOrderOverlapRespectsPolicy: a hole-filling segment that also
+// overlaps buffered bytes must obey the policy for the overlapped part.
+func TestInOrderOverlapRespectsPolicy(t *testing.T) {
+	run := func(pol Policy) string {
+		s := NewStream(Config{Policy: pol})
+		feed(t, s, 0, "", SYN, 0)
+		feed(t, s, 5, "XXXX", 0, 1) // buffered at [4,8)
+		// Fills [0,4), overlaps [4,8) with conflicting bytes, extends to [0,10).
+		out, _, _ := feed(t, s, 1, "aaaabbbbcc", 0, 2)
+		return out
+	}
+	if got := run(FirstWins); got != "aaaaXXXXcc" {
+		t.Fatalf("FirstWins: %q, want aaaaXXXXcc", got)
+	}
+	if got := run(LastWins); got != "aaaabbbbcc" {
+		t.Fatalf("LastWins: %q, want aaaabbbbcc", got)
+	}
+}
+
+func TestGapSkip(t *testing.T) {
+	s := NewStream(Config{GapTimeout: 3})
+	feed(t, s, 0, "", SYN, 0)
+	// Segment [10,14) arrives; bytes [0,10) are lost forever.
+	if out, _, _ := feed(t, s, 11, "tail", 0, 5); out != "" {
+		t.Fatalf("delivered across gap: %q", out)
+	}
+	// Ticks 6,7: timer armed at 5, not yet expired.
+	if out, _, _ := feed(t, s, 11, "tail", 0, 6); out != "" {
+		t.Fatal("skipped too early")
+	}
+	out, skip, r := feed(t, s, 11, "tail", 0, 9)
+	if out != "tail" || skip != 10 || r.Skipped != 10 {
+		t.Fatalf("skip: out=%q skip=%d %+v", out, skip, r)
+	}
+	if s.Pos() != 14 {
+		t.Fatalf("pos=%d, want 14 (10 skipped + 4 delivered)", s.Pos())
+	}
+	// Stream continues normally after the skip.
+	if out, _, _ := feed(t, s, 15, "more", 0, 10); out != "more" {
+		t.Fatalf("post-skip delivery: %q", out)
+	}
+}
+
+func TestGapSkipDisabled(t *testing.T) {
+	s := NewStream(Config{GapTimeout: 0})
+	feed(t, s, 0, "", SYN, 0)
+	feed(t, s, 11, "tail", 0, 1)
+	if out, _, r := feed(t, s, 11, "tail", 0, 1<<40); out != "" || r.Skipped != 0 {
+		t.Fatalf("skipped with timeout disabled: %q %+v", out, r)
+	}
+}
+
+// TestFlowCapEvictionOrder: under the per-flow cap, bytes furthest from
+// the delivery point are evicted first, and a piece further out than
+// everything held is dropped rather than admitted.
+func TestFlowCapEvictionOrder(t *testing.T) {
+	s := NewStream(Config{MaxFlowBytes: 8})
+	feed(t, s, 0, "", SYN, 0)
+	feed(t, s, 5, "AAAA", 0, 1)  // [4,8)
+	feed(t, s, 13, "CCCC", 0, 2) // [12,16)
+	if s.HeldBytes() != 8 {
+		t.Fatalf("held=%d", s.HeldBytes())
+	}
+	// [8,12) is closer than [12,16): the far piece must be evicted.
+	_, _, r := feed(t, s, 9, "BBBB", 0, 3)
+	if r.Buffered != 4 || r.Dropped != 4 {
+		t.Fatalf("eviction accounting: %+v", r)
+	}
+	// A piece beyond everything held is the one dropped.
+	_, _, r = feed(t, s, 21, "EEEE", 0, 4)
+	if r.Dropped != 4 || r.Buffered != 0 {
+		t.Fatalf("furthest new piece kept: %+v", r)
+	}
+	// Filling the head delivers the two surviving runs.
+	out, _, _ := feed(t, s, 1, "head", 0, 5)
+	if out != "headAAAABBBB" {
+		t.Fatalf("survivors: %q, want headAAAABBBB", out)
+	}
+}
+
+func TestSharedBudget(t *testing.T) {
+	b := NewBudget(6)
+	s1 := NewStream(Config{Budget: b})
+	s2 := NewStream(Config{Budget: b})
+	feed(t, s1, 0, "", SYN, 0)
+	feed(t, s2, 0, "", SYN, 0)
+	if _, _, r := feed(t, s1, 11, "aaaa", 0, 1); r.Buffered != 4 {
+		t.Fatalf("first reserve: %+v", r)
+	}
+	// 4 of 6 used: s2 can only fail a 4-byte reservation.
+	if _, _, r := feed(t, s2, 11, "bbbb", 0, 1); r.Dropped != 4 {
+		t.Fatalf("budget not enforced: %+v", r)
+	}
+	if b.Used() != 4 {
+		t.Fatalf("budget used=%d", b.Used())
+	}
+	// Releasing s1 (eviction mid-gap) frees the budget for s2.
+	s1.Release()
+	if b.Used() != 0 {
+		t.Fatalf("release leaked: used=%d", b.Used())
+	}
+	if _, _, r := feed(t, s2, 11, "bbbb", 0, 2); r.Buffered != 4 {
+		t.Fatalf("post-release reserve: %+v", r)
+	}
+}
+
+func TestLifecycleFinRstSyn(t *testing.T) {
+	s := NewStream(Config{})
+	feed(t, s, 100, "", SYN, 0)
+	// FIN arrives out of order: finish only once the hole fills.
+	if _, _, r := feed(t, s, 104, "df", FIN, 1); r.Event != EventNone {
+		t.Fatalf("finished with a hole open: %+v", r)
+	}
+	out, _, r := feed(t, s, 101, "abc", 0, 2)
+	if out != "abcdf" || r.Event != EventFinished {
+		t.Fatalf("fin completion: %q %+v", out, r)
+	}
+	// Stragglers after FIN are discarded.
+	if out, _, r := feed(t, s, 101, "abc", 0, 3); out != "" || r.Duplicate != 3 {
+		t.Fatalf("straggler delivered: %q %+v", out, r)
+	}
+	// A SYN restarts the stream for a new connection on the same tuple.
+	out, _, _ = feed(t, s, 9000, "fresh", SYN, 4)
+	if out != "fresh" || s.Pos() != 5 || s.Finished() {
+		t.Fatalf("restart: %q pos=%d", out, s.Pos())
+	}
+	// RST tears down immediately, discarding held bytes.
+	feed(t, s, 9020, "held", 0, 5)
+	if _, _, r := feed(t, s, 0, "", RST, 6); r.Event != EventReset {
+		t.Fatalf("rst: %+v", r)
+	}
+	if s.HeldBytes() != 0 {
+		t.Fatalf("rst left %d held bytes", s.HeldBytes())
+	}
+	if out, _, _ := feed(t, s, 9020, "held", 0, 7); out != "" {
+		t.Fatalf("post-rst delivery: %q", out)
+	}
+}
+
+// TestPermutationEquivalence is the package-level property: any segment
+// permutation with exact-copy retransmits reassembles to the original
+// stream under either policy.
+func TestPermutationEquivalence(t *testing.T) {
+	src := rng.New(42)
+	for trial := 0; trial < 200; trial++ {
+		pol := Policy(trial % 2)
+		streamLen := 1 + src.Intn(600)
+		orig := make([]byte, streamLen)
+		for i := range orig {
+			orig[i] = src.Byte()
+		}
+		// Random segmentation.
+		type segment struct {
+			seq  uint32
+			data []byte
+			last bool
+		}
+		isn := uint32(src.Uint64()) // any ISN, wrap included
+		var segs []segment
+		for at := 0; at < streamLen; {
+			n := 1 + src.Intn(64)
+			if at+n > streamLen {
+				n = streamLen - at
+			}
+			segs = append(segs, segment{seq: isn + 1 + uint32(at), data: orig[at : at+n], last: at+n == streamLen})
+			at += n
+		}
+		// Emission order: shuffled, with duplicates sprinkled in.
+		order := src.Perm(len(segs))
+		var emit []segment
+		for _, i := range order {
+			emit = append(emit, segs[i])
+			if src.Bool(0.3) {
+				emit = append(emit, segs[src.Intn(len(segs))])
+			}
+		}
+		s := NewStream(Config{Policy: pol})
+		var got bytes.Buffer
+		deliver := func(chunk []byte, _ int) { got.Write(chunk) }
+		s.Segment(isn, nil, SYN, 0, deliver)
+		var finished bool
+		for i, e := range emit {
+			f := Flags(0)
+			if e.last {
+				f = FIN
+			}
+			r := s.Segment(e.seq, e.data, f, uint64(i), deliver)
+			if r.Event == EventFinished {
+				finished = true
+			}
+		}
+		if !bytes.Equal(got.Bytes(), orig) {
+			t.Fatalf("trial %d (%v, %d segs): reassembled %d bytes != original %d",
+				trial, pol, len(segs), got.Len(), streamLen)
+		}
+		if !finished {
+			t.Fatalf("trial %d: never finished", trial)
+		}
+		if s.HeldBytes() != 0 {
+			t.Fatalf("trial %d: %d bytes still held", trial, s.HeldBytes())
+		}
+	}
+}

@@ -138,3 +138,123 @@ func TestGenerateFlowsValidation(t *testing.T) {
 		t.Fatal("accepted cross plants with a single segment")
 	}
 }
+
+func TestGenerateFlowsSequenced(t *testing.T) {
+	set := flowSet(t)
+	w, err := GenerateFlows(set, FlowConfig{
+		Flows: 12, SegmentsPerFlow: 8, SegmentBytes: 50, Seed: 9,
+		Sequenced: true, ReorderWindow: 3, RetransmitDensity: 1.5, CrossDensity: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every flow: SYN first, each original segment exactly once, seqs
+	// consistent with the ISN derived from the SYN packet, duplicates
+	// byte-identical to their originals, FIN on the last segment.
+	type flowCheck struct {
+		isn      uint32
+		synSeen  bool
+		origSeen map[int]bool
+		retrans  int
+	}
+	checks := map[int]*flowCheck{}
+	for _, p := range w.Packets {
+		c := checks[p.FlowID]
+		if c == nil {
+			c = &flowCheck{origSeen: map[int]bool{}}
+			checks[p.FlowID] = c
+		}
+		if p.Flags&FlagSeq == 0 {
+			t.Fatalf("flow %d packet without FlagSeq", p.FlowID)
+		}
+		if !c.synSeen {
+			if p.Flags&FlagSYN == 0 || p.Seq != 0 {
+				t.Fatalf("flow %d: first emission is segment %d flags %#x, want the SYN segment", p.FlowID, p.Seq, p.Flags)
+			}
+			c.isn = p.TCPSeq
+			c.synSeen = true
+		}
+		wantSeq := c.isn + 1 + uint32(p.Seq*50)
+		if p.Seq == 0 {
+			wantSeq = c.isn
+		}
+		if p.TCPSeq != wantSeq {
+			t.Fatalf("flow %d seg %d: TCPSeq %d, want %d", p.FlowID, p.Seq, p.TCPSeq, wantSeq)
+		}
+		if (p.Flags&FlagFIN != 0) != p.Last {
+			t.Fatalf("flow %d seg %d: FIN/Last mismatch", p.FlowID, p.Seq)
+		}
+		if p.Retransmit {
+			if p.Seq == 0 {
+				t.Fatalf("flow %d: SYN segment retransmitted", p.FlowID)
+			}
+			if !c.origSeen[p.Seq] {
+				t.Fatalf("flow %d seg %d: marked retransmit before its original", p.FlowID, p.Seq)
+			}
+			c.retrans++
+		} else if c.origSeen[p.Seq] {
+			t.Fatalf("flow %d seg %d: original emitted twice", p.FlowID, p.Seq)
+		}
+		c.origSeen[p.Seq] = true
+		if !bytes.Equal(p.Payload, w.Streams[p.FlowID][p.Seq*50:(p.Seq+1)*50]) {
+			t.Fatalf("flow %d seg %d: payload does not match the stream slice", p.FlowID, p.Seq)
+		}
+	}
+	totalRetrans := 0
+	reordered := false
+	for f, c := range checks {
+		if len(c.origSeen) != 8 {
+			t.Fatalf("flow %d: %d distinct segments emitted, want 8", f, len(c.origSeen))
+		}
+		totalRetrans += c.retrans
+	}
+	// With window 3 over 12 flows, at least one flow must actually be
+	// out of order (probabilistically certain at this size).
+	lastSeq := map[int]int{}
+	for _, p := range w.Packets {
+		if p.Retransmit {
+			continue
+		}
+		if p.Seq < lastSeq[p.FlowID] {
+			reordered = true
+		}
+		lastSeq[p.FlowID] = p.Seq
+	}
+	if !reordered {
+		t.Fatal("ReorderWindow produced a fully in-order workload")
+	}
+	if totalRetrans == 0 {
+		t.Fatal("RetransmitDensity produced no retransmissions")
+	}
+}
+
+// TestGenerateFlowsLegacyUnchanged pins that non-sequenced generation is
+// byte-identical to the pre-reassembly generator for a given seed: the new
+// schedule machinery must consume no extra randomness when off.
+func TestGenerateFlowsLegacyUnchanged(t *testing.T) {
+	set := flowSet(t)
+	w, err := GenerateFlows(set, FlowConfig{
+		Flows: 5, SegmentsPerFlow: 4, SegmentBytes: 32, Seed: 7, CrossDensity: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range w.Packets {
+		if p.TCPSeq != 0 || p.Flags != 0 || p.Retransmit {
+			t.Fatalf("packet %d: sequenced fields set on a legacy workload: %+v", i, p)
+		}
+	}
+	// Per-flow segment order strictly ascending.
+	next := map[int]int{}
+	for _, p := range w.Packets {
+		if p.Seq != next[p.FlowID] {
+			t.Fatalf("flow %d delivered segment %d, want %d", p.FlowID, p.Seq, next[p.FlowID])
+		}
+		next[p.FlowID]++
+	}
+	if _, err := GenerateFlows(set, FlowConfig{
+		Flows: 1, SegmentsPerFlow: 2, SegmentBytes: 8, ReorderWindow: 1,
+	}); err == nil {
+		t.Fatal("accepted ReorderWindow without Sequenced")
+	}
+}
