@@ -185,6 +185,42 @@ func benchPayload(b *testing.B, set *ruleset.Set, n int) []byte {
 	return pkts[0].Payload
 }
 
+// TestScanAppendSteadyStateZeroAlloc locks in the baked kernel's hot-path
+// contract: once the caller's match buffer has grown, ScanAppend performs
+// zero allocations per packet — matches included.
+func TestScanAppendSteadyStateZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are unstable under -race")
+	}
+	set, err := ruleset.Generate(ruleset.GenConfig{N: 64, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := core.Build(set, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkts, err := traffic.Generate(set, traffic.Config{
+		Packets: 1, Bytes: 1 << 14, Seed: 42, AttackDensity: 3, Profile: traffic.Textual,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := pkts[0].Payload
+	sc := m.NewScanner()
+	out := sc.ScanAppend(payload, nil) // warm-up grows the buffer
+	if len(out) == 0 {
+		t.Fatal("payload produced no matches; the assertion would be vacuous")
+	}
+	allocs := testing.AllocsPerRun(20, func() {
+		sc.Reset()
+		out = sc.ScanAppend(payload, out[:0])
+	})
+	if allocs != 0 {
+		t.Fatalf("ScanAppend allocated %.1f times per packet in steady state", allocs)
+	}
+}
+
 func BenchmarkCompile634(b *testing.B) {
 	ctx := sharedBenchCtx(b)
 	set, err := ctx.SetOf(634)
@@ -215,6 +251,42 @@ func BenchmarkScanCompressed(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		sc := m.NewScanner()
 		sc.Scan(payload, func(ac.Match) {})
+	}
+}
+
+// BenchmarkScanAppend measures the hot scan loop on the 634-string set
+// under both kernels: the baked flat Program (the default scan path) and
+// the slice-walking reference path it must stay byte-exact equivalent to.
+// The matches metric pins both sub-benchmarks to the same output.
+func BenchmarkScanAppend(b *testing.B) {
+	ctx := sharedBenchCtx(b)
+	set, err := ctx.SetOf(634)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, tc := range []struct {
+		name string
+		opts core.Options
+	}{
+		{"baked", core.Options{}},
+		{"reference", core.Options{DisableBaked: true}},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			m, err := core.Build(set, tc.opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			payload := benchPayload(b, set, 1<<16)
+			sc := m.NewScanner()
+			var out []ac.Match
+			b.SetBytes(int64(len(payload)))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sc.Reset()
+				out = sc.ScanAppend(payload, out[:0])
+			}
+			b.ReportMetric(float64(len(out)), "matches")
+		})
 	}
 }
 

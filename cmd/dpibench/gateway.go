@@ -40,7 +40,8 @@ type gatewayBenchConfig struct {
 	RetransDensity  float64
 	Seed            int64
 	MinTime         time.Duration
-	MaxWorkers      int // 0 = NumCPU
+	MaxWorkers      int  // 0 = NumCPU
+	DisableBaked    bool // -baked=false: slice-walking reference path
 }
 
 func defaultGatewayConfig(seed int64) gatewayBenchConfig {
@@ -129,7 +130,7 @@ func runGateway(out io.Writer, jsonPath string, cfg gatewayBenchConfig) error {
 	if err != nil {
 		return err
 	}
-	m, err := dpi.Compile(rules, dpi.Config{})
+	m, err := dpi.Compile(rules, dpi.Config{DisableBakedKernel: cfg.DisableBaked})
 	if err != nil {
 		return err
 	}

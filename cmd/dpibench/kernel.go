@@ -1,0 +1,189 @@
+package main
+
+// The -kernel mode measures the raw per-byte scan loop — the
+// BenchmarkScanAppend-class number — across ruleset sizes, under both the
+// baked flat Program (the default scan path) and the slice-walking
+// reference path it must stay byte-exact equivalent to. Every row is
+// pinned to the uncompressed Aho-Corasick oracle's match count before it
+// is timed, so a kernel can never buy throughput with dropped matches.
+//
+// With -json the run emits a machine-readable report; CI regenerates it
+// every run, and a copy is checked into the repo root as BENCH_4.json —
+// the first entry of the perf trajectory.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/ac"
+	"repro/internal/core"
+	"repro/internal/report"
+	"repro/internal/ruleset"
+	"repro/internal/traffic"
+)
+
+// kernelBenchConfig sizes the -kernel sweep; tests shrink it.
+type kernelBenchConfig struct {
+	Sizes   []int // ruleset sizes; the paper's 634-string set is the headline row
+	Bytes   int   // payload size per pass
+	Seed    int64
+	MinTime time.Duration // per-row measurement floor
+}
+
+func defaultKernelConfig(seed int64) kernelBenchConfig {
+	return kernelBenchConfig{
+		Sizes:   []int{100, 634, 1204},
+		Bytes:   1 << 16,
+		Seed:    seed,
+		MinTime: 400 * time.Millisecond,
+	}
+}
+
+// kernelBenchRow is one (ruleset size, kernel) measurement.
+type kernelBenchRow struct {
+	Strings       int     `json:"strings"`
+	Baked         bool    `json:"baked"`
+	Gbps          float64 `json:"gbps"`
+	Matches       int     `json:"matches"`        // per 64 KiB payload pass
+	OracleMatches int     `json:"oracle_matches"` // uncompressed-DFA count
+	AllocsPerOp   float64 `json:"allocs_per_op"`  // steady-state allocations per pass
+	Speedup       float64 `json:"speedup"`        // vs the reference kernel, same size
+	DenseStates   int     `json:"dense_states"`   // baked rows promoted to dense tier
+	KernelBytes   int     `json:"kernel_bytes"`   // flat program footprint
+}
+
+// kernelBenchReport is the BENCH_4.json artifact. OK gates CI: every row
+// must reproduce the oracle match count, and the headline 634-string baked
+// row must beat the reference kernel by the committed floor.
+type kernelBenchReport struct {
+	Bench        int              `json:"bench"` // trajectory sequence number
+	Bytes        int              `json:"payload_bytes"`
+	Seed         int64            `json:"seed"`
+	Rows         []kernelBenchRow `json:"rows"`
+	Speedup634   float64          `json:"speedup_634"`
+	SpeedupFloor float64          `json:"speedup_floor"`
+	OK           bool             `json:"ok"`
+}
+
+// speedupFloor is the committed improvement gate for the headline row.
+const speedupFloor = 1.5
+
+// measureKernel times repeated full-payload ScanAppend passes over one
+// machine and reports (Gbps, matches per pass, allocations per pass).
+func measureKernel(m *core.Machine, payload []byte, minTime time.Duration) (float64, int, float64) {
+	sc := m.NewScanner()
+	var out []ac.Match
+	pass := func() {
+		sc.Reset()
+		out = sc.ScanAppend(payload, out[:0])
+	}
+	pass() // warm the match buffer so steady state is measured
+
+	var ms0, ms1 runtime.MemStats
+	runtime.ReadMemStats(&ms0)
+	start := time.Now()
+	passes := 0
+	for time.Since(start) < minTime {
+		pass()
+		passes++
+	}
+	elapsed := time.Since(start).Seconds()
+	runtime.ReadMemStats(&ms1)
+	gbps := float64(passes) * float64(len(payload)) * 8 / elapsed / 1e9
+	allocs := float64(ms1.Mallocs-ms0.Mallocs) / float64(passes)
+	return gbps, len(out), allocs
+}
+
+func runKernel(out io.Writer, jsonPath string, cfg kernelBenchConfig) error {
+	t := &report.Table{
+		Title: fmt.Sprintf("SCAN KERNEL THROUGHPUT (payload %d B, seed %d; baked flat program vs slice-walking reference)",
+			cfg.Bytes, cfg.Seed),
+		Headers: []string{"Strings", "Kernel", "Gbps", "Speedup", "Matches", "Oracle", "Allocs/op", "Dense", "KernelKB"},
+	}
+	rep := kernelBenchReport{
+		Bench: 4, Bytes: cfg.Bytes, Seed: cfg.Seed,
+		SpeedupFloor: speedupFloor, OK: true,
+	}
+
+	for _, n := range cfg.Sizes {
+		set, err := ruleset.Generate(ruleset.GenConfig{N: n, Seed: cfg.Seed})
+		if err != nil {
+			return err
+		}
+		pkts, err := traffic.Generate(set, traffic.Config{
+			Packets: 1, Bytes: cfg.Bytes, Seed: cfg.Seed, AttackDensity: 3,
+			Profile: traffic.Textual,
+		})
+		if err != nil {
+			return err
+		}
+		payload := pkts[0].Payload
+		trie, err := ac.New(set)
+		if err != nil {
+			return err
+		}
+		oracle := len(trie.FindAll(payload))
+
+		var refGbps float64
+		for _, baked := range []bool{false, true} {
+			m, err := core.Build(set, core.Options{DisableBaked: !baked})
+			if err != nil {
+				return err
+			}
+			if baked && m.Program() == nil {
+				return fmt.Errorf("dpibench: %d-string machine did not bake", n)
+			}
+			gbps, matches, allocs := measureKernel(m, payload, cfg.MinTime)
+			row := kernelBenchRow{
+				Strings: n, Baked: baked, Gbps: gbps,
+				Matches: matches, OracleMatches: oracle, AllocsPerOp: allocs,
+			}
+			if matches != oracle {
+				rep.OK = false
+			}
+			name := "reference"
+			if baked {
+				name = "baked"
+				row.Speedup = gbps / refGbps
+				st := m.Program().Stats()
+				row.DenseStates = st.DenseStates
+				row.KernelBytes = st.TotalBytes
+				if n == 634 {
+					rep.Speedup634 = row.Speedup
+					if row.Speedup < speedupFloor {
+						rep.OK = false
+					}
+				}
+			} else {
+				refGbps = gbps
+				row.Speedup = 1
+			}
+			rep.Rows = append(rep.Rows, row)
+			t.AddRow(n, name, fmt.Sprintf("%.3f", gbps), fmt.Sprintf("%.2fx", row.Speedup),
+				matches, oracle, fmt.Sprintf("%.1f", allocs),
+				row.DenseStates, row.KernelBytes/1024)
+		}
+	}
+
+	if jsonPath != "" {
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(jsonPath, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+	}
+	if err := t.Render(out); err != nil {
+		return err
+	}
+	if !rep.OK {
+		return fmt.Errorf("dpibench: kernel rows failed the oracle or the %.1fx speedup floor (speedup634 %.2fx)",
+			speedupFloor, rep.Speedup634)
+	}
+	return nil
+}

@@ -12,6 +12,10 @@
 //	dpibench -parallel -workers 8 # cap the worker sweep
 //	dpibench -gateway             # NIDS gateway ingestion throughput
 //	dpibench -gateway -json out.json  # plus a machine-readable report
+//	dpibench -kernel              # raw scan-kernel throughput, baked vs reference
+//	dpibench -kernel -json BENCH_4.json  # plus the perf-trajectory report
+//	dpibench -parallel -baked=false      # force the slice-walking reference path
+//	dpibench -kernel -cpuprofile cpu.pprof -memprofile mem.pprof
 //	dpibench -seed 2010           # workload seed (default 2010)
 package main
 
@@ -20,6 +24,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"repro/internal/core"
 	"repro/internal/experiments"
@@ -35,37 +41,114 @@ func main() {
 		ablation = flag.Bool("ablation", false, "run the ablation experiments")
 		parallel = flag.Bool("parallel", false, "measure engine throughput vs worker count")
 		gateway  = flag.Bool("gateway", false, "measure NIDS gateway ingestion throughput vs worker count")
-		jsonOut  = flag.String("json", "", "with -gateway: also write the report (rows + oracle outcome) as JSON to this path")
+		kernel   = flag.Bool("kernel", false, "measure raw scan-kernel throughput, baked flat program vs reference path")
+		baked    = flag.Bool("baked", true, "scan with the baked flat kernel; false pins -parallel/-gateway to the slice-walking reference path (-kernel always measures both)")
+		jsonOut  = flag.String("json", "", "with -gateway or -kernel: also write the machine-readable report as JSON to this path")
 		workers  = flag.Int("workers", 0, "max workers for -parallel/-gateway (0 = NumCPU)")
 		tsv      = flag.Bool("tsv", false, "emit figure series as TSV instead of ASCII plots")
 		seed     = flag.Int64("seed", experiments.DefaultSeed, "workload generation seed")
 		steps    = flag.Int("steps", 10, "clock sweep steps for figures 7/8")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the run to this path")
+		memProf  = flag.String("memprofile", "", "write a heap profile to this path at exit")
 	)
 	flag.Parse()
-	if !*all && *table == 0 && *figure == 0 && !*ablation && !*parallel && !*gateway {
+	if !*all && *table == 0 && *figure == 0 && !*ablation && !*parallel && !*gateway && !*kernel {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if *parallel {
-		cfg := defaultParallelConfig(*seed)
-		cfg.MaxWorkers = *workers
-		if err := runParallel(os.Stdout, cfg); err != nil {
+	// Profiling wraps every mode so future perf PRs can attach pprof
+	// evidence to any of the benchmark tables. The error paths run through
+	// one exit point below, after the profiles are flushed.
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dpibench:", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
 			fmt.Fprintln(os.Stderr, "dpibench:", err)
 			os.Exit(1)
 		}
 	}
-	if *gateway {
-		cfg := defaultGatewayConfig(*seed)
-		cfg.MaxWorkers = *workers
-		if err := runGateway(os.Stdout, *jsonOut, cfg); err != nil {
-			fmt.Fprintln(os.Stderr, "dpibench:", err)
-			os.Exit(1)
+	err := dispatch(modes{
+		all: *all, table: *table, figure: *figure, ablation: *ablation,
+		parallel: *parallel, gateway: *gateway, kernel: *kernel,
+		baked: *baked, jsonOut: *jsonOut, workers: *workers,
+		tsv: *tsv, seed: *seed, steps: *steps,
+	})
+	if *cpuProf != "" {
+		pprof.StopCPUProfile()
+	}
+	if *memProf != "" {
+		if perr := writeHeapProfile(*memProf); err == nil {
+			err = perr
 		}
 	}
-	if err := run(os.Stdout, *all, *table, *figure, *ablation, *tsv, *seed, *steps); err != nil {
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "dpibench:", err)
 		os.Exit(1)
 	}
+}
+
+func writeHeapProfile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	runtime.GC() // materialize the steady-state live set
+	return pprof.WriteHeapProfile(f)
+}
+
+// modes carries the parsed command line; one named field per flag so the
+// single construction site cannot transpose the many booleans silently.
+type modes struct {
+	all      bool
+	table    int
+	figure   int
+	ablation bool
+	parallel bool
+	gateway  bool
+	kernel   bool
+	baked    bool
+	jsonOut  string
+	workers  int
+	tsv      bool
+	seed     int64
+	steps    int
+}
+
+func dispatch(m modes) error {
+	if m.jsonOut != "" {
+		if m.gateway && m.kernel {
+			return fmt.Errorf("-json with both -gateway and -kernel would overwrite one report with the other; run the modes separately")
+		}
+		if !m.gateway && !m.kernel {
+			return fmt.Errorf("-json is only produced by -gateway or -kernel; no report would be written")
+		}
+	}
+	if m.parallel {
+		cfg := defaultParallelConfig(m.seed)
+		cfg.MaxWorkers = m.workers
+		cfg.DisableBaked = !m.baked
+		if err := runParallel(os.Stdout, cfg); err != nil {
+			return err
+		}
+	}
+	if m.gateway {
+		cfg := defaultGatewayConfig(m.seed)
+		cfg.MaxWorkers = m.workers
+		cfg.DisableBaked = !m.baked
+		if err := runGateway(os.Stdout, m.jsonOut, cfg); err != nil {
+			return err
+		}
+	}
+	if m.kernel {
+		if err := runKernel(os.Stdout, m.jsonOut, defaultKernelConfig(m.seed)); err != nil {
+			return err
+		}
+	}
+	return run(os.Stdout, m.all, m.table, m.figure, m.ablation, m.tsv, m.seed, m.steps)
 }
 
 func run(out io.Writer, all bool, table, figure int, ablation, tsv bool, seed int64, steps int) error {

@@ -95,6 +95,48 @@ func TestRunGatewaySmall(t *testing.T) {
 	}
 }
 
+func TestRunKernelSmall(t *testing.T) {
+	var sb strings.Builder
+	jsonPath := filepath.Join(t.TempDir(), "kernel-bench.json")
+	cfg := kernelBenchConfig{
+		Sizes: []int{60}, Bytes: 1 << 13, Seed: 2010,
+		MinTime: 5 * time.Millisecond,
+	}
+	if err := runKernel(&sb, jsonPath, cfg); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"SCAN KERNEL THROUGHPUT", "baked", "reference", "Oracle", "Allocs/op"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q:\n%s", want, out)
+		}
+	}
+	data, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep kernelBenchReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("JSON report does not parse: %v\n%s", err, data)
+	}
+	if !rep.OK || rep.Bench != 4 {
+		t.Fatalf("report not OK: %s", data)
+	}
+	if len(rep.Rows) != 2 {
+		t.Fatalf("report has %d rows, want 2: %s", len(rep.Rows), data)
+	}
+	for _, r := range rep.Rows {
+		if r.Matches != r.OracleMatches {
+			t.Fatalf("row %+v diverged from the oracle but report.OK is true", r)
+		}
+	}
+	if !rep.Rows[1].Baked || rep.Rows[1].DenseStates == 0 || rep.Rows[1].KernelBytes == 0 {
+		t.Fatalf("baked row missing kernel stats: %+v", rep.Rows[1])
+	}
+	// No floor assertion on the tiny timing budget: the speedup gate is
+	// exercised by CI's full-size run and the committed BENCH_4.json.
+}
+
 func TestRunTable1(t *testing.T) {
 	var sb strings.Builder
 	if err := run(&sb, false, 1, 0, false, false, 2010, 4); err != nil {

@@ -20,12 +20,13 @@ import (
 
 // parallelConfig sizes the -parallel sweep; tests shrink it.
 type parallelConfig struct {
-	Strings    int
-	Packets    int
-	Bytes      int
-	Seed       int64
-	MinTime    time.Duration // per-row measurement floor
-	MaxWorkers int           // 0 = NumCPU
+	Strings      int
+	Packets      int
+	Bytes        int
+	Seed         int64
+	MinTime      time.Duration // per-row measurement floor
+	MaxWorkers   int           // 0 = NumCPU
+	DisableBaked bool          // -baked=false: slice-walking reference path
 }
 
 func defaultParallelConfig(seed int64) parallelConfig {
@@ -64,7 +65,7 @@ func runParallel(out io.Writer, cfg parallelConfig) error {
 	if err != nil {
 		return err
 	}
-	m, err := dpi.Compile(rules, dpi.Config{})
+	m, err := dpi.Compile(rules, dpi.Config{DisableBakedKernel: cfg.DisableBaked})
 	if err != nil {
 		return err
 	}

@@ -17,7 +17,21 @@
 //     strings, generate synthetic Snort-like sets, reduce while preserving
 //     the length distribution.
 //   - Matcher: the compressed software automaton — compile a Ruleset and
-//     scan payloads at one transition per byte.
+//     scan payloads at one transition per byte. Scanning runs on a baked
+//     flat kernel: Compile additionally flattens each machine into a
+//     two-tier program whose hot near-root states (the start state, every
+//     depth-1 state, and the most popular deeper states) are dense
+//     256-entry move rows — one indexed load per byte — while the long
+//     tail keeps the paper's compressed form as packed CSR stored
+//     pointers plus the fixed default-transition lookup table, probed
+//     through a fused two-character history register. The baked path is
+//     byte-exact equivalent to the reference machine (same states, same
+//     history, same match order — fuzz- and property-verified), can be
+//     disabled per matcher with Config.DisableBakedKernel, and is
+//     inspectable through Matcher.Kernel. This invariant is load-bearing:
+//     ScanAppend (and every API above it) must behave exactly like the
+//     reference Machine.Next transition on all inputs, including
+//     mid-stream resets and reassembly gap skips.
 //   - Engine: concurrent software scan-out mirroring the hardware's
 //     engine/block parallelism — a worker pool with pooled scanner state
 //     over the shared immutable automaton. Engine.ScanPackets shards a

@@ -172,13 +172,25 @@ type Config struct {
 	// per string matching block (0 = 1). Needed when a machine outgrows a
 	// block's memory.
 	Groups int
+	// DenseStates budgets the baked kernel's dense tier per group machine:
+	// states promoted to full 256-entry move rows (0 = the default budget,
+	// negative disables the tier). Tuning only — match output is identical
+	// at any setting.
+	DenseStates int
+	// DisableBakedKernel keeps scanning on the slice-walking reference
+	// path instead of the compiled flat kernel. The two paths are
+	// byte-exact equivalent; this exists for benchmarks (dpibench
+	// -baked=false) and equivalence tests.
+	DisableBakedKernel bool
 }
 
 func (c Config) coreOptions() core.Options {
 	return core.Options{
-		D2PerChar: c.D2DefaultsPerChar,
-		D3PerChar: c.D3DefaultsPerChar,
-		MaxDepth:  c.MaxDefaultDepth,
+		D2PerChar:    c.D2DefaultsPerChar,
+		D3PerChar:    c.D3DefaultsPerChar,
+		MaxDepth:     c.MaxDefaultDepth,
+		DenseStates:  c.DenseStates,
+		DisableBaked: c.DisableBakedKernel,
 	}
 }
 
@@ -315,9 +327,53 @@ func (m *Matcher) Stats() CompressionStats {
 	}
 }
 
+// KernelStats reports the memory layout of the compiled flat scan kernel,
+// aggregated across group machines — the software analogue of the
+// accelerator's block-memory fill report.
+type KernelStats struct {
+	// Baked is false when the matcher runs on the slice-walking reference
+	// path (DisableBakedKernel, or a configuration outside the fixed row
+	// format); the remaining fields are then zero.
+	Baked         bool
+	Groups        int
+	States        int // automaton states across groups
+	DenseStates   int // states promoted to full 256-entry rows
+	StoredEntries int // packed CSR stored-pointer entries
+	DenseBytes    int
+	StoredBytes   int // CSR arena plus per-state row descriptors
+	LookupBytes   int // fixed d1/d2/d3 lookup rows
+	OutputBytes   int // output bitsets
+	TotalBytes    int
+}
+
+// Kernel summarizes the baked scan kernel backing this matcher.
+func (m *Matcher) Kernel() KernelStats {
+	var ks KernelStats
+	ks.Baked = true
+	for _, machine := range m.grouped.Machines {
+		p := machine.Program()
+		if p == nil {
+			return KernelStats{}
+		}
+		st := p.Stats()
+		ks.Groups++
+		ks.States += st.States
+		ks.DenseStates += st.DenseStates
+		ks.StoredEntries += st.StoredEntries
+		ks.DenseBytes += st.DenseBytes
+		ks.StoredBytes += st.StoredBytes
+		ks.LookupBytes += st.LookupBytes
+		ks.OutputBytes += st.OutputBytes
+		ks.TotalBytes += st.TotalBytes
+	}
+	return ks
+}
+
 // Verify proves the compressed matcher equivalent to the uncompressed
 // Aho-Corasick DFA: an exhaustive per-transition structural check plus a
-// scan-level cross-check on the provided payloads (may be nil).
+// scan-level cross-check on the provided payloads (may be nil). On a baked
+// matcher the scan check covers both the flat kernel and the reference
+// path.
 func (m *Matcher) Verify(payloads [][]byte) error {
 	for gi, machine := range m.grouped.Machines {
 		if err := machine.VerifyTransitions(); err != nil {

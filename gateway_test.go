@@ -530,3 +530,41 @@ func ExampleGateway() {
 	gw.Close()
 	// Output: tcp 10.0.0.1:3333 > 10.0.0.2:80: traversal at [5,11)
 }
+
+// TestGatewayStreamLaneSteadyStateZeroAlloc locks in the per-flow lane's
+// contract: once a TCP flow exists, pushing an in-order match-free segment
+// through the lane's per-packet path (flow-table touch + verdict check +
+// scanner write) allocates nothing. This is exactly the work streamWorker
+// performs per packet, driven synchronously so the allocation count is
+// attributable.
+func TestGatewayStreamLaneSteadyStateZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are unstable under -race")
+	}
+	rules := NewRuleset()
+	rules.MustAdd("sig", []byte("attack-signature"))
+	m, err := Compile(rules, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := m.NewEngine(1)
+	gw := e.Gateway(GatewayConfig{}, func(FlowMatch) {})
+	defer gw.Close()
+
+	tuple := FiveTuple{
+		SrcIP: IPv4(10, 0, 0, 1), DstIP: IPv4(10, 0, 0, 2),
+		SrcPort: 40000, DstPort: 443, Proto: ProtoTCP,
+	}
+	payload := bytes.Repeat([]byte("x"), 1200)
+	p := seqPacket{tuple: tuple, payload: payload}
+	var tick uint64
+	lane := func() {
+		tick++
+		gw.table.Do(tuple, func(fl *gwFlow) { fl.ingest(p, tick) })
+	}
+	lane() // warm-up creates the flow and checks its scanners out of the pool
+	allocs := testing.AllocsPerRun(50, lane)
+	if allocs != 0 {
+		t.Fatalf("gateway stream lane allocated %.1f times per packet in steady state", allocs)
+	}
+}

@@ -1,0 +1,375 @@
+package core
+
+// The baked scan kernel: Compile flattens a DTP Machine into a Program, a
+// cache-line-friendly runtime representation that the Scanner hot loop
+// executes instead of walking the builder's slice-of-slices structures.
+// The Machine remains the reference semantics (Machine.Next is the oracle
+// the Program is verified against); the Program is a pure re-layout and
+// must stay byte-exact equivalent — same state, same history, same match
+// order — on every input.
+//
+// Layout, mirroring the hardware's fixed-width single-access RAMs:
+//
+//   - The 256-row lookup table becomes three fixed arrays. d1 is a plain
+//     [256]int32 with the start-state fallback pre-resolved into the row,
+//     so the depth-1 default is one indexed load with no comparison at
+//     all. d2 packs each row's ≤4 depth-2 defaults as uint64 words,
+//     preceding-character key in the high half and target state in the low
+//     half, so the hardware's comparator block is one load plus one
+//     32-bit compare per slot. d3 is one packed word per character keyed
+//     on both history characters at once.
+//
+//   - The per-byte history pair (h2, h1) fuses into a single register of
+//     two 9-bit lanes: hist = h2<<9 | h1. A lane holds 0x000-0x0FF for a
+//     real byte and histUnknownLane (0x100) when that position precedes
+//     the start of the visible stream, so "unknown never matches" costs
+//     nothing — the sentinel simply never equals a key built from real
+//     bytes. This removes the per-byte int16 widening and the two-field
+//     compare of the builder path.
+//
+//   - Stored transitions live in one CSR arena: rows[s] is a packed row
+//     descriptor and stored[] holds char/state entries as single uint64
+//     words. Because MaxStoredPerState is small on Snort-like sets (the
+//     whole point of the paper's compression), a row descriptor carries
+//     the entry count inline — the common ≤4-entry row costs one
+//     descriptor load plus a short linear scan over adjacent words,
+//     replacing the binary search over a []Transition slice header.
+//
+//   - The output test becomes a bitset probe (outBits), replacing the
+//     HasOutput node loads on the no-match fast path.
+//
+//   - Two-tier fast path: the start state, every depth-1 state, and the
+//     most popular remaining states (by the same popularity tally that
+//     selects default transition pointers) are promoted to full dense
+//     256-entry move rows. This is sound because a DTP machine's move row
+//     is statically determined for every state — exactly the property
+//     VerifyTransitions proves — so a dense row is the precomputed result
+//     of stored-pointer-then-default resolution. Most traffic sits in
+//     these near-root states, so the common byte is a single indexed
+//     load from a dense row.
+
+import (
+	"sort"
+
+	"repro/internal/ac"
+)
+
+const (
+	histLaneBits    = 9
+	histLaneMask    = 1<<histLaneBits - 1     // 0x1FF
+	histMask        = 1<<(2*histLaneBits) - 1 // 0x3FFFF
+	histUnknownLane = 0x100                   // can never equal a real byte
+
+	// Empty d2/d3 slots carry keys no runtime history can produce: a lane
+	// is at most histUnknownLane, so 0x1FF (and the all-lanes-0x1FF d3 key)
+	// never compares equal.
+	emptyD2Key = uint64(histLaneMask) << 32
+	emptyD3Key = uint64(histMask) << 32
+
+	// Row descriptor packing: bit 31 selects the dense tier (low 31 bits =
+	// dense row index); otherwise bits 24-30 hold the stored-entry count
+	// and bits 0-23 the offset into the CSR arena.
+	rowDense    = uint32(1) << 31
+	rowOffMask  = 1<<24 - 1
+	rowCountMax = 127
+
+	// DefaultDenseStates is the dense-tier budget when Options.DenseStates
+	// is 0: enough rows for the start state, all depth-1 states and ~128
+	// popular deeper states (≈400 KB of rows) without crowding the cache
+	// that the CSR arena and the payload itself also want.
+	DefaultDenseStates = 384
+)
+
+// Program is the compiled, flat form of a Machine. It is immutable after
+// Compile and safe for concurrent use by any number of Scanners.
+type Program struct {
+	trie *ac.Trie
+
+	d1 [256]int32     // depth-1 default, start state pre-resolved in
+	d2 [256][4]uint64 // prevKey<<32 | state, empty slots never match
+	d3 [256]uint64    // (p2<<9|p1)<<32 | state, empty key never matches
+
+	rows    []uint32 // per-state descriptor: dense index or CSR count+offset
+	stored  []uint64 // CSR arena: char<<32 | state, rows sorted by char
+	dense   []int32  // denseStates × 256 full move rows
+	outBits []uint64 // bit s set iff any pattern ends at state s
+}
+
+// fuseHist packs the scanner's (h2, h1) register pair into the kernel's
+// fused history register.
+func fuseHist(h2, h1 int16) uint32 {
+	l2, l1 := uint32(histUnknownLane), uint32(histUnknownLane)
+	if h2 != HistNone {
+		l2 = uint32(h2) & 0xFF
+	}
+	if h1 != HistNone {
+		l1 = uint32(h1) & 0xFF
+	}
+	return l2<<histLaneBits | l1
+}
+
+// splitHist is the inverse of fuseHist, run once per ScanAppend call to
+// restore the scanner-visible registers.
+func splitHist(hist uint32) (h2, h1 int16) {
+	h2, h1 = HistNone, HistNone
+	if l := hist >> histLaneBits & histLaneMask; l != histUnknownLane {
+		h2 = int16(l)
+	}
+	if l := hist & histLaneMask; l != histUnknownLane {
+		h1 = int16(l)
+	}
+	return h2, h1
+}
+
+// Compile bakes m into a Program. It returns nil when the machine does not
+// fit the fixed row format — more than 4 depth-2 or 1 depth-3 defaults per
+// character (ablation configurations), more stored pointers per state or in
+// total than the descriptor packs — in which case scanning falls back to
+// the slice-walking reference path. Machines from Build and Load are baked
+// automatically unless Options.DisableBaked is set.
+func Compile(m *Machine) *Program {
+	t := m.Trie
+	n := t.NumStates()
+	maxDepth := m.Opts.MaxDepth
+	if maxDepth >= 2 {
+		for c := 0; c < 256; c++ {
+			if len(m.Defaults.D2[c]) > 4 {
+				return nil
+			}
+		}
+	}
+	if maxDepth >= 3 {
+		for c := 0; c < 256; c++ {
+			if len(m.Defaults.D3[c]) > 1 {
+				return nil
+			}
+		}
+	}
+	for s := 0; s < n; s++ {
+		if len(m.Stored[s]) > rowCountMax {
+			return nil
+		}
+	}
+
+	p := &Program{trie: t}
+
+	// Lookup table rows. Depths beyond Opts.MaxDepth stay empty so the
+	// kernel needs no runtime depth limit: a disabled tier simply never
+	// matches, exactly like Defaults.Resolve skipping it.
+	for c := 0; c < 256; c++ {
+		if s := m.Defaults.D1[c]; s != ac.None {
+			p.d1[c] = s
+		} else {
+			p.d1[c] = ac.Root
+		}
+		for j := range p.d2[c] {
+			p.d2[c][j] = emptyD2Key
+		}
+		if maxDepth >= 2 {
+			for j, e := range m.Defaults.D2[c] {
+				p.d2[c][j] = uint64(e.Prev)<<32 | uint64(uint32(e.State))
+			}
+		}
+		p.d3[c] = emptyD3Key
+		if maxDepth >= 3 && len(m.Defaults.D3[c]) == 1 {
+			e := m.Defaults.D3[c][0]
+			key := uint64(e.Prev2)<<histLaneBits | uint64(e.Prev1)
+			p.d3[c] = key<<32 | uint64(uint32(e.State))
+		}
+	}
+
+	// Output bitset.
+	p.outBits = make([]uint64, (n+63)/64)
+	for s := int32(0); s < int32(n); s++ {
+		if t.HasOutput(s) {
+			p.outBits[uint32(s)>>6] |= 1 << (uint32(s) & 63)
+		}
+	}
+
+	// Dense-tier promotion: start state and depth-1 states first, then the
+	// most popular remaining states until the budget is spent.
+	promoted := m.pickDense()
+
+	// Row descriptors: dense rows for promoted states, CSR stored-pointer
+	// rows (sorted by char, as in Machine.Stored) for the rest.
+	p.rows = make([]uint32, n)
+	denseCount := 0
+	csrEntries := 0
+	for s := 0; s < n; s++ {
+		if promoted[s] {
+			denseCount++
+		} else {
+			csrEntries += len(m.Stored[s])
+		}
+	}
+	if csrEntries > rowOffMask {
+		return nil
+	}
+	p.dense = make([]int32, denseCount*256)
+	p.stored = make([]uint64, 0, csrEntries)
+	di := 0
+	for s := 0; s < n; s++ {
+		if promoted[s] {
+			p.rows[s] = rowDense | uint32(di)
+			row := p.dense[di*256 : di*256+256]
+			for c := 0; c < 256; c++ {
+				row[c] = t.Move(int32(s), byte(c))
+			}
+			di++
+			continue
+		}
+		list := m.Stored[s]
+		p.rows[s] = uint32(len(list))<<24 | uint32(len(p.stored))
+		for _, tr := range list {
+			p.stored = append(p.stored, uint64(tr.Char)<<32|uint64(uint32(tr.To)))
+		}
+	}
+	return p
+}
+
+// pickDense selects the states promoted to dense 256-entry move rows: the
+// start state, every depth-1 state, then the most popular remaining states
+// (ties to the lower state number, for determinism) until the budget —
+// Options.DenseStates, defaulting to DefaultDenseStates, negative to
+// disable the tier — is exhausted. Machines small enough to fit entirely
+// become a pure flat DFA.
+func (m *Machine) pickDense() []bool {
+	t := m.Trie
+	n := t.NumStates()
+	promoted := make([]bool, n)
+	budget := m.Opts.DenseStates
+	if budget == 0 {
+		budget = DefaultDenseStates
+	}
+	if budget < 0 {
+		return promoted
+	}
+	if budget >= n {
+		for s := range promoted {
+			promoted[s] = true
+		}
+		return promoted
+	}
+	pop := m.popularity
+	if pop == nil {
+		// Load-ed machines skip the builder passes; re-tally here.
+		pop = make([]int64, n)
+		t.ForEachMoveRow(func(s int32, row []int32) {
+			for c := 0; c < 256; c++ {
+				if to := row[c]; to != ac.Root {
+					pop[to]++
+				}
+			}
+		})
+	}
+	order := make([]int32, n)
+	for s := range order {
+		order[s] = int32(s)
+	}
+	tier := func(s int32) int {
+		switch {
+		case s == ac.Root:
+			return 0
+		case t.Nodes[s].Depth == 1:
+			return 1
+		default:
+			return 2
+		}
+	}
+	sort.Slice(order, func(i, j int) bool {
+		a, b := order[i], order[j]
+		if ta, tb := tier(a), tier(b); ta != tb {
+			return ta < tb
+		}
+		if pop[a] != pop[b] {
+			return pop[a] > pop[b]
+		}
+		return a < b
+	})
+	for _, s := range order[:budget] {
+		promoted[s] = true
+	}
+	return promoted
+}
+
+// scanAppend is the baked hot loop: one transition per input byte, matches
+// appended to out. It must stay byte-exact equivalent to Machine.Next plus
+// the history/position bookkeeping of Scanner.Step; the property tests and
+// FuzzBakedEquivalence enforce this against both the reference path and
+// the uncompressed-DFA oracle.
+func (p *Program) scanAppend(state int32, hist uint32, pos int, data []byte, out []ac.Match) (int32, uint32, int, []ac.Match) {
+	t := p.trie
+	// Locals let the compiler keep the arena headers in registers across
+	// the loop instead of reloading them through p on every byte.
+	rows, dense, outBits := p.rows, p.dense, p.outBits
+	for _, c := range data {
+		ref := rows[state]
+		if ref >= rowDense {
+			state = dense[int(ref-rowDense)<<8|int(c)]
+		} else {
+			if cnt := ref >> 24; cnt != 0 {
+				base := ref & rowOffMask
+				key := uint32(c)
+				for i := uint32(0); i < cnt; i++ {
+					if e := p.stored[base+i]; uint32(e>>32) == key {
+						state = int32(uint32(e))
+						goto stepped
+					}
+				}
+			}
+			if e := p.d3[c]; uint32(e>>32) == hist {
+				state = int32(uint32(e))
+			} else {
+				h1 := hist & histLaneMask
+				d2 := &p.d2[c]
+				switch {
+				case uint32(d2[0]>>32) == h1:
+					state = int32(uint32(d2[0]))
+				case uint32(d2[1]>>32) == h1:
+					state = int32(uint32(d2[1]))
+				case uint32(d2[2]>>32) == h1:
+					state = int32(uint32(d2[2]))
+				case uint32(d2[3]>>32) == h1:
+					state = int32(uint32(d2[3]))
+				default:
+					state = p.d1[c]
+				}
+			}
+		}
+	stepped:
+		hist = (hist<<histLaneBits | uint32(c)) & histMask
+		pos++
+		if outBits[uint32(state)>>6]&(1<<(uint32(state)&63)) != 0 {
+			out = t.AppendOutputs(state, pos, out)
+		}
+	}
+	return state, hist, pos, out
+}
+
+// ProgramStats reports the memory layout of one compiled program, the
+// software analogue of the hwsim block-memory fill statistics.
+type ProgramStats struct {
+	States        int // automaton states
+	DenseStates   int // states promoted to full 256-entry rows
+	StoredEntries int // CSR stored-pointer entries across compressed states
+	DenseBytes    int // dense tier: DenseStates × 256 × 4
+	StoredBytes   int // CSR arena + row descriptors
+	LookupBytes   int // d1/d2/d3 fixed lookup rows
+	OutputBytes   int // output bitset
+	TotalBytes    int
+}
+
+// Stats summarizes the program's memory layout.
+func (p *Program) Stats() ProgramStats {
+	st := ProgramStats{
+		States:        len(p.rows),
+		DenseStates:   len(p.dense) / 256,
+		StoredEntries: len(p.stored),
+		DenseBytes:    len(p.dense) * 4,
+		StoredBytes:   len(p.stored)*8 + len(p.rows)*4,
+		LookupBytes:   256 * (4 + 4*8 + 8),
+		OutputBytes:   len(p.outBits) * 8,
+	}
+	st.TotalBytes = st.DenseBytes + st.StoredBytes + st.LookupBytes + st.OutputBytes
+	return st
+}

@@ -1,0 +1,350 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/ac"
+	"repro/internal/ruleset"
+)
+
+// randBakedSet builds a small random pattern set over a deliberately tiny
+// alphabet so trie states overlap heavily (deep fail chains, busy default
+// rows) plus occasional full-range bytes.
+func randBakedSet(rng *rand.Rand) *ruleset.Set {
+	n := 1 + rng.Intn(16)
+	seen := map[string]bool{}
+	set := &ruleset.Set{}
+	for len(set.Patterns) < n {
+		l := 1 + rng.Intn(10)
+		data := make([]byte, l)
+		for i := range data {
+			if rng.Intn(8) == 0 {
+				data[i] = byte(rng.Intn(256))
+			} else {
+				data[i] = byte('a' + rng.Intn(4))
+			}
+		}
+		if seen[string(data)] {
+			continue
+		}
+		seen[string(data)] = true
+		set.Patterns = append(set.Patterns, ruleset.Pattern{ID: len(set.Patterns), Data: data})
+	}
+	return set
+}
+
+// randBakedPayload emits bytes biased toward the pattern alphabet so the
+// scan actually walks deep states and fires matches.
+func randBakedPayload(rng *rand.Rand, n int) []byte {
+	data := make([]byte, n)
+	for i := range data {
+		if rng.Intn(6) == 0 {
+			data[i] = byte(rng.Intn(256))
+		} else {
+			data[i] = byte('a' + rng.Intn(4))
+		}
+	}
+	return data
+}
+
+// TestBakedEquivalenceProperty drives the baked kernel and the
+// Machine.Next reference scanner in lockstep over random machines, random
+// payload chunks and mid-stream SkipAhead/Reset, asserting byte-exact
+// register equivalence (state, h1/h2 history, pos) after every operation,
+// identical match sequences, and — per contiguous visible segment — exact
+// agreement with the uncompressed-DFA oracle.
+func TestBakedEquivalenceProperty(t *testing.T) {
+	configs := []Options{
+		{},
+		{MaxDepth: 1},
+		{MaxDepth: 2},
+		{D2PerChar: 2},
+		{D2PerChar: 1, D3PerChar: 1},
+		{DenseStates: -1},      // compressed tier only
+		{DenseStates: 3},       // nearly everything on the CSR path
+		{DenseStates: 1 << 20}, // pure flat DFA
+	}
+	for ci, opts := range configs {
+		opts := opts
+		t.Run(fmt.Sprintf("config-%d", ci), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(int64(1000 + ci)))
+			for trial := 0; trial < 20; trial++ {
+				set := randBakedSet(rng)
+				m, err := Build(set, opts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if m.prog == nil {
+					t.Fatalf("trial %d: configuration unexpectedly not baked", trial)
+				}
+				driveLockstep(t, m, rng)
+			}
+		})
+	}
+}
+
+// driveLockstep runs one randomized op sequence over baked and reference
+// scanners.
+func driveLockstep(t *testing.T, m *Machine, rng *rand.Rand) {
+	t.Helper()
+	baked := m.NewScanner()
+	ref := m.newReferenceScanner()
+	if baked.prog == nil || ref.prog != nil {
+		t.Fatal("scanner wiring: baked scanner must carry the program, reference must not")
+	}
+
+	var bOut, rOut []ac.Match
+	var seg []byte // bytes of the current contiguous visible segment
+	segStart := 0  // stream position where the segment began
+	segMark := 0   // len(bOut) when the segment began
+
+	// checkSegment verifies the matches emitted during the segment against
+	// the uncompressed DFA scanning the same bytes.
+	checkSegment := func() {
+		t.Helper()
+		want := m.Trie.FindAll(seg)
+		got := bOut[segMark:]
+		if len(got) != len(want) {
+			t.Fatalf("segment at %d: %d matches, oracle %d", segStart, len(got), len(want))
+		}
+		for i := range want {
+			if got[i].PatternID != want[i].PatternID || got[i].End != want[i].End+segStart {
+				t.Fatalf("segment at %d: match %d = %+v, oracle %+v (+%d)", segStart, i, got[i], want[i], segStart)
+			}
+		}
+	}
+	checkRegisters := func(op string) {
+		t.Helper()
+		if baked.state != ref.state || baked.h1 != ref.h1 || baked.h2 != ref.h2 || baked.pos != ref.pos {
+			t.Fatalf("%s: baked registers (s=%d h2=%d h1=%d pos=%d) != reference (s=%d h2=%d h1=%d pos=%d)",
+				op, baked.state, baked.h2, baked.h1, baked.pos, ref.state, ref.h2, ref.h1, ref.pos)
+		}
+		if len(bOut) != len(rOut) {
+			t.Fatalf("%s: baked emitted %d matches, reference %d", op, len(bOut), len(rOut))
+		}
+		for i := range bOut {
+			if bOut[i] != rOut[i] {
+				t.Fatalf("%s: match %d baked %+v reference %+v", op, i, bOut[i], rOut[i])
+			}
+		}
+	}
+
+	ops := 3 + rng.Intn(12)
+	for i := 0; i < ops; i++ {
+		switch rng.Intn(8) {
+		case 0: // Reset: segment ends, stream position restarts
+			checkSegment()
+			baked.Reset()
+			ref.Reset()
+			seg, segStart, segMark = seg[:0], 0, len(bOut)
+			checkRegisters("Reset")
+		case 1: // SkipAhead: segment ends, position advances over unseen bytes
+			checkSegment()
+			n := 1 + rng.Intn(64)
+			baked.SkipAhead(n)
+			ref.SkipAhead(n)
+			seg, segStart, segMark = seg[:0], baked.pos, len(bOut)
+			checkRegisters("SkipAhead")
+		default: // write a chunk (empty chunks included)
+			chunk := randBakedPayload(rng, rng.Intn(80))
+			seg = append(seg, chunk...)
+			bOut = baked.ScanAppend(chunk, bOut)
+			rOut = ref.ScanAppend(chunk, rOut)
+			checkRegisters("ScanAppend")
+		}
+	}
+	checkSegment()
+
+	// Scan must replay exactly the ScanAppend sequence on both paths.
+	payload := randBakedPayload(rng, 200)
+	baked.Reset()
+	ref.Reset()
+	var sb, sr []ac.Match
+	baked.Scan(payload, func(mt ac.Match) { sb = append(sb, mt) })
+	ref.Scan(payload, func(mt ac.Match) { sr = append(sr, mt) })
+	if len(sb) != len(sr) {
+		t.Fatalf("Scan: baked %d matches, reference %d", len(sb), len(sr))
+	}
+	for i := range sb {
+		if sb[i] != sr[i] {
+			t.Fatalf("Scan: match %d baked %+v reference %+v", i, sb[i], sr[i])
+		}
+	}
+}
+
+// TestScanEmitReentrancy: an emit callback that reenters the same
+// scanner's Scan must not corrupt the outer replay — the baked path
+// detaches its scratch buffer while iterating it.
+func TestScanEmitReentrancy(t *testing.T) {
+	set := &ruleset.Set{Patterns: []ruleset.Pattern{{ID: 0, Data: []byte("ab")}}}
+	m, err := Build(set, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := m.NewScanner()
+	sc.Scan([]byte("abab"), func(ac.Match) {}) // grow the scratch buffer
+	sc.Reset()
+	var outer []ac.Match
+	depth := 0
+	sc.Scan([]byte("abab"), func(mt ac.Match) {
+		outer = append(outer, mt)
+		if depth == 0 {
+			depth++
+			// The inner scan continues the stream (two more matches the
+			// outer callback also receives) and, crucially, recycles the
+			// scanner's scratch storage.
+			sc.Scan([]byte("abab"), func(ac.Match) {})
+		}
+	})
+	want := []ac.Match{{PatternID: 0, End: 2}, {PatternID: 0, End: 4}}
+	if len(outer) != len(want) {
+		t.Fatalf("outer emit saw %d matches, want %d: %+v", len(outer), len(want), outer)
+	}
+	for i := range want {
+		if outer[i] != want[i] {
+			t.Fatalf("outer match %d = %+v, want %+v (scratch aliasing)", i, outer[i], want[i])
+		}
+	}
+}
+
+// TestCompileFallback proves that machines whose default rows overflow the
+// fixed row format refuse to bake and stay on the (still correct)
+// reference path. The sets are crafted so the ablation-sized row widths
+// are actually populated: six depth-2 states and two depth-3 states all
+// ending in 'x'. Compile bails on actual row widths, not the configured
+// limits — an oversized D2PerChar on a sparse set still bakes.
+func TestCompileFallback(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	wideD2 := &ruleset.Set{}
+	for i, p := range []string{"ax", "bx", "cx", "dx", "ex", "fx"} {
+		wideD2.Patterns = append(wideD2.Patterns, ruleset.Pattern{ID: i, Data: []byte(p)})
+	}
+	wideD3 := &ruleset.Set{Patterns: []ruleset.Pattern{
+		{ID: 0, Data: []byte("aax")},
+		{ID: 1, Data: []byte("abx")},
+	}}
+	for _, tc := range []struct {
+		set  *ruleset.Set
+		opts Options
+	}{
+		{wideD2, Options{D2PerChar: 8}}, // 6 depth-2 defaults for 'x' > 4 slots
+		{wideD3, Options{D3PerChar: 2}}, // 2 depth-3 defaults for 'x' > 1 word
+	} {
+		m, err := Build(tc.set, tc.opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.prog != nil {
+			t.Fatalf("options %+v: expected Compile fallback, got a program", tc.opts)
+		}
+		if err := m.VerifyScan([][]byte{randBakedPayload(rng, 512)}); err != nil {
+			t.Fatalf("options %+v: fallback path broken: %v", tc.opts, err)
+		}
+	}
+	// A sparse set bakes even under ablation-wide limits...
+	sparse, err := Build(randBakedSet(rng), Options{D2PerChar: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sparse.prog == nil && sparse.Stats.D2Count <= 4*256 {
+		// (only fails if the random set really overflowed a row, which
+		// randBakedSet's 16 short patterns cannot)
+		t.Fatal("sparse machine under D2PerChar=8 did not bake")
+	}
+	// ...and DisableBaked skips compilation outright.
+	m, err := Build(randBakedSet(rng), Options{DisableBaked: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.prog != nil {
+		t.Fatal("DisableBaked still compiled a program")
+	}
+}
+
+// TestSnapshotLoadBakes proves a Load-ed machine compiles its kernel (via
+// the re-tallied popularity pass) and scans identically to the original.
+func TestSnapshotLoadBakes(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	set := randBakedSet(rng)
+	m, err := Build(set, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.prog == nil {
+		t.Fatal("loaded machine has no baked program")
+	}
+	payload := randBakedPayload(rng, 4096)
+	got := loaded.FindAll(payload)
+	want := m.FindAll(payload)
+	if !ac.MatchesEqual(got, want) {
+		t.Fatalf("loaded machine found %d matches, original %d", len(got), len(want))
+	}
+}
+
+// TestProgramStats sanity-checks the layout report against the machine.
+func TestProgramStats(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	set := randBakedSet(rng)
+	m, err := Build(set, Options{DenseStates: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := m.prog.Stats()
+	if st.States != m.Trie.NumStates() {
+		t.Fatalf("States = %d, machine has %d", st.States, m.Trie.NumStates())
+	}
+	wantDense := 8
+	if n := m.Trie.NumStates(); n < wantDense {
+		wantDense = n
+	}
+	if st.DenseStates != wantDense {
+		t.Fatalf("DenseStates = %d, want %d", st.DenseStates, wantDense)
+	}
+	var stored int
+	promoted := m.pickDense()
+	for s, list := range m.Stored {
+		if !promoted[s] {
+			stored += len(list)
+		}
+	}
+	if st.StoredEntries != stored {
+		t.Fatalf("StoredEntries = %d, want %d", st.StoredEntries, stored)
+	}
+	if st.TotalBytes != st.DenseBytes+st.StoredBytes+st.LookupBytes+st.OutputBytes {
+		t.Fatal("TotalBytes does not add up")
+	}
+}
+
+// TestFusedHistoryRoundTrip pins the sentinel encoding: every (h2, h1)
+// register pair survives fuse/split, and unknown lanes can never compare
+// equal to a key built from real bytes.
+func TestFusedHistoryRoundTrip(t *testing.T) {
+	vals := []int16{HistNone, 0, 1, 'a', 0xFE, 0xFF}
+	for _, h2 := range vals {
+		for _, h1 := range vals {
+			g2, g1 := splitHist(fuseHist(h2, h1))
+			if g2 != h2 || g1 != h1 {
+				t.Fatalf("fuse/split (%d,%d) -> (%d,%d)", h2, h1, g2, g1)
+			}
+		}
+	}
+	for c := 0; c < 256; c++ {
+		if fuseHist(HistNone, int16(c))>>histLaneBits == uint32(c) {
+			t.Fatalf("unknown h2 lane collides with byte %#x", c)
+		}
+		if fuseHist(int16(c), HistNone)&histLaneMask == uint32(c) {
+			t.Fatalf("unknown h1 lane collides with byte %#x", c)
+		}
+	}
+}

@@ -23,6 +23,15 @@
 // DFA while storing >96% fewer pointers — and, unlike fail-pointer schemes,
 // one input character is consumed every cycle regardless of input.
 //
+// Two runtime representations execute this machine. The Machine itself —
+// slice-of-slices Stored rows, D2/D3 entry lists, Machine.Next — is the
+// reference semantics, kept deliberately close to the paper's hardware
+// description. The baked Program (see baked.go) is the default hot path:
+// Build flattens the machine into fixed arrays and a two-tier
+// dense/compressed layout, and Scanner.ScanAppend/Scan execute it. The two
+// must remain byte-exact equivalent; VerifyScan, the baked property tests
+// and FuzzBakedEquivalence enforce that continuously.
+//
 // Removal correctness. For a state s at depth ≥ 2 the previous two
 // characters are determined by s's path, so the default rule is evaluated
 // exactly. For depth ≤ 1 the unknown history positions cannot cause a
@@ -57,6 +66,16 @@ type Options struct {
 	// 2 = d1+d2, 3 = d1+d2+d3. 0 means 3. Used by the Table II progressive
 	// rows and the ablation benches.
 	MaxDepth int
+	// DenseStates budgets the baked kernel's dense tier: how many states
+	// are promoted to full 256-entry move rows (0 = DefaultDenseStates,
+	// negative disables the tier). Runtime-only tuning; not serialized in
+	// snapshots.
+	DenseStates int
+	// DisableBaked keeps the machine on the slice-walking reference scan
+	// path instead of compiling the baked Program. Used by benchmarks and
+	// equivalence tests that need the Machine.Next oracle as the default
+	// path; runtime-only, not serialized.
+	DisableBaked bool
 }
 
 func (o Options) withDefaults() Options {
@@ -176,6 +195,21 @@ type Machine struct {
 	// Stored[s] holds the transitions kept at state s, sorted by Char.
 	Stored [][]Transition
 	Stats  BuildStats
+
+	// popularity[s] counts how often state s is a non-root transition
+	// target across the full DFA — the tally the default-selection pass
+	// ranks by. Transient: it lets Build's Compile promote the hottest
+	// states to the dense tier without re-walking every move row, and is
+	// dropped once Build finishes (8 bytes per state of dead weight on a
+	// long-lived machine otherwise). When nil — snapshot Load, or a
+	// manual Compile later — pickDense re-tallies from the move rows,
+	// deterministically reproducing the same promotion.
+	popularity []int64
+	// prog is the baked scan kernel, nil when Opts.DisableBaked is set,
+	// when the machine was hand-assembled, or when the configuration does
+	// not fit the fixed row format. Scanners fall back to the
+	// slice-walking reference path when nil.
+	prog *Program
 }
 
 // Build compresses the move-function DFA for set under opts.
@@ -191,12 +225,23 @@ func Build(set *ruleset.Set, opts Options) (*Machine, error) {
 	m := &Machine{Trie: trie, Opts: opts}
 	m.selectDefaults()
 	m.compress()
+	if !opts.DisableBaked {
+		m.prog = Compile(m)
+	}
+	m.popularity = nil
 	return m, nil
 }
 
+// Program returns the machine's baked scan kernel, or nil when the machine
+// runs on the slice-walking reference path.
+func (m *Machine) Program() *Program { return m.prog }
+
 // selectDefaults runs the popularity pass: it counts, over every (state,
-// character) pair of the full DFA, how often each depth-1/2/3 state is the
-// transition target, then promotes the most popular per lookup-table row.
+// character) pair of the full DFA, how often each state is the transition
+// target, then promotes the most popular depth-1/2/3 states per
+// lookup-table row. The full (all-depth) tally is kept on m.popularity
+// until Build finishes so Compile can rank dense-tier promotion by the
+// same numbers.
 func (m *Machine) selectDefaults() {
 	t := m.Trie
 	n := t.NumStates()
@@ -209,11 +254,13 @@ func (m *Machine) selectDefaults() {
 				continue
 			}
 			original++
-			if d := t.Nodes[to].Depth; d >= 1 && d <= 3 {
-				popularity[to]++
-			}
+			// Tally every non-root target: depths 1-3 rank the default
+			// candidates below, and the full tally ranks dense-tier
+			// promotion in Compile.
+			popularity[to]++
 		}
 	})
+	m.popularity = popularity
 	m.Stats.States = n
 	m.Stats.OriginalPointers = original
 	m.Stats.OriginalAvg = float64(original) / float64(n)

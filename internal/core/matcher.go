@@ -6,15 +6,33 @@ import "repro/internal/ac"
 // current automaton state and the two-character input history the default
 // rule compares against. It mirrors the registers of the hardware engine
 // (Figure 5): input character, previous 2 input characters, current state.
+//
+// When the machine has a baked Program (the default), ScanAppend and Scan
+// execute the flat kernel; Step and the prog-less fallback run the
+// reference Machine.Next path. Both paths keep the same registers, so a
+// caller may mix them freely.
 type Scanner struct {
 	m      *Machine
+	prog   *Program
 	state  int32
 	h1, h2 int16
 	pos    int
+	// scratch buffers Scan's matches between ScanAppend and the caller's
+	// emit callback, reused across calls.
+	scratch []ac.Match
 }
 
 // NewScanner returns a scanner positioned at the start of a packet.
 func (m *Machine) NewScanner() *Scanner {
+	s := &Scanner{m: m, prog: m.prog}
+	s.Reset()
+	return s
+}
+
+// newReferenceScanner returns a scanner pinned to the slice-walking
+// Machine.Next path regardless of the machine's baked program — the oracle
+// the baked kernel is verified against.
+func (m *Machine) newReferenceScanner() *Scanner {
 	s := &Scanner{m: m}
 	s.Reset()
 	return s
@@ -58,11 +76,26 @@ func (s *Scanner) Pos() int { return s.pos }
 
 // Scan consumes data, invoking emit for every match. It continues from the
 // scanner's current state; call Reset first for a fresh packet. Matches are
-// emitted in increasing end-offset order (one machine scans left to right).
-// Hot paths should prefer ScanAppend; Scan stays on the one-Step-per-byte
-// form so the transition logic lives in exactly two places (Machine.Next
-// and the inlined loop in ScanAppend).
+// emitted in increasing end-offset order (one machine scans left to right),
+// exactly the sequence ScanAppend would append. On a baked machine the
+// matches are gathered by the flat kernel and replayed to emit — so emit
+// observes the scanner's end-of-chunk registers (Pos, State), not the
+// per-match position; the reference path stays on the one-Step-per-byte
+// form so the oracle transition logic lives in exactly two places
+// (Machine.Next and the inlined reference loop in ScanAppend).
 func (s *Scanner) Scan(data []byte, emit func(ac.Match)) {
+	if s.prog != nil {
+		matches := s.ScanAppend(data, s.scratch[:0])
+		// Detach the buffer while replaying: an emit callback that
+		// reenters this scanner must not rewrite the slice being
+		// iterated (it grabs a fresh one, and the headers swap below).
+		s.scratch = nil
+		for _, m := range matches {
+			emit(m)
+		}
+		s.scratch = matches[:0]
+		return
+	}
 	t := s.m.Trie
 	for _, c := range data {
 		st := s.Step(c)
@@ -74,12 +107,19 @@ func (s *Scanner) Scan(data []byte, emit func(ac.Match)) {
 
 // ScanAppend consumes data like Scan but appends matches to out and returns
 // the extended slice instead of invoking a callback, so steady-state
-// scanning allocates nothing once the caller's buffer has grown. The
-// transition step is inlined here — one Scanner.Step call plus one closure
-// invocation per input byte is measurable at multi-Gbps software rates.
-// The loop body must stay exactly equivalent to Machine.Next; any change
-// to the stored-pointer or default-rule step applies to both.
+// scanning allocates nothing once the caller's buffer has grown. On a
+// baked machine this runs the flat Program kernel — dense rows for the hot
+// near-root states, packed CSR stored pointers and the fused-history
+// lookup table elsewhere; the fallback inlines the reference transition
+// step. Both must stay exactly equivalent to Machine.Next; any change to
+// the stored-pointer or default-rule step applies to all three.
 func (s *Scanner) ScanAppend(data []byte, out []ac.Match) []ac.Match {
+	if p := s.prog; p != nil {
+		state, hist, pos, out := p.scanAppend(s.state, fuseHist(s.h2, s.h1), s.pos, data, out)
+		s.state, s.pos = state, pos
+		s.h2, s.h1 = splitHist(hist)
+		return out
+	}
 	m, t := s.m, s.m.Trie
 	state, h1, h2, pos := s.state, s.h1, s.h2, s.pos
 	maxDepth := m.Opts.MaxDepth

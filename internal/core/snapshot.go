@@ -354,6 +354,11 @@ func Load(data []byte) (*Machine, error) {
 			}
 		}
 	}
+	// Bake the scan kernel for the restored machine. The snapshot predates
+	// the popularity tally, so Compile re-derives dense-tier promotion
+	// from the move rows; runtime-only options (DenseStates/DisableBaked)
+	// are not part of the format and take their defaults.
+	m.prog = Compile(m)
 	return m, nil
 }
 

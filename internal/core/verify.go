@@ -37,14 +37,24 @@ func (m *Machine) VerifyTransitions() error {
 }
 
 // VerifyScan cross-checks matcher output against the uncompressed DFA on
-// the given payloads (each treated as one packet).
+// the given payloads (each treated as one packet). On a baked machine both
+// the flat kernel (the default scan path) and the slice-walking reference
+// path are checked, so a layout bug in Compile cannot hide behind the
+// reference semantics.
 func (m *Machine) VerifyScan(payloads [][]byte) error {
 	for i, p := range payloads {
-		got := m.FindAll(p)
 		want := m.Trie.FindAll(p)
+		got := m.FindAll(p)
 		if !ac.MatchesEqual(got, want) {
 			return fmt.Errorf("core: payload %d (%d bytes): compressed machine found %d matches, DFA %d",
 				i, len(p), len(got), len(want))
+		}
+		if m.prog != nil {
+			ref := m.newReferenceScanner().ScanAppend(p, nil)
+			if !ac.MatchesEqual(ref, want) {
+				return fmt.Errorf("core: payload %d (%d bytes): reference path found %d matches, DFA %d",
+					i, len(p), len(ref), len(want))
+			}
 		}
 	}
 	return nil

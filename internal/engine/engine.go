@@ -39,6 +39,14 @@ type Engine struct {
 	scanners sync.Pool
 }
 
+// scannerSet is one pooled scan lane: one Scanner per group machine. The
+// pool stores *scannerSet so checking a lane in and out never boxes a
+// slice header into an interface — that single allocation per batch (and
+// per flow open) is visible at gateway packet rates.
+type scannerSet struct {
+	set []*core.Scanner
+}
+
 // New builds an engine over g with the given worker-pool size for batch
 // scans. workers <= 0 selects GOMAXPROCS — one lane per available core.
 func New(g *core.Grouped, workers int) *Engine {
@@ -47,11 +55,11 @@ func New(g *core.Grouped, workers int) *Engine {
 	}
 	e := &Engine{g: g, workers: workers}
 	e.scanners.New = func() any {
-		set := make([]*core.Scanner, len(g.Machines))
+		ss := &scannerSet{set: make([]*core.Scanner, len(g.Machines))}
 		for i, m := range g.Machines {
-			set[i] = m.NewScanner()
+			ss.set[i] = m.NewScanner()
 		}
-		return set
+		return ss
 	}
 	return e
 }
@@ -59,12 +67,12 @@ func New(g *core.Grouped, workers int) *Engine {
 // Workers returns the batch-scan worker-pool size.
 func (e *Engine) Workers() int { return e.workers }
 
-func (e *Engine) acquire() []*core.Scanner {
-	return e.scanners.Get().([]*core.Scanner)
+func (e *Engine) acquire() *scannerSet {
+	return e.scanners.Get().(*scannerSet)
 }
 
-func (e *Engine) release(set []*core.Scanner) {
-	e.scanners.Put(set)
+func (e *Engine) release(ss *scannerSet) {
+	e.scanners.Put(ss)
 }
 
 // scanPacket scans one payload with a fresh (Reset) scanner set into buf
@@ -117,36 +125,45 @@ func (e *Engine) ScanPacketsInto(payloads [][]byte, results [][]ac.Match) [][]ac
 		workers = len(payloads)
 	}
 	if workers == 1 {
-		set := e.acquire()
+		ss := e.acquire()
 		var buf []ac.Match
 		for i, p := range payloads {
-			results[i], buf = scanPacket(set, p, buf)
+			results[i], buf = scanPacket(ss.set, p, buf)
 		}
-		e.release(set)
+		e.release(ss)
 		return results
 	}
+	// The goroutine fan-out lives in its own method so its closure does not
+	// capture this function's parameters: a captured `results` would be
+	// moved to the heap on every call, including single-worker gateways in
+	// their zero-alloc steady state.
+	e.scanParallel(payloads, results, workers)
+	return results
+}
+
+// scanParallel shards payloads over workers goroutines via a shared
+// counter; workers write disjoint results indices, so no synchronization
+// beyond the WaitGroup is needed.
+func (e *Engine) scanParallel(payloads [][]byte, results [][]ac.Match, workers int) {
 	var next atomic.Int64
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			set := e.acquire()
-			defer e.release(set)
+			ss := e.acquire()
+			defer e.release(ss)
 			var buf []ac.Match
 			for {
 				i := int(next.Add(1)) - 1
 				if i >= len(payloads) {
 					return
 				}
-				// Workers write disjoint indices; no further synchronization
-				// is needed on results.
-				results[i], buf = scanPacket(set, payloads[i], buf)
+				results[i], buf = scanPacket(ss.set, payloads[i], buf)
 			}
 		}()
 	}
 	wg.Wait()
-	return results
 }
 
 // Flow is the streaming per-flow scan state: one scanner per group machine,
@@ -154,7 +171,7 @@ func (e *Engine) ScanPacketsInto(payloads [][]byte, results [][]ac.Match) [][]ac
 // socket it shadows); open one Flow per concurrent stream.
 type Flow struct {
 	e        *Engine
-	scanners []*core.Scanner
+	ss       *scannerSet
 	buf      []ac.Match
 	consumed int
 }
@@ -163,11 +180,11 @@ type Flow struct {
 // stream positioned at start-of-packet. Call Close when the flow ends to
 // return the state to the pool.
 func (e *Engine) Flow() *Flow {
-	set := e.acquire()
-	for _, sc := range set {
+	ss := e.acquire()
+	for _, sc := range ss.set {
 		sc.Reset()
 	}
-	return &Flow{e: e, scanners: set}
+	return &Flow{e: e, ss: ss}
 }
 
 // Write consumes the next chunk and returns the matches whose final byte
@@ -176,7 +193,7 @@ func (e *Engine) Flow() *Flow {
 // caller must consume (or copy) it before writing again.
 func (f *Flow) Write(p []byte) []ac.Match {
 	f.buf = f.buf[:0]
-	for _, sc := range f.scanners {
+	for _, sc := range f.ss.set {
 		f.buf = sc.ScanAppend(p, f.buf)
 	}
 	ac.SortMatches(f.buf)
@@ -187,7 +204,7 @@ func (f *Flow) Write(p []byte) []ac.Match {
 // Reset rewinds the flow to start-of-packet without returning its scanners
 // to the pool: states and the 2-byte default-rule histories are cleared.
 func (f *Flow) Reset() {
-	for _, sc := range f.scanners {
+	for _, sc := range f.ss.set {
 		sc.Reset()
 	}
 	f.consumed = 0
@@ -201,7 +218,7 @@ func (f *Flow) Consumed() int { return f.consumed }
 // no match may span unseen bytes — while the stream position advances, so
 // subsequent matches keep absolute offsets into the flow's true stream.
 func (f *Flow) SkipGap(n int) {
-	for _, sc := range f.scanners {
+	for _, sc := range f.ss.set {
 		sc.SkipAhead(n)
 	}
 	f.consumed += n
@@ -210,9 +227,9 @@ func (f *Flow) SkipGap(n int) {
 // Close returns the flow's scanner state to the engine pool. The Flow must
 // not be used afterwards.
 func (f *Flow) Close() {
-	if f.scanners == nil {
+	if f.ss == nil {
 		return
 	}
-	f.e.release(f.scanners)
-	f.scanners = nil
+	f.e.release(f.ss)
+	f.ss = nil
 }

@@ -140,3 +140,39 @@ func TestFlowSkipGap(t *testing.T) {
 		t.Fatalf("post-gap match = %+v, want End 26 (absolute)", ms)
 	}
 }
+
+// TestScanPacketsIntoSteadyStateZeroAlloc locks in the batch lane's
+// contract: with a single worker (no goroutine fan-out) and a reused
+// results buffer, a match-free burst costs zero allocations per batch.
+// (Packets with matches still allocate their exact-size output slices —
+// those are the scan's product and may be retained by the caller.)
+func TestScanPacketsIntoSteadyStateZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are unstable under -race")
+	}
+	set := &ruleset.Set{Patterns: []ruleset.Pattern{
+		{ID: 0, Data: []byte("needle"), Name: "needle"},
+		{ID: 1, Data: []byte("haystack"), Name: "haystack"},
+	}}
+	g, err := core.BuildGrouped(set, 1, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := New(g, 1)
+	payloads := make([][]byte, 16)
+	for i := range payloads {
+		payloads[i] = []byte("xxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxx")
+	}
+	results := e.ScanPacketsInto(payloads, nil) // warm-up sizes the buffer
+	allocs := testing.AllocsPerRun(20, func() {
+		results = e.ScanPacketsInto(payloads, results)
+	})
+	if allocs != 0 {
+		t.Fatalf("ScanPacketsInto allocated %.1f times per batch in steady state", allocs)
+	}
+	for i, ms := range results {
+		if len(ms) != 0 {
+			t.Fatalf("packet %d unexpectedly matched: %+v", i, ms)
+		}
+	}
+}
