@@ -4,7 +4,9 @@ package main
 // (interleaved sequenced TCP flows plus UDP datagrams) pushed through the
 // Gateway's pipelined ingestion — bounded queue, per-flow lanes over the
 // 5-tuple flow table, TCP reassembly, burst batching — versus worker
-// count, plus a row with out-of-order/retransmitted delivery (the
+// count, then versus engine-shard count (-shards N sweeps the sharded
+// gateway, the software analogue of the paper's replicated matcher
+// blocks), plus a row with out-of-order/retransmitted delivery (the
 // reassembly regime) and a final row in the eviction-churn regime (flow
 // table much smaller than the offered flow count). Every full-capacity row
 // is verified against the per-flow FindAll oracle before it is timed; an
@@ -41,6 +43,7 @@ type gatewayBenchConfig struct {
 	Seed            int64
 	MinTime         time.Duration
 	MaxWorkers      int  // 0 = NumCPU
+	MaxShards       int  // engine-shard sweep ceiling; <=1 skips the sharded rows
 	DisableBaked    bool // -baked=false: slice-walking reference path
 }
 
@@ -64,6 +67,7 @@ func defaultGatewayConfig(seed int64) gatewayBenchConfig {
 type gatewayBenchRow struct {
 	Mode       string  `json:"mode"`
 	Workers    int     `json:"workers"`
+	Shards     int     `json:"engine_shards"`
 	MaxFlows   int     `json:"max_flows"`
 	Gbps       float64 `json:"gbps"`
 	Speedup    float64 `json:"speedup"`
@@ -76,8 +80,11 @@ type gatewayBenchRow struct {
 }
 
 // gatewayBenchReport is the machine-readable artifact CI uploads and gates
-// on: OK is false iff any oracle-gated row mismatched.
+// on: OK is false iff any oracle-gated row mismatched. A copy produced
+// with -shards is checked into the repo root as BENCH_5.json — the
+// sharded-gateway entry of the perf trajectory.
 type gatewayBenchReport struct {
+	Bench           int               `json:"bench"` // trajectory sequence number
 	Strings         int               `json:"strings"`
 	Flows           int               `json:"flows"`
 	SegmentsPerFlow int               `json:"segments_per_flow"`
@@ -168,9 +175,10 @@ func runGateway(out io.Writer, jsonPath string, cfg gatewayBenchConfig) error {
 	t := &report.Table{
 		Title: fmt.Sprintf("GATEWAY INGESTION (%d strings, %d flows x %d x %d B + UDP, reorder window %d, %d/%d oracle matches)",
 			cfg.Strings, cfg.Flows, cfg.SegmentsPerFlow, cfg.SegmentBytes, cfg.ReorderWindow, inFeed.want, reFeed.want),
-		Headers: []string{"Mode", "Workers", "MaxFlows", "Gbps", "Speedup", "Matches", "Evicted", "OOOSegs", "DupBytes"},
+		Headers: []string{"Mode", "Workers", "Shards", "MaxFlows", "Gbps", "Speedup", "Matches", "Evicted", "OOOSegs", "DupBytes"},
 	}
 	rep := gatewayBenchReport{
+		Bench:   5,
 		Strings: cfg.Strings, Flows: cfg.Flows, SegmentsPerFlow: cfg.SegmentsPerFlow,
 		SegmentBytes: cfg.SegmentBytes, Datagrams: cfg.Datagrams, Seed: cfg.Seed,
 		OK: true,
@@ -186,10 +194,10 @@ func runGateway(out io.Writer, jsonPath string, cfg gatewayBenchConfig) error {
 		return os.WriteFile(jsonPath, append(data, '\n'), 0o644)
 	}
 
-	run := func(feed gatewayFeed, workers, maxFlows int) (dpi.GatewayStats, error) {
+	run := func(feed gatewayFeed, workers, maxFlows, shards int) (dpi.GatewayStats, error) {
 		e := m.NewEngine(workers)
 		gw := e.Gateway(dpi.GatewayConfig{
-			MaxFlows: maxFlows, StreamWorkers: workers,
+			MaxFlows: maxFlows, StreamWorkers: workers, EngineShards: shards,
 		}, func(dpi.FlowMatch) {})
 		for _, pkt := range feed.packets {
 			if err := gw.Ingest(pkt); err != nil {
@@ -202,12 +210,12 @@ func runGateway(out io.Writer, jsonPath string, cfg gatewayBenchConfig) error {
 		return gw.Stats(), nil
 	}
 
-	measure := func(feed gatewayFeed, workers, maxFlows int) (float64, dpi.GatewayStats, error) {
+	measure := func(feed gatewayFeed, workers, maxFlows, shards int) (float64, dpi.GatewayStats, error) {
 		var last dpi.GatewayStats
 		start := time.Now()
 		var scanned int64
 		for time.Since(start) < cfg.MinTime {
-			st, err := run(feed, workers, maxFlows)
+			st, err := run(feed, workers, maxFlows, shards)
 			if err != nil {
 				return 0, st, err
 			}
@@ -222,14 +230,14 @@ func runGateway(out io.Writer, jsonPath string, cfg gatewayBenchConfig) error {
 	// benchRow measures one oracle-gated configuration; a mismatch is
 	// recorded in the JSON report and fails the run after the report is
 	// written, so CI keeps the artifact explaining the failure.
-	benchRow := func(mode string, feed gatewayFeed, workers, maxFlows int) error {
-		st, err := run(feed, workers, maxFlows)
+	benchRow := func(mode string, feed gatewayFeed, workers, maxFlows, shards int) error {
+		st, err := run(feed, workers, maxFlows, shards)
 		if err != nil {
 			return err
 		}
 		ok := int(st.Matches) == feed.want
 		if ok {
-			gbps, tst, err := measure(feed, workers, maxFlows)
+			gbps, tst, err := measure(feed, workers, maxFlows, shards)
 			if err != nil {
 				return err
 			}
@@ -237,11 +245,11 @@ func runGateway(out io.Writer, jsonPath string, cfg gatewayBenchConfig) error {
 			if baseline == 0 {
 				baseline = gbps
 			}
-			t.AddRow(mode, workers, maxFlows, fmt.Sprintf("%.3f", gbps),
+			t.AddRow(mode, workers, shards, maxFlows, fmt.Sprintf("%.3f", gbps),
 				fmt.Sprintf("%.2fx", gbps/baseline), st.Matches, st.FlowsEvicted,
 				st.OutOfOrderSegs, st.DuplicateBytes)
 			rep.Rows = append(rep.Rows, gatewayBenchRow{
-				Mode: mode, Workers: workers, MaxFlows: maxFlows,
+				Mode: mode, Workers: workers, Shards: shards, MaxFlows: maxFlows,
 				Gbps: gbps, Speedup: gbps / baseline,
 				Matches: st.Matches, Evicted: st.FlowsEvicted,
 				OutOfOrder: st.OutOfOrderSegs, Duplicate: st.DuplicateBytes,
@@ -250,7 +258,7 @@ func runGateway(out io.Writer, jsonPath string, cfg gatewayBenchConfig) error {
 			return nil
 		}
 		rep.Rows = append(rep.Rows, gatewayBenchRow{
-			Mode: mode, Workers: workers, MaxFlows: maxFlows,
+			Mode: mode, Workers: workers, Shards: shards, MaxFlows: maxFlows,
 			Matches: st.Matches, Evicted: st.FlowsEvicted,
 			OutOfOrder: st.OutOfOrderSegs, Duplicate: st.DuplicateBytes,
 			OracleWant: feed.want, OracleOK: false,
@@ -259,36 +267,50 @@ func runGateway(out io.Writer, jsonPath string, cfg gatewayBenchConfig) error {
 		if err := writeJSON(); err != nil {
 			return err
 		}
-		return fmt.Errorf("dpibench: gateway %s with %d workers found %d matches, oracle %d",
-			mode, workers, st.Matches, feed.want)
+		return fmt.Errorf("dpibench: gateway %s with %d workers, %d shards found %d matches, oracle %d",
+			mode, workers, shards, st.Matches, feed.want)
 	}
 
 	for _, workers := range workerSweep(maxWorkers) {
-		if err := benchRow("full-table", inFeed, workers, ample); err != nil {
+		if err := benchRow("full-table", inFeed, workers, ample, 1); err != nil {
 			return err
+		}
+	}
+	// Sharded regime: the same in-order feed fanned across engine
+	// replicas, each with the full worker count — the paper's replicated
+	// block arrays. The oracle is unchanged: sharding must be invisible in
+	// the results (per-flow order is preserved inside a shard).
+	if cfg.MaxShards > 1 {
+		for _, shards := range workerSweep(cfg.MaxShards) {
+			if shards == 1 {
+				continue // already measured as the full-table rows
+			}
+			if err := benchRow("sharded", inFeed, maxWorkers, ample, shards); err != nil {
+				return err
+			}
 		}
 	}
 	// Reassembly regime: the same connections delivered out of order with
 	// retransmissions; the oracle is unchanged because reassembly restores
 	// the streams exactly.
-	if err := benchRow("reordered", reFeed, maxWorkers, ample); err != nil {
+	if err := benchRow("reordered", reFeed, maxWorkers, ample, 1); err != nil {
 		return err
 	}
 	// Churn regime: the table is far smaller than the offered flow count,
 	// so eviction runs constantly and detections may be traded for memory;
 	// no oracle gate applies.
-	gbps, st, err := measure(reFeed, maxWorkers, cfg.ChurnMaxFlows)
+	gbps, st, err := measure(reFeed, maxWorkers, cfg.ChurnMaxFlows, 1)
 	if err != nil {
 		return err
 	}
 	if st.FlowsEvicted == 0 {
 		return fmt.Errorf("dpibench: churn row evicted no flows (cap %d, %d flows)", cfg.ChurnMaxFlows, cfg.Flows)
 	}
-	t.AddRow("churn", maxWorkers, cfg.ChurnMaxFlows, fmt.Sprintf("%.3f", gbps),
+	t.AddRow("churn", maxWorkers, 1, cfg.ChurnMaxFlows, fmt.Sprintf("%.3f", gbps),
 		fmt.Sprintf("%.2fx", gbps/baseline), st.Matches, st.FlowsEvicted,
 		st.OutOfOrderSegs, st.DuplicateBytes)
 	rep.Rows = append(rep.Rows, gatewayBenchRow{
-		Mode: "churn", Workers: maxWorkers, MaxFlows: cfg.ChurnMaxFlows,
+		Mode: "churn", Workers: maxWorkers, Shards: 1, MaxFlows: cfg.ChurnMaxFlows,
 		Gbps: gbps, Speedup: gbps / baseline,
 		Matches: st.Matches, Evicted: st.FlowsEvicted,
 		OutOfOrder: st.OutOfOrderSegs, Duplicate: st.DuplicateBytes,

@@ -11,7 +11,9 @@
 //	dpibench -parallel            # engine throughput vs worker count
 //	dpibench -parallel -workers 8 # cap the worker sweep
 //	dpibench -gateway             # NIDS gateway ingestion throughput
+//	dpibench -gateway -shards 4   # plus the engine-shard sweep (2, 4 shards)
 //	dpibench -gateway -json out.json  # plus a machine-readable report
+//	dpibench -gateway -shards 4 -json BENCH_5.json  # the sharded perf-trajectory report
 //	dpibench -kernel              # raw scan-kernel throughput, baked vs reference
 //	dpibench -kernel -json BENCH_4.json  # plus the perf-trajectory report
 //	dpibench -parallel -baked=false      # force the slice-walking reference path
@@ -45,6 +47,7 @@ func main() {
 		baked    = flag.Bool("baked", true, "scan with the baked flat kernel; false pins -parallel/-gateway to the slice-walking reference path (-kernel always measures both)")
 		jsonOut  = flag.String("json", "", "with -gateway or -kernel: also write the machine-readable report as JSON to this path")
 		workers  = flag.Int("workers", 0, "max workers for -parallel/-gateway (0 = NumCPU)")
+		shards   = flag.Int("shards", 1, "max engine shards for -gateway: sweeps 2,4,...,N sharded rows on top of the worker sweep (1 = unsharded only)")
 		tsv      = flag.Bool("tsv", false, "emit figure series as TSV instead of ASCII plots")
 		seed     = flag.Int64("seed", experiments.DefaultSeed, "workload generation seed")
 		steps    = flag.Int("steps", 10, "clock sweep steps for figures 7/8")
@@ -73,7 +76,7 @@ func main() {
 	err := dispatch(modes{
 		all: *all, table: *table, figure: *figure, ablation: *ablation,
 		parallel: *parallel, gateway: *gateway, kernel: *kernel,
-		baked: *baked, jsonOut: *jsonOut, workers: *workers,
+		baked: *baked, jsonOut: *jsonOut, workers: *workers, shards: *shards,
 		tsv: *tsv, seed: *seed, steps: *steps,
 	})
 	if *cpuProf != "" {
@@ -113,6 +116,7 @@ type modes struct {
 	baked    bool
 	jsonOut  string
 	workers  int
+	shards   int
 	tsv      bool
 	seed     int64
 	steps    int
@@ -138,6 +142,7 @@ func dispatch(m modes) error {
 	if m.gateway {
 		cfg := defaultGatewayConfig(m.seed)
 		cfg.MaxWorkers = m.workers
+		cfg.MaxShards = m.shards
 		cfg.DisableBaked = !m.baked
 		if err := runGateway(os.Stdout, m.jsonOut, cfg); err != nil {
 			return err

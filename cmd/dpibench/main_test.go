@@ -49,13 +49,13 @@ func TestRunGatewaySmall(t *testing.T) {
 		Strings: 100, Flows: 12, SegmentsPerFlow: 3, SegmentBytes: 200,
 		Datagrams: 10, DatagramBytes: 150, ChurnMaxFlows: 3,
 		ReorderWindow: 2, RetransDensity: 0.5, Seed: 2010,
-		MinTime: 5 * time.Millisecond, MaxWorkers: 2,
+		MinTime: 5 * time.Millisecond, MaxWorkers: 2, MaxShards: 2,
 	}
 	if err := runGateway(&sb, jsonPath, cfg); err != nil {
 		t.Fatal(err)
 	}
 	out := sb.String()
-	for _, want := range []string{"GATEWAY INGESTION", "full-table", "reordered", "churn", "Gbps", "Evicted", "OOOSegs"} {
+	for _, want := range []string{"GATEWAY INGESTION", "full-table", "sharded", "reordered", "churn", "Gbps", "Evicted", "OOOSegs"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("missing %q:\n%s", want, out)
 		}
@@ -68,14 +68,14 @@ func TestRunGatewaySmall(t *testing.T) {
 	if err := json.Unmarshal(data, &rep); err != nil {
 		t.Fatalf("JSON report does not parse: %v\n%s", err, data)
 	}
-	if !rep.OK {
+	if !rep.OK || rep.Bench != 5 {
 		t.Fatalf("report not OK: %s", data)
 	}
-	// full-table sweep (2 workers -> 2 rows) + reordered + churn.
-	if len(rep.Rows) != 4 {
+	// full-table sweep (2 workers -> 2 rows) + sharded@2 + reordered + churn.
+	if len(rep.Rows) != 5 {
 		t.Fatalf("report has %d rows: %s", len(rep.Rows), data)
 	}
-	var sawReordered bool
+	var sawReordered, sawSharded bool
 	for _, r := range rep.Rows {
 		if !r.OracleOK {
 			t.Fatalf("row %+v failed its oracle but report.OK is true", r)
@@ -89,9 +89,21 @@ func TestRunGatewaySmall(t *testing.T) {
 				t.Errorf("reordered row not oracle-gated: %+v", r)
 			}
 		}
+		if r.Mode == "sharded" {
+			sawSharded = true
+			if r.Shards != 2 {
+				t.Errorf("sharded row at %d shards, want 2: %+v", r.Shards, r)
+			}
+			if r.OracleWant == 0 || r.Matches != uint64(r.OracleWant) {
+				t.Errorf("sharded row not oracle-gated: %+v", r)
+			}
+		}
 	}
 	if !sawReordered {
 		t.Fatal("no reordered row in the report")
+	}
+	if !sawSharded {
+		t.Fatal("no sharded row in the report")
 	}
 }
 

@@ -37,13 +37,20 @@
 //     over the shared immutable automaton. Engine.ScanPackets shards a
 //     batch of payloads across workers; Engine.Flow gives each concurrent
 //     stream its own scanner registers while sharing the compiled machine.
+//     Engines replicate freely over one Matcher (the automaton is
+//     immutable), and Engine.Stats reports each replica's work.
 //   - Gateway: the NIDS front-end the paper deploys — pipelined packet
 //     ingestion (Ingest, or framed feeds via IngestReader; frame format v2
 //     carries the TCP seq/flags) behind a bounded queue whose fullness is
-//     the backpressure contract. Non-TCP packets are batched into
+//     the backpressure contract. The scan back-end is replicated like the
+//     paper's block arrays: GatewayConfig.EngineShards spins up M
+//     independent engine shards over the one compiled automaton and pins
+//     every flow and stateless packet to a shard by tuple hash — M engines
+//     × K workers, invisible in results and accounting, observable through
+//     ShardStats. Non-TCP packets are batched into per-shard
 //     Engine.ScanPackets-sized bursts; TCP packets are demultiplexed
 //     through a sharded 5-tuple flow table into per-flow scanner state
-//     pinned to hash-chosen lanes. Segments tagged FlagSeq pass through
+//     pinned to hash-chosen lanes of their shard. Segments tagged FlagSeq pass through
 //     TCP reassembly first (configurable overlap policy, bounded per-flow
 //     and global buffering, gap timeout/skip, SYN/FIN/RST lifecycle), so
 //     matches spanning segment boundaries survive demultiplexing even when

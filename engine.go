@@ -35,6 +35,31 @@ func (e *Engine) Workers() int { return e.eng.Workers() }
 // Matcher returns the compiled matcher the engine scans with.
 func (e *Engine) Matcher() *Matcher { return e.m }
 
+// EngineStats is a point-in-time snapshot of one engine's work, split by
+// its two usage shapes (batch scans and streaming flows). A sharded
+// Gateway exposes one per engine replica through ShardStats, making the
+// traffic fan-out across shards observable.
+type EngineStats struct {
+	Batches     uint64 // ScanPackets batches handed to the worker pool
+	BatchPkts   uint64 // payloads scanned across those batches
+	BatchBytes  uint64 // payload bytes scanned in batch mode
+	FlowsOpened uint64 // Flow checkouts from the scanner-state pool
+	StreamBytes uint64 // bytes written through flows
+}
+
+// Stats returns this engine's work counters. Counters are monotone but
+// mutually unsynchronized.
+func (e *Engine) Stats() EngineStats {
+	s := e.eng.Stats()
+	return EngineStats{
+		Batches:     s.Batches,
+		BatchPkts:   s.BatchPkts,
+		BatchBytes:  s.BatchBytes,
+		FlowsOpened: s.FlowsOpened,
+		StreamBytes: s.StreamBytes,
+	}
+}
+
 // ScanPackets scans each payload as an independent packet, sharding the
 // batch across the worker pool, and returns all matches in canonical order:
 // ascending PacketID, then (End, PatternID). The matches for packet i are

@@ -10,6 +10,16 @@ package dpi
 // flow hash so each connection's scanner registers see its bytes in order,
 // exactly as a hardware engine owns a packet stream.
 //
+// The scan back-end replicates like the hardware does: the paper's device
+// reaches its throughput by instantiating many identical string matching
+// blocks and fanning partitioned traffic across them (§IV.B), and
+// GatewayConfig.EngineShards is the software analogue — M independent
+// Engines (each with its own worker pool, scanner-state pool, stream lanes
+// and burst scanner) over the one immutable compiled automaton, with every
+// flow and stateless packet pinned to a shard by the same tuple hash that
+// pins lanes and flow-table shards. Sharding is invisible in results and
+// accounting; ShardStats exposes the per-replica fan-out.
+//
 // Two stages sit between a lane and the scanner, completing the NIDS model:
 //
 //   - TCP reassembly (internal/reassembly): segments carrying a sequence
@@ -181,19 +191,33 @@ type FlowMatch struct {
 // GatewayConfig sizes the ingest pipeline. The zero value selects sensible
 // defaults throughout.
 type GatewayConfig struct {
+	// EngineShards replicates the scan back-end: the gateway spins up this
+	// many independent Engines over the one shared compiled automaton and
+	// pins every flow (and every stateless packet) to a shard by tuple
+	// hash — the software analogue of the paper's replicated string
+	// matching blocks fed by partitioned traffic. Each shard owns its own
+	// worker pool, scanner-state pool, per-flow stream lanes and burst
+	// scanner, so shards share nothing hot; on a NUMA machine run one
+	// shard per node. All ordering and accounting guarantees are
+	// per-gateway, unchanged: per-flow packet order holds because a flow's
+	// shard and lane are both functions of its tuple hash, nothing is
+	// dropped, and Flush drains every shard. Default 1 (a single engine —
+	// exactly the pre-sharding gateway).
+	EngineShards int
 	// BatchPackets is the burst size for stateless (non-TCP) packets: the
-	// collector accumulates up to this many packets before a burst is
-	// scanned by Engine.ScanPackets. Partial bursts flush whenever the
-	// ingest queue goes momentarily idle, so batching never adds unbounded
-	// latency. Default 64.
+	// collector accumulates up to this many packets per engine shard
+	// before the burst is scanned by that shard's Engine.ScanPackets.
+	// Partial bursts flush whenever the ingest queue goes momentarily
+	// idle, so batching never adds unbounded latency. Default 64.
 	BatchPackets int
 	// QueueDepth bounds the ingest queue; a full queue blocks Ingest,
 	// which is the gateway's backpressure. Default 4*BatchPackets.
 	QueueDepth int
-	// StreamWorkers is the number of per-flow scan lanes. Each flow is
-	// pinned to one lane by tuple hash, so per-flow packet order (and
-	// therefore cross-packet matching) is preserved while distinct flows
-	// scan in parallel. Default Engine.Workers().
+	// StreamWorkers is the number of per-flow scan lanes per engine shard.
+	// Each flow is pinned to one lane of its shard by tuple hash, so
+	// per-flow packet order (and therefore cross-packet matching) is
+	// preserved while distinct flows scan in parallel. Default
+	// Engine.Workers().
 	StreamWorkers int
 	// MaxFlows softly caps live flow state: when exceeded, the
 	// least-recently-active flows are evicted and their scanner state
@@ -240,6 +264,9 @@ type GatewayConfig struct {
 }
 
 func (c GatewayConfig) withDefaults(e *Engine) GatewayConfig {
+	if c.EngineShards <= 0 {
+		c.EngineShards = 1
+	}
 	if c.BatchPackets <= 0 {
 		c.BatchPackets = 64
 	}
@@ -275,6 +302,7 @@ func (c GatewayConfig) withDefaults(e *Engine) GatewayConfig {
 
 // GatewayStats is a point-in-time counter snapshot.
 type GatewayStats struct {
+	EngineShards  int    // engine replicas behind this gateway
 	Packets       uint64 // packets ingested
 	Bytes         uint64 // payload bytes ingested
 	StreamPackets uint64 // routed through per-flow stream state
@@ -304,30 +332,31 @@ type GatewayStats struct {
 	FlowsReset    uint64 // torn down by RST
 }
 
-// Gateway is a pipelined ingestion front-end over an Engine: a bounded
-// ingest queue, a collector that routes packets, per-flow stream lanes fed
-// through a 5-tuple flow table (with TCP reassembly and header-rule
-// verdicts ahead of the scanner), and a burst scanner for stateless
-// packets.
+// Gateway is a pipelined ingestion front-end over one or more engine
+// shards: a bounded ingest queue, a collector that routes packets, and per
+// shard a set of per-flow stream lanes fed through the shared 5-tuple flow
+// table (with TCP reassembly and header-rule verdicts ahead of the
+// scanner) plus a burst scanner for stateless packets.
 //
-//	Ingest ──▶ queue ──▶ collector ──▶ stream lanes ─▶ verdict ─▶ reassembly ─▶ per-flow scan
-//	                          └──────▶ burst scanner ─▶ verdict ─▶ Engine.ScanPackets
+//	Ingest ──▶ queue ──▶ collector ──▶ shard[h%M] ──▶ stream lanes ─▶ verdict ─▶ reassembly ─▶ per-flow scan
+//	                          └──────▶ shard[h%M] ──▶ burst scanner ─▶ verdict ─▶ Engine.ScanPackets
 //
-// Ingest and IngestReader may be called from multiple goroutines; emit and
-// OnVerdict are invoked concurrently (from the stream lanes and the burst
-// scanner) and must be safe for concurrent use. Close drains the pipeline,
-// flushes any partial burst, and returns all flow state to the engine pool.
+// With EngineShards=1 (the default) this collapses to the single-engine
+// pipeline. Ingest and IngestReader may be called from multiple
+// goroutines; emit and OnVerdict are invoked concurrently (from the stream
+// lanes and the burst scanners) and must be safe for concurrent use. Close
+// drains the pipeline, flushes any partial burst, and returns all flow
+// state to the engine pools.
 type Gateway struct {
-	e    *Engine
+	m    *Matcher
 	cfg  GatewayConfig
 	emit func(FlowMatch)
 
-	in      chan seqPacket
-	batchQ  chan []seqPacket
-	streamQ []chan seqPacket
-	table   *flowtable.Table[*gwFlow]
-	budget  *reassembly.Budget
-	asmCfg  reassembly.Config
+	in     chan seqPacket
+	shards []*gwEngineShard
+	table  *flowtable.Table[*gwFlow]
+	budget *reassembly.Budget
+	asmCfg reassembly.Config
 
 	mu     sync.RWMutex // guards closed vs in-flight Ingest sends; Flush holds it exclusively
 	closed bool
@@ -360,22 +389,38 @@ type Gateway struct {
 type seqPacket struct {
 	tuple   FiveTuple
 	payload []byte
-	seq     int // global ingest sequence number (PacketID attribution)
+	seq     int    // global ingest sequence number (PacketID attribution)
+	hash    uint64 // Tuple.Hash64, the single source of shard/lane/table pinning
 	seq32   uint32
 	flags   TCPFlags
+}
+
+// gwEngineShard is one scan replica: an independent Engine (its own worker
+// pool and scanner-state pool over the shared automaton) plus the pipeline
+// tail it owns — hash-pinned per-flow stream lanes and a burst scanner.
+// batch is the collector's partial burst for this shard; only the
+// collector goroutine touches it.
+type gwEngineShard struct {
+	e       *Engine
+	streamQ []chan seqPacket
+	batchQ  chan []seqPacket
+	batch   []seqPacket
 }
 
 // Gateway starts a pipelined ingestion front-end over the engine. emit
 // receives every match and must be safe for concurrent use. The returned
 // Gateway is running; feed it with Ingest or IngestReader and Close it to
 // drain.
+//
+// With cfg.EngineShards > 1 the receiver becomes shard 0 and the gateway
+// builds the remaining shards as fresh Engines with the same worker count
+// over the same compiled Matcher.
 func (e *Engine) Gateway(cfg GatewayConfig, emit func(FlowMatch)) *Gateway {
 	cfg = cfg.withDefaults(e)
 	g := &Gateway{
-		e:      e,
-		cfg:    cfg,
-		in:     make(chan seqPacket, cfg.QueueDepth),
-		batchQ: make(chan []seqPacket, 2),
+		m:   e.m,
+		cfg: cfg,
+		in:  make(chan seqPacket, cfg.QueueDepth),
 	}
 	// A negative MaxTotalBuffer disables the global cap but the budget is
 	// still kept, with an effectively infinite limit, so Stats can always
@@ -397,7 +442,7 @@ func (e *Engine) Gateway(cfg GatewayConfig, emit func(FlowMatch)) *Gateway {
 	}
 	g.table = flowtable.New(flowtable.Config[*gwFlow]{
 		New: func(k flowtable.Key) *gwFlow {
-			fl := &gwFlow{g: g, tuple: k}
+			fl := &gwFlow{g: g, tuple: k, e: g.shardEngine(k)}
 			fl.verdict, fl.ruleIdx = g.classify(k)
 			if fl.verdict == VerdictNone || fl.verdict == VerdictAlert {
 				fl.open()
@@ -409,18 +454,40 @@ func (e *Engine) Gateway(cfg GatewayConfig, emit func(FlowMatch)) *Gateway {
 		IdleTicks: uint64(cfg.IdleTimeout),
 		Shards:    cfg.FlowShards,
 	})
-	g.streamQ = make([]chan seqPacket, cfg.StreamWorkers)
-	for w := range g.streamQ {
-		q := make(chan seqPacket, cfg.QueueDepth/cfg.StreamWorkers+1)
-		g.streamQ[w] = q
+	g.shards = make([]*gwEngineShard, cfg.EngineShards)
+	for s := range g.shards {
+		se := e
+		if s > 0 {
+			se = e.m.NewEngine(e.Workers())
+		}
+		sh := &gwEngineShard{
+			e:       se,
+			streamQ: make([]chan seqPacket, cfg.StreamWorkers),
+			batchQ:  make(chan []seqPacket, 2),
+		}
+		g.shards[s] = sh
+		for w := range sh.streamQ {
+			q := make(chan seqPacket, cfg.QueueDepth/cfg.StreamWorkers+1)
+			sh.streamQ[w] = q
+			g.workerWg.Add(1)
+			go g.streamWorker(q)
+		}
 		g.workerWg.Add(1)
-		go g.streamWorker(q)
+		go g.burstScanner(sh)
 	}
-	g.workerWg.Add(1)
-	go g.burstScanner()
 	g.collectorWg.Add(1)
 	go g.collect()
 	return g
+}
+
+// shardEngine returns the engine shard owning key — the same hash-derived
+// pinning the collector routes by, so a flow's scanner state always comes
+// from (and returns to) the pool of the shard whose lane scans it.
+func (g *Gateway) shardEngine(k FiveTuple) *Engine {
+	if len(g.shards) == 1 {
+		return g.shards[0].e
+	}
+	return g.shards[k.Hash64()%uint64(len(g.shards))].e
 }
 
 // classify runs the header rules over one 5-tuple: first matching rule
@@ -464,6 +531,7 @@ func (g *Gateway) notifyVerdict(t FiveTuple, v Verdict, idx int) {
 // single-goroutine.
 type gwFlow struct {
 	g        *Gateway
+	e        *Engine // the engine shard owning this flow's scanner state
 	tuple    FiveTuple
 	f        *Flow
 	asm      *reassembly.Stream
@@ -488,7 +556,7 @@ func (fl *gwFlow) open() {
 		rid = fl.g.cfg.Rules[fl.ruleIdx].ID
 	}
 	g := fl.g
-	fl.f = g.e.Flow(func(m Match) {
+	fl.f = fl.e.Flow(func(m Match) {
 		g.emit(FlowMatch{Tuple: fl.tuple, Match: m, Verdict: v, RuleID: rid})
 	})
 }
@@ -635,7 +703,16 @@ func (g *Gateway) Ingest(pkt GatewayPacket) error {
 	seq := g.seq.Add(1) - 1
 	g.inflight.Add(1)
 	g.bytes.Add(uint64(len(pkt.Payload)))
-	g.in <- seqPacket{tuple: pkt.Tuple, payload: pkt.Payload, seq: int(seq), seq32: pkt.Seq, flags: pkt.Flags}
+	// The tuple hash drives every pinning decision downstream (engine
+	// shard, stream lane, flow-table shard), so it is computed once here —
+	// on the caller's goroutine, off the single-threaded collector — and
+	// carried with the packet. Stateless packets on an unsharded gateway
+	// never need it.
+	var h uint64
+	if pkt.Tuple.Proto == ProtoTCP || len(g.shards) > 1 {
+		h = pkt.Tuple.Hash64()
+	}
+	g.in <- seqPacket{tuple: pkt.Tuple, payload: pkt.Payload, seq: int(seq), hash: h, seq32: pkt.Seq, flags: pkt.Flags}
 	return nil
 }
 
@@ -675,51 +752,66 @@ func (g *Gateway) IngestReader(r io.Reader) (int, error) {
 }
 
 // collect is the routing stage: one goroutine drains the ingest queue,
-// sends TCP-like packets to their flow's lane, and accumulates everything
-// else into ScanPackets-sized bursts. A partial burst is flushed whenever
-// the queue goes idle, so batching trades no latency under light load.
+// sends TCP-like packets to their flow's lane on their hash-pinned engine
+// shard, and accumulates everything else into per-shard ScanPackets-sized
+// bursts. Partial bursts (every shard's) are flushed whenever the queue
+// goes idle, so batching trades no latency under light load.
 func (g *Gateway) collect() {
 	defer g.collectorWg.Done()
 	defer func() {
-		close(g.batchQ)
-		for _, q := range g.streamQ {
-			close(q)
+		for _, sh := range g.shards {
+			close(sh.batchQ)
+			for _, q := range sh.streamQ {
+				close(q)
+			}
 		}
 	}()
-	batch := make([]seqPacket, 0, g.cfg.BatchPackets)
-	flush := func() {
-		if len(batch) > 0 {
-			g.batchQ <- batch
-			batch = make([]seqPacket, 0, g.cfg.BatchPackets)
+	nshards := uint64(len(g.shards))
+	flushAll := func() {
+		for _, sh := range g.shards {
+			g.flushBurst(sh)
 		}
 	}
 	route := func(p seqPacket) {
+		sh := g.shards[p.hash%nshards]
 		if p.tuple.Proto == ProtoTCP {
-			g.streamQ[int(p.tuple.Hash64()%uint64(len(g.streamQ)))] <- p
+			// Dividing out the shard index decorrelates the lane choice
+			// from the shard choice when their counts share factors; with
+			// one shard it reduces to hash%lanes, the pre-sharding pinning.
+			sh.streamQ[(p.hash/nshards)%uint64(len(sh.streamQ))] <- p
 			return
 		}
-		batch = append(batch, p)
-		if len(batch) >= g.cfg.BatchPackets {
-			flush()
+		sh.batch = append(sh.batch, p)
+		if len(sh.batch) >= g.cfg.BatchPackets {
+			g.flushBurst(sh)
 		}
 	}
 	for {
 		select {
 		case p, ok := <-g.in:
 			if !ok {
-				flush()
+				flushAll()
 				return
 			}
 			route(p)
 		default:
-			// Queue momentarily idle: don't sit on a partial burst.
-			flush()
+			// Queue momentarily idle: don't sit on partial bursts.
+			flushAll()
 			p, ok := <-g.in
 			if !ok {
 				return
 			}
 			route(p)
 		}
+	}
+}
+
+// flushBurst hands a shard's partial burst to its burst scanner; only the
+// collector goroutine calls it.
+func (g *Gateway) flushBurst(sh *gwEngineShard) {
+	if len(sh.batch) > 0 {
+		sh.batchQ <- sh.batch
+		sh.batch = make([]seqPacket, 0, g.cfg.BatchPackets)
 	}
 }
 
@@ -733,7 +825,7 @@ func (g *Gateway) streamWorker(q <-chan seqPacket) {
 	for p := range q {
 		tick := g.stream.Add(1)
 		var removeNow bool
-		g.table.Do(p.tuple, func(fl *gwFlow) { removeNow = fl.ingest(p, tick) })
+		g.table.DoHashed(p.tuple, p.hash, func(fl *gwFlow) { removeNow = fl.ingest(p, tick) })
 		if removeNow {
 			// RST teardown: the same lane owns every packet of this flow,
 			// so no concurrent Do on the tuple can interleave here.
@@ -743,19 +835,19 @@ func (g *Gateway) streamWorker(q <-chan seqPacket) {
 	}
 }
 
-// burstScanner scans stateless bursts with the engine's worker pool. The
-// verdict stage runs per packet here (stateless traffic has no flow to
-// remember a decision on): drop/pass packets never reach the engine, and
-// matches on alert-admitted packets carry the rule attribution. One
-// results buffer is reused across bursts so steady-state batch scanning
-// does not allocate per burst.
-func (g *Gateway) burstScanner() {
+// burstScanner scans one shard's stateless bursts with that shard's
+// engine worker pool. The verdict stage runs per packet here (stateless
+// traffic has no flow to remember a decision on): drop/pass packets never
+// reach the engine, and matches on alert-admitted packets carry the rule
+// attribution. One results buffer is reused across bursts so steady-state
+// batch scanning does not allocate per burst.
+func (g *Gateway) burstScanner(sh *gwEngineShard) {
 	defer g.workerWg.Done()
 	var buf [][]ac.Match
 	var kept []seqPacket
 	var payloads [][]byte
 	var ruleIdx []int
-	for batch := range g.batchQ {
+	for batch := range sh.batchQ {
 		g.bursts.Add(1)
 		g.batched.Add(uint64(len(batch)))
 		kept, payloads, ruleIdx = kept[:0], payloads[:0], ruleIdx[:0]
@@ -774,7 +866,7 @@ func (g *Gateway) burstScanner() {
 			ruleIdx = append(ruleIdx, idx)
 		}
 		if len(kept) > 0 {
-			buf = g.e.eng.ScanPacketsInto(payloads, buf)
+			buf = sh.e.eng.ScanPacketsInto(payloads, buf)
 			for i, ms := range buf {
 				v, rid := VerdictNone, -1
 				if ruleIdx[i] >= 0 {
@@ -782,7 +874,7 @@ func (g *Gateway) burstScanner() {
 					rid = g.cfg.Rules[ruleIdx[i]].ID
 				}
 				for _, am := range ms {
-					g.emit(FlowMatch{Tuple: kept[i].tuple, Match: g.e.m.convert(am, kept[i].seq), Verdict: v, RuleID: rid})
+					g.emit(FlowMatch{Tuple: kept[i].tuple, Match: g.m.convert(am, kept[i].seq), Verdict: v, RuleID: rid})
 				}
 			}
 		}
@@ -808,6 +900,18 @@ func (g *Gateway) Close() error {
 	return nil
 }
 
+// ShardStats returns one engine-work snapshot per engine shard, in shard
+// order — how the ingested traffic fanned out across the scan replicas.
+// Shard 0 is the engine the gateway was started on, so on a shared engine
+// its counters may include work fed outside this gateway.
+func (g *Gateway) ShardStats() []EngineStats {
+	out := make([]EngineStats, len(g.shards))
+	for i, sh := range g.shards {
+		out[i] = sh.e.Stats()
+	}
+	return out
+}
+
 // EvictIdleFlows exhaustively evicts flows beyond the configured
 // IdleTimeout (the pipeline also evicts opportunistically as packets
 // arrive) and returns how many were evicted.
@@ -818,6 +922,7 @@ func (g *Gateway) EvictIdleFlows() int { return g.table.EvictIdle() }
 func (g *Gateway) Stats() GatewayStats {
 	ts := g.table.Stats()
 	return GatewayStats{
+		EngineShards:  len(g.shards),
 		Packets:       g.seq.Load(),
 		Bytes:         g.bytes.Load(),
 		StreamPackets: g.stream.Load(),

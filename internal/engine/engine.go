@@ -29,6 +29,13 @@ import (
 // The Engine itself is safe for concurrent use: ScanPackets may be called
 // from many goroutines at once, and Flows may be opened and written
 // concurrently (each individual Flow is single-goroutine, like a socket).
+//
+// Engines replicate freely: because the automaton is immutable, any number
+// of Engines may be built over the same core.Grouped and run side by side —
+// the software analogue of the paper's replicated string matching blocks. A
+// sharding front-end (the gateway) builds one Engine per shard and routes
+// partitioned traffic at them; Stats gives each shard's handle its own work
+// counters so the fan-out is observable per replica.
 type Engine struct {
 	g       *core.Grouped
 	workers int
@@ -37,6 +44,23 @@ type Engine struct {
 	// state scanning allocation-free however many batches and flows come
 	// and go.
 	scanners sync.Pool
+
+	batches     atomic.Uint64
+	batchPkts   atomic.Uint64
+	batchBytes  atomic.Uint64
+	flowsOpened atomic.Uint64
+	streamBytes atomic.Uint64
+}
+
+// Stats is a point-in-time snapshot of one engine's work, split by the two
+// usage shapes. A multi-engine front-end reads one Stats per shard to see
+// how traffic fanned out across its replicas.
+type Stats struct {
+	Batches     uint64 // ScanPackets/ScanPacketsInto calls
+	BatchPkts   uint64 // payloads scanned across those batches
+	BatchBytes  uint64 // payload bytes scanned in batch mode
+	FlowsOpened uint64 // Flow checkouts from the pool
+	StreamBytes uint64 // bytes written through flows (gap skips excluded)
 }
 
 // scannerSet is one pooled scan lane: one Scanner per group machine. The
@@ -66,6 +90,18 @@ func New(g *core.Grouped, workers int) *Engine {
 
 // Workers returns the batch-scan worker-pool size.
 func (e *Engine) Workers() int { return e.workers }
+
+// Stats returns this engine's work counters. Counters are monotone but
+// mutually unsynchronized, like every stats surface in the pipeline.
+func (e *Engine) Stats() Stats {
+	return Stats{
+		Batches:     e.batches.Load(),
+		BatchPkts:   e.batchPkts.Load(),
+		BatchBytes:  e.batchBytes.Load(),
+		FlowsOpened: e.flowsOpened.Load(),
+		StreamBytes: e.streamBytes.Load(),
+	}
+}
 
 func (e *Engine) acquire() *scannerSet {
 	return e.scanners.Get().(*scannerSet)
@@ -120,6 +156,13 @@ func (e *Engine) ScanPacketsInto(payloads [][]byte, results [][]ac.Match) [][]ac
 	if len(payloads) == 0 {
 		return results
 	}
+	e.batches.Add(1)
+	e.batchPkts.Add(uint64(len(payloads)))
+	var nbytes uint64
+	for _, p := range payloads {
+		nbytes += uint64(len(p))
+	}
+	e.batchBytes.Add(nbytes)
 	workers := e.workers
 	if workers > len(payloads) {
 		workers = len(payloads)
@@ -180,6 +223,7 @@ type Flow struct {
 // stream positioned at start-of-packet. Call Close when the flow ends to
 // return the state to the pool.
 func (e *Engine) Flow() *Flow {
+	e.flowsOpened.Add(1)
 	ss := e.acquire()
 	for _, sc := range ss.set {
 		sc.Reset()
@@ -198,6 +242,7 @@ func (f *Flow) Write(p []byte) []ac.Match {
 	}
 	ac.SortMatches(f.buf)
 	f.consumed += len(p)
+	f.e.streamBytes.Add(uint64(len(p)))
 	return f.buf
 }
 

@@ -126,9 +126,18 @@ func New[F any](cfg Config[F]) *Table[F] {
 // return. Do also ticks the logical clock and touches the flow's LRU
 // position. fn must not call back into the table.
 func (t *Table[F]) Do(key Key, fn func(F)) (created bool) {
+	return t.DoHashed(key, key.Hash64(), fn)
+}
+
+// DoHashed is Do with a caller-supplied hash, which must equal
+// key.Hash64(). A sharding front-end derives every ownership decision for a
+// packet — engine shard, scan lane, and this table's lock shard — from one
+// tuple hash; passing it through keeps the table from rehashing the key on
+// every packet of every flow.
+func (t *Table[F]) DoHashed(key Key, hash uint64, fn func(F)) (created bool) {
 	tick := t.clock.Add(1)
 	for {
-		e, isNew := t.touch(key, tick)
+		e, isNew := t.touch(key, hash, tick)
 		e.mu.Lock()
 		if e.dead {
 			// Evicted between lookup and lock; retry against a fresh entry.
@@ -143,8 +152,8 @@ func (t *Table[F]) Do(key Key, fn func(F)) (created bool) {
 
 // touch looks up or creates key's entry, moves it to the LRU front, and
 // runs bounded opportunistic eviction on the entry's shard.
-func (t *Table[F]) touch(key Key, tick uint64) (*entry[F], bool) {
-	s := &t.shards[key.Hash64()&t.mask]
+func (t *Table[F]) touch(key Key, hash, tick uint64) (*entry[F], bool) {
+	s := &t.shards[hash&t.mask]
 	s.mu.Lock()
 	e, ok := s.flows[key]
 	created := false
