@@ -255,9 +255,11 @@ func BenchmarkScanCompressed(b *testing.B) {
 }
 
 // BenchmarkScanAppend measures the hot scan loop on the 634-string set
-// under both kernels: the baked flat Program (the default scan path) and
-// the slice-walking reference path it must stay byte-exact equivalent to.
-// The matches metric pins both sub-benchmarks to the same output.
+// under every registered backend: the baked flat Program (the default scan
+// path), the slice-walking reference path it must stay byte-exact
+// equivalent to, and the two-stage prefiltered pipeline (whose skim loop is
+// tuned for clean traffic; this attack-dense payload is its worst case).
+// The matches metric pins all sub-benchmarks to the same output.
 func BenchmarkScanAppend(b *testing.B) {
 	ctx := sharedBenchCtx(b)
 	set, err := ctx.SetOf(634)
@@ -269,7 +271,8 @@ func BenchmarkScanAppend(b *testing.B) {
 		opts core.Options
 	}{
 		{"baked", core.Options{}},
-		{"reference", core.Options{DisableBaked: true}},
+		{"reference", core.Options{Backend: core.BackendReference}},
+		{"prefiltered", core.Options{Backend: core.BackendPrefiltered}},
 	} {
 		b.Run(tc.name, func(b *testing.B) {
 			m, err := core.Build(set, tc.opts)

@@ -42,9 +42,9 @@ type gatewayBenchConfig struct {
 	RetransDensity  float64
 	Seed            int64
 	MinTime         time.Duration
-	MaxWorkers      int  // 0 = NumCPU
-	MaxShards       int  // engine-shard sweep ceiling; <=1 skips the sharded rows
-	DisableBaked    bool // -baked=false: slice-walking reference path
+	MaxWorkers      int    // 0 = NumCPU
+	MaxShards       int    // engine-shard sweep ceiling; <=1 skips the sharded rows
+	Backend         string // -backend: scan backend every shard runs ("" = auto)
 }
 
 func defaultGatewayConfig(seed int64) gatewayBenchConfig {
@@ -85,6 +85,7 @@ type gatewayBenchRow struct {
 // sharded-gateway entry of the perf trajectory.
 type gatewayBenchReport struct {
 	Bench           int               `json:"bench"` // trajectory sequence number
+	Backend         string            `json:"backend"`
 	Strings         int               `json:"strings"`
 	Flows           int               `json:"flows"`
 	SegmentsPerFlow int               `json:"segments_per_flow"`
@@ -137,7 +138,7 @@ func runGateway(out io.Writer, jsonPath string, cfg gatewayBenchConfig) error {
 	if err != nil {
 		return err
 	}
-	m, err := dpi.Compile(rules, dpi.Config{DisableBakedKernel: cfg.DisableBaked})
+	m, err := dpi.Compile(rules, dpi.Config{Backend: cfg.Backend})
 	if err != nil {
 		return err
 	}
@@ -179,6 +180,7 @@ func runGateway(out io.Writer, jsonPath string, cfg gatewayBenchConfig) error {
 	}
 	rep := gatewayBenchReport{
 		Bench:   5,
+		Backend: m.Backend(),
 		Strings: cfg.Strings, Flows: cfg.Flows, SegmentsPerFlow: cfg.SegmentsPerFlow,
 		SegmentBytes: cfg.SegmentBytes, Datagrams: cfg.Datagrams, Seed: cfg.Seed,
 		OK: true,

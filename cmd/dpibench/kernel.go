@@ -1,15 +1,22 @@
 package main
 
 // The -kernel mode measures the raw per-byte scan loop — the
-// BenchmarkScanAppend-class number — across ruleset sizes, under both the
-// baked flat Program (the default scan path) and the slice-walking
-// reference path it must stay byte-exact equivalent to. Every row is
-// pinned to the uncompressed Aho-Corasick oracle's match count before it
-// is timed, so a kernel can never buy throughput with dropped matches.
+// BenchmarkScanAppend-class number — across ruleset sizes and across every
+// registered scan backend: the slice-walking reference, the baked flat
+// Program, and the two-stage prefiltered pipeline. Every row is pinned to
+// the uncompressed Aho-Corasick oracle's match count before it is timed, so
+// a kernel can never buy throughput with dropped matches — the prefilter's
+// lossiness in particular must be invisible here.
+//
+// Two traffic profiles run: "attack" (textual background with planted
+// patterns, the regime the baked kernel is tuned for) at every ruleset
+// size, and "clean" (uniform random bytes, no plants — the low-match-
+// density regime real link traffic mostly is) at the largest size, where
+// the prefilter's skim loop must earn its keep.
 //
 // With -json the run emits a machine-readable report; CI regenerates it
-// every run, and a copy is checked into the repo root as BENCH_4.json —
-// the first entry of the perf trajectory.
+// every run, and a copy is checked into the repo root as BENCH_6.json —
+// the current entry of the perf trajectory.
 
 import (
 	"encoding/json"
@@ -43,22 +50,27 @@ func defaultKernelConfig(seed int64) kernelBenchConfig {
 	}
 }
 
-// kernelBenchRow is one (ruleset size, kernel) measurement.
+// kernelBenchRow is one (ruleset size, profile, backend) measurement.
 type kernelBenchRow struct {
 	Strings       int     `json:"strings"`
-	Baked         bool    `json:"baked"`
+	Backend       string  `json:"backend"` // reference | baked | prefiltered
+	Profile       string  `json:"profile"` // attack | clean
 	Gbps          float64 `json:"gbps"`
-	Matches       int     `json:"matches"`        // per 64 KiB payload pass
-	OracleMatches int     `json:"oracle_matches"` // uncompressed-DFA count
-	AllocsPerOp   float64 `json:"allocs_per_op"`  // steady-state allocations per pass
-	Speedup       float64 `json:"speedup"`        // vs the reference kernel, same size
-	DenseStates   int     `json:"dense_states"`   // baked rows promoted to dense tier
-	KernelBytes   int     `json:"kernel_bytes"`   // flat program footprint
+	Matches       int     `json:"matches"`                   // per payload pass
+	OracleMatches int     `json:"oracle_matches"`            // uncompressed-DFA count
+	AllocsPerOp   float64 `json:"allocs_per_op"`             // steady-state allocations per pass
+	Speedup       float64 `json:"speedup"`                   // vs the reference kernel, same size+profile
+	DenseStates   int     `json:"dense_states,omitempty"`    // baked rows promoted to dense tier
+	KernelBytes   int     `json:"kernel_bytes,omitempty"`    // flat program footprint
+	PrefilterKB   int     `json:"prefilter_bytes,omitempty"` // lossy table footprint
+	SuspectRate   float64 `json:"suspect_rate,omitempty"`    // suspect windows per skimmed byte
 }
 
-// kernelBenchReport is the BENCH_4.json artifact. OK gates CI: every row
-// must reproduce the oracle match count, and the headline 634-string baked
-// row must beat the reference kernel by the committed floor.
+// kernelBenchReport is the BENCH_6.json artifact. OK gates CI: every row
+// must reproduce the oracle match count, the headline 634-string baked
+// attack row must beat the reference kernel by the committed floor, and the
+// prefiltered pipeline must beat the baked kernel on clean traffic by its
+// own committed floor — at identical oracle counts.
 type kernelBenchReport struct {
 	Bench        int              `json:"bench"` // trajectory sequence number
 	Bytes        int              `json:"payload_bytes"`
@@ -66,11 +78,25 @@ type kernelBenchReport struct {
 	Rows         []kernelBenchRow `json:"rows"`
 	Speedup634   float64          `json:"speedup_634"`
 	SpeedupFloor float64          `json:"speedup_floor"`
-	OK           bool             `json:"ok"`
+	// PrefilterCleanSpeedup is the prefiltered/baked throughput ratio on the
+	// clean-profile headline rows; gated by PrefilterCleanFloor.
+	PrefilterCleanSpeedup float64 `json:"prefilter_clean_speedup"`
+	PrefilterCleanFloor   float64 `json:"prefilter_clean_floor"`
+	OK                    bool    `json:"ok"`
 }
 
-// speedupFloor is the committed improvement gate for the headline row.
-const speedupFloor = 1.5
+// speedupFloor is the committed improvement gate for the headline baked
+// row; prefilterCleanFloor gates the prefiltered pipeline on clean traffic.
+// Both gates apply only at the headline 634-string size.
+const (
+	speedupFloor        = 1.5
+	prefilterCleanFloor = 1.5
+	headlineStrings     = 634
+)
+
+// kernelBackends is the sweep order: reference first so each (size,
+// profile) group computes speedups against it.
+var kernelBackends = []string{core.BackendReference, core.BackendBaked, core.BackendPrefiltered}
 
 // measureKernel times repeated full-payload ScanAppend passes over one
 // machine and reports (Gbps, matches per pass, allocations per pass).
@@ -98,74 +124,127 @@ func measureKernel(m *core.Machine, payload []byte, minTime time.Duration) (floa
 	return gbps, len(out), allocs
 }
 
+// kernelPayload builds one profile's payload and its oracle match count.
+func kernelPayload(set *ruleset.Set, profile string, bytes int, seed int64) ([]byte, int, error) {
+	tc := traffic.Config{Packets: 1, Bytes: bytes, Seed: seed}
+	if profile == "attack" {
+		tc.AttackDensity = 3
+		tc.Profile = traffic.Textual
+	} else {
+		tc.AttackDensity = 0
+		tc.Profile = traffic.Uniform
+	}
+	pkts, err := traffic.Generate(set, tc)
+	if err != nil {
+		return nil, 0, err
+	}
+	trie, err := ac.New(set)
+	if err != nil {
+		return nil, 0, err
+	}
+	payload := pkts[0].Payload
+	return payload, len(trie.FindAll(payload)), nil
+}
+
 func runKernel(out io.Writer, jsonPath string, cfg kernelBenchConfig) error {
 	t := &report.Table{
-		Title: fmt.Sprintf("SCAN KERNEL THROUGHPUT (payload %d B, seed %d; baked flat program vs slice-walking reference)",
+		Title: fmt.Sprintf("SCAN KERNEL THROUGHPUT (payload %d B, seed %d; reference vs baked vs prefiltered)",
 			cfg.Bytes, cfg.Seed),
-		Headers: []string{"Strings", "Kernel", "Gbps", "Speedup", "Matches", "Oracle", "Allocs/op", "Dense", "KernelKB"},
+		Headers: []string{"Strings", "Profile", "Backend", "Gbps", "Speedup", "Matches", "Oracle", "Allocs/op", "KernelKB", "Suspect/B"},
 	}
 	rep := kernelBenchReport{
-		Bench: 4, Bytes: cfg.Bytes, Seed: cfg.Seed,
-		SpeedupFloor: speedupFloor, OK: true,
+		Bench: 6, Bytes: cfg.Bytes, Seed: cfg.Seed,
+		SpeedupFloor: speedupFloor, PrefilterCleanFloor: prefilterCleanFloor,
+		OK: true,
 	}
 
+	// The clean profile runs once, at the headline 634-string size when the
+	// sweep includes it (so the clean floor gates the same automaton as the
+	// attack floor), else at the largest configured size — one clean row
+	// group is enough to gate the skim-loop advantage without doubling the
+	// sweep.
+	cleanSize := 0
 	for _, n := range cfg.Sizes {
+		if n > cleanSize {
+			cleanSize = n
+		}
+		if n == headlineStrings {
+			cleanSize = n
+			break
+		}
+	}
+
+	sweep := func(n int, profile string) error {
 		set, err := ruleset.Generate(ruleset.GenConfig{N: n, Seed: cfg.Seed})
 		if err != nil {
 			return err
 		}
-		pkts, err := traffic.Generate(set, traffic.Config{
-			Packets: 1, Bytes: cfg.Bytes, Seed: cfg.Seed, AttackDensity: 3,
-			Profile: traffic.Textual,
-		})
+		payload, oracle, err := kernelPayload(set, profile, cfg.Bytes, cfg.Seed)
 		if err != nil {
 			return err
 		}
-		payload := pkts[0].Payload
-		trie, err := ac.New(set)
-		if err != nil {
-			return err
-		}
-		oracle := len(trie.FindAll(payload))
-
-		var refGbps float64
-		for _, baked := range []bool{false, true} {
-			m, err := core.Build(set, core.Options{DisableBaked: !baked})
+		var refGbps, bakedGbps float64
+		for _, backend := range kernelBackends {
+			m, err := core.Build(set, core.Options{Backend: backend})
 			if err != nil {
-				return err
-			}
-			if baked && m.Program() == nil {
-				return fmt.Errorf("dpibench: %d-string machine did not bake", n)
+				return fmt.Errorf("dpibench: %d-string machine, backend %s: %w", n, backend, err)
 			}
 			gbps, matches, allocs := measureKernel(m, payload, cfg.MinTime)
 			row := kernelBenchRow{
-				Strings: n, Baked: baked, Gbps: gbps,
+				Strings: n, Backend: backend, Profile: profile, Gbps: gbps,
 				Matches: matches, OracleMatches: oracle, AllocsPerOp: allocs,
+				Speedup: 1,
 			}
 			if matches != oracle {
 				rep.OK = false
 			}
-			name := "reference"
-			if baked {
-				name = "baked"
+			switch backend {
+			case core.BackendReference:
+				refGbps = gbps
+			case core.BackendBaked:
+				bakedGbps = gbps
 				row.Speedup = gbps / refGbps
 				st := m.Program().Stats()
 				row.DenseStates = st.DenseStates
 				row.KernelBytes = st.TotalBytes
-				if n == 634 {
+				if n == headlineStrings && profile == "attack" {
 					rep.Speedup634 = row.Speedup
 					if row.Speedup < speedupFloor {
 						rep.OK = false
 					}
 				}
-			} else {
-				refGbps = gbps
-				row.Speedup = 1
+			case core.BackendPrefiltered:
+				row.Speedup = gbps / refGbps
+				pst := m.Prefilter().Stats()
+				row.PrefilterKB = pst.TableBytes
+				row.SuspectRate = pst.SuspectRate
+				if n == headlineStrings && profile == "clean" {
+					rep.PrefilterCleanSpeedup = gbps / bakedGbps
+					if rep.PrefilterCleanSpeedup < prefilterCleanFloor {
+						rep.OK = false
+					}
+				}
 			}
 			rep.Rows = append(rep.Rows, row)
-			t.AddRow(n, name, fmt.Sprintf("%.3f", gbps), fmt.Sprintf("%.2fx", row.Speedup),
+			kb := row.KernelBytes
+			if backend == core.BackendPrefiltered {
+				kb = row.PrefilterKB
+			}
+			t.AddRow(n, profile, backend, fmt.Sprintf("%.3f", gbps), fmt.Sprintf("%.2fx", row.Speedup),
 				matches, oracle, fmt.Sprintf("%.1f", allocs),
-				row.DenseStates, row.KernelBytes/1024)
+				kb/1024, fmt.Sprintf("%.4f", row.SuspectRate))
+		}
+		return nil
+	}
+
+	for _, n := range cfg.Sizes {
+		if err := sweep(n, "attack"); err != nil {
+			return err
+		}
+	}
+	if cleanSize > 0 {
+		if err := sweep(cleanSize, "clean"); err != nil {
+			return err
 		}
 	}
 
@@ -182,8 +261,8 @@ func runKernel(out io.Writer, jsonPath string, cfg kernelBenchConfig) error {
 		return err
 	}
 	if !rep.OK {
-		return fmt.Errorf("dpibench: kernel rows failed the oracle or the %.1fx speedup floor (speedup634 %.2fx)",
-			speedupFloor, rep.Speedup634)
+		return fmt.Errorf("dpibench: kernel rows failed the oracle, the %.1fx baked floor (speedup634 %.2fx), or the %.1fx prefiltered clean floor (%.2fx)",
+			speedupFloor, rep.Speedup634, prefilterCleanFloor, rep.PrefilterCleanSpeedup)
 	}
 	return nil
 }

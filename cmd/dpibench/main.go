@@ -14,9 +14,10 @@
 //	dpibench -gateway -shards 4   # plus the engine-shard sweep (2, 4 shards)
 //	dpibench -gateway -json out.json  # plus a machine-readable report
 //	dpibench -gateway -shards 4 -json BENCH_5.json  # the sharded perf-trajectory report
-//	dpibench -kernel              # raw scan-kernel throughput, baked vs reference
-//	dpibench -kernel -json BENCH_4.json  # plus the perf-trajectory report
-//	dpibench -parallel -baked=false      # force the slice-walking reference path
+//	dpibench -kernel              # raw scan-kernel throughput across all backends
+//	dpibench -kernel -json BENCH_6.json  # plus the perf-trajectory report
+//	dpibench -parallel -backend reference   # pin -parallel/-gateway to one backend
+//	dpibench -gateway -backend prefiltered  # run the gateway on the two-stage pipeline
 //	dpibench -kernel -cpuprofile cpu.pprof -memprofile mem.pprof
 //	dpibench -seed 2010           # workload seed (default 2010)
 package main
@@ -43,8 +44,9 @@ func main() {
 		ablation = flag.Bool("ablation", false, "run the ablation experiments")
 		parallel = flag.Bool("parallel", false, "measure engine throughput vs worker count")
 		gateway  = flag.Bool("gateway", false, "measure NIDS gateway ingestion throughput vs worker count")
-		kernel   = flag.Bool("kernel", false, "measure raw scan-kernel throughput, baked flat program vs reference path")
-		baked    = flag.Bool("baked", true, "scan with the baked flat kernel; false pins -parallel/-gateway to the slice-walking reference path (-kernel always measures both)")
+		kernel   = flag.Bool("kernel", false, "measure raw scan-kernel throughput across all registered backends")
+		backend  = flag.String("backend", "auto", "scan backend for -parallel/-gateway: auto, reference, baked or prefiltered (-kernel always sweeps all)")
+		baked    = flag.Bool("baked", true, "deprecated alias: -baked=false means -backend reference")
 		jsonOut  = flag.String("json", "", "with -gateway or -kernel: also write the machine-readable report as JSON to this path")
 		workers  = flag.Int("workers", 0, "max workers for -parallel/-gateway (0 = NumCPU)")
 		shards   = flag.Int("shards", 1, "max engine shards for -gateway: sweeps 2,4,...,N sharded rows on top of the worker sweep (1 = unsharded only)")
@@ -73,10 +75,14 @@ func main() {
 			os.Exit(1)
 		}
 	}
+	be := *backend
+	if !*baked {
+		be = "reference"
+	}
 	err := dispatch(modes{
 		all: *all, table: *table, figure: *figure, ablation: *ablation,
 		parallel: *parallel, gateway: *gateway, kernel: *kernel,
-		baked: *baked, jsonOut: *jsonOut, workers: *workers, shards: *shards,
+		backend: be, jsonOut: *jsonOut, workers: *workers, shards: *shards,
 		tsv: *tsv, seed: *seed, steps: *steps,
 	})
 	if *cpuProf != "" {
@@ -113,7 +119,7 @@ type modes struct {
 	parallel bool
 	gateway  bool
 	kernel   bool
-	baked    bool
+	backend  string
 	jsonOut  string
 	workers  int
 	shards   int
@@ -134,7 +140,7 @@ func dispatch(m modes) error {
 	if m.parallel {
 		cfg := defaultParallelConfig(m.seed)
 		cfg.MaxWorkers = m.workers
-		cfg.DisableBaked = !m.baked
+		cfg.Backend = m.backend
 		if err := runParallel(os.Stdout, cfg); err != nil {
 			return err
 		}
@@ -143,7 +149,7 @@ func dispatch(m modes) error {
 		cfg := defaultGatewayConfig(m.seed)
 		cfg.MaxWorkers = m.workers
 		cfg.MaxShards = m.shards
-		cfg.DisableBaked = !m.baked
+		cfg.Backend = m.backend
 		if err := runGateway(os.Stdout, m.jsonOut, cfg); err != nil {
 			return err
 		}

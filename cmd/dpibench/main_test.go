@@ -118,7 +118,7 @@ func TestRunKernelSmall(t *testing.T) {
 		t.Fatal(err)
 	}
 	out := sb.String()
-	for _, want := range []string{"SCAN KERNEL THROUGHPUT", "baked", "reference", "Oracle", "Allocs/op"} {
+	for _, want := range []string{"SCAN KERNEL THROUGHPUT", "baked", "reference", "prefiltered", "clean", "Oracle", "Allocs/op"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("missing %q:\n%s", want, out)
 		}
@@ -131,22 +131,40 @@ func TestRunKernelSmall(t *testing.T) {
 	if err := json.Unmarshal(data, &rep); err != nil {
 		t.Fatalf("JSON report does not parse: %v\n%s", err, data)
 	}
-	if !rep.OK || rep.Bench != 4 {
+	if !rep.OK || rep.Bench != 6 {
 		t.Fatalf("report not OK: %s", data)
 	}
-	if len(rep.Rows) != 2 {
-		t.Fatalf("report has %d rows, want 2: %s", len(rep.Rows), data)
+	// One attack row group + one clean row group, three backends each.
+	if len(rep.Rows) != 6 {
+		t.Fatalf("report has %d rows, want 6: %s", len(rep.Rows), data)
 	}
+	byKey := map[string]kernelBenchRow{}
 	for _, r := range rep.Rows {
 		if r.Matches != r.OracleMatches {
 			t.Fatalf("row %+v diverged from the oracle but report.OK is true", r)
 		}
+		byKey[r.Profile+"/"+r.Backend] = r
 	}
-	if !rep.Rows[1].Baked || rep.Rows[1].DenseStates == 0 || rep.Rows[1].KernelBytes == 0 {
-		t.Fatalf("baked row missing kernel stats: %+v", rep.Rows[1])
+	for _, profile := range []string{"attack", "clean"} {
+		for _, backend := range []string{"reference", "baked", "prefiltered"} {
+			if _, ok := byKey[profile+"/"+backend]; !ok {
+				t.Fatalf("missing %s/%s row: %s", profile, backend, data)
+			}
+		}
 	}
-	// No floor assertion on the tiny timing budget: the speedup gate is
-	// exercised by CI's full-size run and the committed BENCH_4.json.
+	if r := byKey["attack/baked"]; r.DenseStates == 0 || r.KernelBytes == 0 {
+		t.Fatalf("baked row missing kernel stats: %+v", r)
+	}
+	if r := byKey["attack/prefiltered"]; r.PrefilterKB == 0 {
+		t.Fatalf("prefiltered row missing prefilter stats: %+v", r)
+	}
+	// All backends in a group share the oracle count — the prefilter's
+	// lossiness must be invisible in match output.
+	if a, b := byKey["clean/baked"], byKey["clean/prefiltered"]; a.OracleMatches != b.OracleMatches {
+		t.Fatalf("clean rows disagree on the oracle: %+v vs %+v", a, b)
+	}
+	// No floor assertion on the tiny timing budget: the speedup gates are
+	// exercised by CI's full-size run and the committed BENCH_6.json.
 }
 
 func TestRunTable1(t *testing.T) {

@@ -20,13 +20,13 @@ import (
 
 // parallelConfig sizes the -parallel sweep; tests shrink it.
 type parallelConfig struct {
-	Strings      int
-	Packets      int
-	Bytes        int
-	Seed         int64
-	MinTime      time.Duration // per-row measurement floor
-	MaxWorkers   int           // 0 = NumCPU
-	DisableBaked bool          // -baked=false: slice-walking reference path
+	Strings    int
+	Packets    int
+	Bytes      int
+	Seed       int64
+	MinTime    time.Duration // per-row measurement floor
+	MaxWorkers int           // 0 = NumCPU
+	Backend    string        // -backend: scan backend every lane runs ("" = auto)
 }
 
 func defaultParallelConfig(seed int64) parallelConfig {
@@ -65,7 +65,7 @@ func runParallel(out io.Writer, cfg parallelConfig) error {
 	if err != nil {
 		return err
 	}
-	m, err := dpi.Compile(rules, dpi.Config{DisableBakedKernel: cfg.DisableBaked})
+	m, err := dpi.Compile(rules, dpi.Config{Backend: cfg.Backend})
 	if err != nil {
 		return err
 	}
@@ -98,8 +98,8 @@ func runParallel(out io.Writer, cfg parallelConfig) error {
 	}
 
 	t := &report.Table{
-		Title: fmt.Sprintf("ENGINE PARALLEL SCAN (%d strings, %d packets x %d B, %d matches/batch)",
-			cfg.Strings, cfg.Packets, cfg.Bytes, wantMatches),
+		Title: fmt.Sprintf("ENGINE PARALLEL SCAN (%d strings, %d packets x %d B, %d matches/batch, backend %s)",
+			cfg.Strings, cfg.Packets, cfg.Bytes, wantMatches, m.Backend()),
 		Headers: []string{"Approach", "Workers", "Gbps", "Speedup"},
 	}
 

@@ -178,11 +178,40 @@ type Config struct {
 	// at any setting.
 	DenseStates int
 	// DisableBakedKernel keeps scanning on the slice-walking reference
-	// path instead of the compiled flat kernel. The two paths are
-	// byte-exact equivalent; this exists for benchmarks (dpibench
-	// -baked=false) and equivalence tests.
+	// path instead of the compiled flat kernel.
+	//
+	// Deprecated: DisableBakedKernel is an alias for Backend:
+	// BackendReference, kept for existing callers; setting both to
+	// conflicting values is a Compile error.
 	DisableBakedKernel bool
+	// Backend selects the scan implementation every scanner, stream, flow
+	// and engine built from this matcher runs:
+	//
+	//   - BackendAuto (or ""): baked when the configuration fits the flat
+	//     row format, reference otherwise — the fastest always-exact
+	//     default.
+	//   - BackendReference: the slice-walking interpreter, closest to the
+	//     paper's hardware description.
+	//   - BackendBaked: the compiled flat kernel; Compile fails if the
+	//     configuration cannot bake.
+	//   - BackendPrefiltered: the two-stage pipeline — a lossy
+	//     cache-resident automaton skims clean traffic and only suspect
+	//     byte windows run through the exact baked kernel. False positives
+	//     possible, false negatives provably not (the superset contract is
+	//     verified at compile time); Compile fails if unavailable.
+	//
+	// All backends are byte-exact equivalent on every input, so selection
+	// is purely a performance choice.
+	Backend string
 }
+
+// Backend names for Config.Backend.
+const (
+	BackendAuto        = core.BackendAuto
+	BackendReference   = core.BackendReference
+	BackendBaked       = core.BackendBaked
+	BackendPrefiltered = core.BackendPrefiltered
+)
 
 func (c Config) coreOptions() core.Options {
 	return core.Options{
@@ -191,6 +220,7 @@ func (c Config) coreOptions() core.Options {
 		MaxDepth:     c.MaxDefaultDepth,
 		DenseStates:  c.DenseStates,
 		DisableBaked: c.DisableBakedKernel,
+		Backend:      c.Backend,
 	}
 }
 
@@ -246,6 +276,13 @@ func Compile(r *Ruleset, cfg Config) (*Matcher, error) {
 
 // Rules returns the matcher's ruleset.
 func (m *Matcher) Rules() *Ruleset { return m.rules }
+
+// Backend reports the resolved scan backend every scanner built from this
+// matcher runs: Config.Backend, with auto resolved to what actually
+// compiled (baked, or reference on configurations outside the row format).
+func (m *Matcher) Backend() string {
+	return m.grouped.Machines[0].DefaultBackend()
+}
 
 // acMatch builds the internal match representation; it exists so sibling
 // files can construct matches without importing internal/ac themselves.
@@ -332,9 +369,11 @@ func (m *Matcher) Stats() CompressionStats {
 // accelerator's block-memory fill report.
 type KernelStats struct {
 	// Baked is false when the matcher runs on the slice-walking reference
-	// path (DisableBakedKernel, or a configuration outside the fixed row
-	// format); the remaining fields are then zero.
-	Baked         bool
+	// path (Backend: reference, or a configuration outside the fixed row
+	// format); the layout fields are then zero.
+	Baked bool
+	// Backend is the resolved active backend (Matcher.Backend).
+	Backend       string
 	Groups        int
 	States        int // automaton states across groups
 	DenseStates   int // states promoted to full 256-entry rows
@@ -344,16 +383,29 @@ type KernelStats struct {
 	LookupBytes   int // fixed d1/d2/d3 lookup rows
 	OutputBytes   int // output bitsets
 	TotalBytes    int
+
+	// Lossy prefilter stage (zero when unavailable). The layout fields
+	// aggregate across group machines; the counters accumulate over every
+	// scanner sharing this matcher, and SuspectRate is suspect windows per
+	// skimmed byte on the traffic actually seen.
+	PrefilterStates int
+	PrefilterBytes  int
+	SkimmedBytes    uint64
+	ExactBytes      uint64
+	SuspectWindows  uint64
+	SuspectRate     float64
 }
 
-// Kernel summarizes the baked scan kernel backing this matcher.
+// Kernel summarizes the compiled scan kernels backing this matcher: the
+// baked flat layout and, when compiled, the lossy prefilter stage with its
+// runtime skim accounting.
 func (m *Matcher) Kernel() KernelStats {
 	var ks KernelStats
 	ks.Baked = true
 	for _, machine := range m.grouped.Machines {
 		p := machine.Program()
 		if p == nil {
-			return KernelStats{}
+			return KernelStats{Backend: m.Backend()}
 		}
 		st := p.Stats()
 		ks.Groups++
@@ -365,6 +417,18 @@ func (m *Matcher) Kernel() KernelStats {
 		ks.LookupBytes += st.LookupBytes
 		ks.OutputBytes += st.OutputBytes
 		ks.TotalBytes += st.TotalBytes
+		if pf := machine.Prefilter(); pf != nil {
+			pst := pf.Stats()
+			ks.PrefilterStates += pst.States
+			ks.PrefilterBytes += pst.TableBytes
+			ks.SkimmedBytes += pst.SkimmedBytes
+			ks.ExactBytes += pst.ExactBytes
+			ks.SuspectWindows += pst.SuspectWindows
+		}
+	}
+	ks.Backend = m.Backend()
+	if ks.SkimmedBytes > 0 {
+		ks.SuspectRate = float64(ks.SuspectWindows) / float64(ks.SkimmedBytes)
 	}
 	return ks
 }

@@ -35,6 +35,10 @@ func (e *Engine) Workers() int { return e.eng.Workers() }
 // Matcher returns the compiled matcher the engine scans with.
 func (e *Engine) Matcher() *Matcher { return e.m }
 
+// Backend reports the scan backend every worker lane and flow in this
+// engine runs (see Config.Backend).
+func (e *Engine) Backend() string { return e.eng.Backend() }
+
 // EngineStats is a point-in-time snapshot of one engine's work, split by
 // its two usage shapes (batch scans and streaming flows). A sharded
 // Gateway exposes one per engine replica through ShardStats, making the

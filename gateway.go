@@ -900,6 +900,11 @@ func (g *Gateway) Close() error {
 	return nil
 }
 
+// Backend reports the scan backend every shard's lanes and burst scanners
+// run. All shards scan with the one compiled Matcher, so a single name
+// (see Config.Backend) describes the whole gateway.
+func (g *Gateway) Backend() string { return g.shards[0].e.Backend() }
+
 // ShardStats returns one engine-work snapshot per engine shard, in shard
 // order — how the ingested traffic fanned out across the scan replicas.
 // Shard 0 is the engine the gateway was started on, so on a shared engine

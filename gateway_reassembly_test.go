@@ -87,17 +87,25 @@ func ingestWorkload(t testing.TB, gw *Gateway, w *traffic.FlowWorkload) {
 // scanned, and every rule-attributed match points at a rule whose header
 // matches the tuple. Running the identical workloads at shards ∈ {1, 2, 4}
 // is the sharding equivalence proof: the fan-out across engine replicas
-// must be invisible in every per-flow result and every global counter.
+// must be invisible in every per-flow result and every global counter — and
+// the cross with every registered scan backend proves backend selection is
+// equally invisible: the lossy prefilter stage in particular may change how
+// bytes are scanned but never what the gateway reports.
 func TestGatewayReassemblyPermutationProperty(t *testing.T) {
-	for _, engineShards := range []int{1, 2, 4} {
-		t.Run(fmt.Sprintf("shards=%d", engineShards), func(t *testing.T) {
-			testGatewayReassemblyPermutation(t, engineShards)
-		})
+	for _, backend := range []string{BackendReference, BackendBaked, BackendPrefiltered} {
+		for _, engineShards := range []int{1, 2, 4} {
+			t.Run(fmt.Sprintf("backend=%s/shards=%d", backend, engineShards), func(t *testing.T) {
+				testGatewayReassemblyPermutation(t, backend, engineShards)
+			})
+		}
 	}
 }
 
-func testGatewayReassemblyPermutation(t *testing.T, engineShards int) {
-	m, set := gatewayMatcher(t, 250, 2)
+func testGatewayReassemblyPermutation(t *testing.T, backend string, engineShards int) {
+	m, set := gatewayMatcherBackend(t, 250, 2, backend)
+	if got := m.Backend(); got != backend {
+		t.Fatalf("matcher resolved backend %q, want pinned %q", got, backend)
+	}
 	rules := []VerdictRule{
 		{ID: 1, Name: "drop-block", Verdict: VerdictDrop,
 			Header: HeaderRule{Proto: ProtoTCP, SrcPorts: PortRange{Lo: 1024, Hi: 1026}}},

@@ -36,12 +36,16 @@ func (c *collector) emit(fm FlowMatch) {
 // gatewayMatcher compiles a mid-size grouped matcher and returns its
 // internal pattern-set view for the traffic generators.
 func gatewayMatcher(t testing.TB, strings int, groups int) (*Matcher, *ruleset.Set) {
+	return gatewayMatcherBackend(t, strings, groups, BackendAuto)
+}
+
+func gatewayMatcherBackend(t testing.TB, strings, groups int, backend string) (*Matcher, *ruleset.Set) {
 	t.Helper()
 	rules, err := GenerateSnortLike(strings, 77)
 	if err != nil {
 		t.Fatal(err)
 	}
-	m, err := Compile(rules, Config{Groups: groups})
+	m, err := Compile(rules, Config{Groups: groups, Backend: backend})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -60,6 +60,10 @@ const (
 	histMask        = 1<<(2*histLaneBits) - 1 // 0x3FFFF
 	histUnknownLane = 0x100                   // can never equal a real byte
 
+	// histUnknown is the fused register with both lanes unknown — the value
+	// fuseHist(HistNone, HistNone) produces at start-of-packet.
+	histUnknown = uint32(histUnknownLane)<<histLaneBits | histUnknownLane
+
 	// Empty d2/d3 slots carry keys no runtime history can produce: a lane
 	// is at most histUnknownLane, so 0x1FF (and the all-lanes-0x1FF d3 key)
 	// never compares equal.
@@ -341,6 +345,110 @@ func (p *Program) scanAppend(state int32, hist uint32, pos int, data []byte, out
 		pos++
 		if outBits[uint32(state)>>6]&(1<<(uint32(state)&63)) != 0 {
 			out = t.AppendOutputs(state, pos, out)
+		}
+	}
+	return state, hist, pos, out
+}
+
+// step executes one baked transition — the single-byte form of the
+// scanAppend loop, used by the baked backend's Step and by the prefilter's
+// exact re-entry bookkeeping. It takes the transition and shifts the fused
+// history but does not probe outputs; like Scanner.Step it is the pure
+// register-machine view. It must stay byte-exact equivalent to
+// Machine.Next; the lockstep property tests drive it against the reference
+// path after every operation.
+func (p *Program) step(state int32, hist uint32, c byte) (int32, uint32) {
+	ref := p.rows[state]
+	if ref >= rowDense {
+		state = p.dense[int(ref-rowDense)<<8|int(c)]
+	} else {
+		if cnt := ref >> 24; cnt != 0 {
+			base := ref & rowOffMask
+			key := uint32(c)
+			for i := uint32(0); i < cnt; i++ {
+				if e := p.stored[base+i]; uint32(e>>32) == key {
+					state = int32(uint32(e))
+					goto stepped
+				}
+			}
+		}
+		if e := p.d3[c]; uint32(e>>32) == hist {
+			state = int32(uint32(e))
+		} else {
+			h1 := hist & histLaneMask
+			d2 := &p.d2[c]
+			switch {
+			case uint32(d2[0]>>32) == h1:
+				state = int32(uint32(d2[0]))
+			case uint32(d2[1]>>32) == h1:
+				state = int32(uint32(d2[1]))
+			case uint32(d2[2]>>32) == h1:
+				state = int32(uint32(d2[2]))
+			case uint32(d2[3]>>32) == h1:
+				state = int32(uint32(d2[3]))
+			default:
+				state = p.d1[c]
+			}
+		}
+	}
+stepped:
+	return state, (hist<<histLaneBits | uint32(c)) & histMask
+}
+
+// scanAppendStopRoot is scanAppend with an early exit: it stops as soon as
+// a consumed byte lands the machine back on the start state, returning the
+// registers at that point (the remaining bytes stay unconsumed — the
+// caller reads the advance off the returned position). The prefiltered
+// backend uses it to run the exact kernel through a suspect window and
+// hand the stream back to the lossy skimmer at the first start-state
+// boundary, where skimming is provably sound. The per-byte body must stay
+// identical to scanAppend's; the equivalence property tests and fuzzers
+// drive both against the oracle.
+func (p *Program) scanAppendStopRoot(state int32, hist uint32, pos int, data []byte, out []ac.Match) (int32, uint32, int, []ac.Match) {
+	t := p.trie
+	rows, dense, outBits := p.rows, p.dense, p.outBits
+	for _, c := range data {
+		ref := rows[state]
+		if ref >= rowDense {
+			state = dense[int(ref-rowDense)<<8|int(c)]
+		} else {
+			if cnt := ref >> 24; cnt != 0 {
+				base := ref & rowOffMask
+				key := uint32(c)
+				for i := uint32(0); i < cnt; i++ {
+					if e := p.stored[base+i]; uint32(e>>32) == key {
+						state = int32(uint32(e))
+						goto stepped
+					}
+				}
+			}
+			if e := p.d3[c]; uint32(e>>32) == hist {
+				state = int32(uint32(e))
+			} else {
+				h1 := hist & histLaneMask
+				d2 := &p.d2[c]
+				switch {
+				case uint32(d2[0]>>32) == h1:
+					state = int32(uint32(d2[0]))
+				case uint32(d2[1]>>32) == h1:
+					state = int32(uint32(d2[1]))
+				case uint32(d2[2]>>32) == h1:
+					state = int32(uint32(d2[2]))
+				case uint32(d2[3]>>32) == h1:
+					state = int32(uint32(d2[3]))
+				default:
+					state = p.d1[c]
+				}
+			}
+		}
+	stepped:
+		hist = (hist<<histLaneBits | uint32(c)) & histMask
+		pos++
+		if outBits[uint32(state)>>6]&(1<<(uint32(state)&63)) != 0 {
+			out = t.AppendOutputs(state, pos, out)
+		}
+		if state == ac.Root {
+			break
 		}
 	}
 	return state, hist, pos, out

@@ -50,9 +50,10 @@ func randBakedPayload(rng *rand.Rand, n int) []byte {
 	return data
 }
 
-// TestBakedEquivalenceProperty drives the baked kernel and the
-// Machine.Next reference scanner in lockstep over random machines, random
-// payload chunks and mid-stream SkipAhead/Reset, asserting byte-exact
+// TestBakedEquivalenceProperty drives every registered backend — the
+// reference slice walker, the baked kernel, the prefiltered pipeline — in
+// lockstep over random machines, random payload chunks, interleaved
+// single-byte Steps and mid-stream SkipAhead/Reset, asserting byte-exact
 // register equivalence (state, h1/h2 history, pos) after every operation,
 // identical match sequences, and — per contiguous visible segment — exact
 // agreement with the uncompressed-DFA oracle.
@@ -80,33 +81,48 @@ func TestBakedEquivalenceProperty(t *testing.T) {
 				if m.prog == nil {
 					t.Fatalf("trial %d: configuration unexpectedly not baked", trial)
 				}
+				if m.pre == nil {
+					t.Fatalf("trial %d: prefilter unexpectedly unavailable", trial)
+				}
 				driveLockstep(t, m, rng)
 			}
 		})
 	}
 }
 
-// driveLockstep runs one randomized op sequence over baked and reference
-// scanners.
+// driveLockstep runs one randomized op sequence over one scanner per
+// registered backend, diffing registers and match streams after every op.
+// Backends[0] is always the reference interpreter; the others are held to
+// its behavior.
 func driveLockstep(t *testing.T, m *Machine, rng *rand.Rand) {
 	t.Helper()
-	baked := m.NewScanner()
-	ref := m.newReferenceScanner()
-	if baked.prog == nil || ref.prog != nil {
-		t.Fatal("scanner wiring: baked scanner must carry the program, reference must not")
+	names := m.Backends()
+	if len(names) < 3 {
+		t.Fatalf("expected at least 3 backends, registry lists %v", names)
+	}
+	scs := make([]*Scanner, len(names))
+	outs := make([][]ac.Match, len(names))
+	for i, name := range names {
+		sc, err := m.NewScannerFor(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sc.Backend() != name {
+			t.Fatalf("NewScannerFor(%q) built a %q scanner", name, sc.Backend())
+		}
+		scs[i] = sc
 	}
 
-	var bOut, rOut []ac.Match
 	var seg []byte // bytes of the current contiguous visible segment
 	segStart := 0  // stream position where the segment began
-	segMark := 0   // len(bOut) when the segment began
+	segMark := 0   // len(outs[0]) when the segment began
 
 	// checkSegment verifies the matches emitted during the segment against
 	// the uncompressed DFA scanning the same bytes.
 	checkSegment := func() {
 		t.Helper()
 		want := m.Trie.FindAll(seg)
-		got := bOut[segMark:]
+		got := outs[0][segMark:]
 		if len(got) != len(want) {
 			t.Fatalf("segment at %d: %d matches, oracle %d", segStart, len(got), len(want))
 		}
@@ -118,59 +134,82 @@ func driveLockstep(t *testing.T, m *Machine, rng *rand.Rand) {
 	}
 	checkRegisters := func(op string) {
 		t.Helper()
-		if baked.state != ref.state || baked.h1 != ref.h1 || baked.h2 != ref.h2 || baked.pos != ref.pos {
-			t.Fatalf("%s: baked registers (s=%d h2=%d h1=%d pos=%d) != reference (s=%d h2=%d h1=%d pos=%d)",
-				op, baked.state, baked.h2, baked.h1, baked.pos, ref.state, ref.h2, ref.h1, ref.pos)
-		}
-		if len(bOut) != len(rOut) {
-			t.Fatalf("%s: baked emitted %d matches, reference %d", op, len(bOut), len(rOut))
-		}
-		for i := range bOut {
-			if bOut[i] != rOut[i] {
-				t.Fatalf("%s: match %d baked %+v reference %+v", op, i, bOut[i], rOut[i])
+		ref := scs[0].Registers()
+		for bi := 1; bi < len(scs); bi++ {
+			if got := scs[bi].Registers(); got != ref {
+				t.Fatalf("%s: %s registers %+v != reference %+v", op, names[bi], got, ref)
+			}
+			if len(outs[bi]) != len(outs[0]) {
+				t.Fatalf("%s: %s emitted %d matches, reference %d", op, names[bi], len(outs[bi]), len(outs[0]))
+			}
+			for i := range outs[bi] {
+				if outs[bi][i] != outs[0][i] {
+					t.Fatalf("%s: match %d %s %+v reference %+v", op, i, names[bi], outs[bi][i], outs[0][i])
+				}
 			}
 		}
 	}
 
 	ops := 3 + rng.Intn(12)
 	for i := 0; i < ops; i++ {
-		switch rng.Intn(8) {
+		switch rng.Intn(10) {
 		case 0: // Reset: segment ends, stream position restarts
 			checkSegment()
-			baked.Reset()
-			ref.Reset()
-			seg, segStart, segMark = seg[:0], 0, len(bOut)
+			for _, sc := range scs {
+				sc.Reset()
+			}
+			seg, segStart, segMark = seg[:0], 0, len(outs[0])
 			checkRegisters("Reset")
 		case 1: // SkipAhead: segment ends, position advances over unseen bytes
 			checkSegment()
 			n := 1 + rng.Intn(64)
-			baked.SkipAhead(n)
-			ref.SkipAhead(n)
-			seg, segStart, segMark = seg[:0], baked.pos, len(bOut)
+			for _, sc := range scs {
+				sc.SkipAhead(n)
+			}
+			seg, segStart, segMark = seg[:0], scs[0].Pos(), len(outs[0])
 			checkRegisters("SkipAhead")
+		case 2: // single-byte Steps (the register-machine view, no outputs)
+			// Steps leave matches unemitted, so the segment oracle no
+			// longer applies: fold the stepped bytes into the *next*
+			// segment boundary by restarting segment accounting after.
+			checkSegment()
+			for _, c := range randBakedPayload(rng, 1+rng.Intn(4)) {
+				for _, sc := range scs {
+					sc.Step(c)
+				}
+				checkRegisters("Step")
+			}
+			for _, sc := range scs {
+				sc.Reset()
+			}
+			seg, segStart, segMark = seg[:0], 0, len(outs[0])
+			checkRegisters("Reset after Step")
 		default: // write a chunk (empty chunks included)
 			chunk := randBakedPayload(rng, rng.Intn(80))
 			seg = append(seg, chunk...)
-			bOut = baked.ScanAppend(chunk, bOut)
-			rOut = ref.ScanAppend(chunk, rOut)
+			for bi, sc := range scs {
+				outs[bi] = sc.ScanAppend(chunk, outs[bi])
+			}
 			checkRegisters("ScanAppend")
 		}
 	}
 	checkSegment()
 
-	// Scan must replay exactly the ScanAppend sequence on both paths.
+	// Scan must replay exactly the ScanAppend sequence on every backend.
 	payload := randBakedPayload(rng, 200)
-	baked.Reset()
-	ref.Reset()
-	var sb, sr []ac.Match
-	baked.Scan(payload, func(mt ac.Match) { sb = append(sb, mt) })
-	ref.Scan(payload, func(mt ac.Match) { sr = append(sr, mt) })
-	if len(sb) != len(sr) {
-		t.Fatalf("Scan: baked %d matches, reference %d", len(sb), len(sr))
+	scanOuts := make([][]ac.Match, len(scs))
+	for bi, sc := range scs {
+		sc.Reset()
+		sc.Scan(payload, func(mt ac.Match) { scanOuts[bi] = append(scanOuts[bi], mt) })
 	}
-	for i := range sb {
-		if sb[i] != sr[i] {
-			t.Fatalf("Scan: match %d baked %+v reference %+v", i, sb[i], sr[i])
+	for bi := 1; bi < len(scs); bi++ {
+		if len(scanOuts[bi]) != len(scanOuts[0]) {
+			t.Fatalf("Scan: %s %d matches, reference %d", names[bi], len(scanOuts[bi]), len(scanOuts[0]))
+		}
+		for i := range scanOuts[bi] {
+			if scanOuts[bi][i] != scanOuts[0][i] {
+				t.Fatalf("Scan: match %d %s %+v reference %+v", i, names[bi], scanOuts[bi][i], scanOuts[0][i])
+			}
 		}
 	}
 }

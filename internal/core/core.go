@@ -23,14 +23,24 @@
 // DFA while storing >96% fewer pointers — and, unlike fail-pointer schemes,
 // one input character is consumed every cycle regardless of input.
 //
-// Two runtime representations execute this machine. The Machine itself —
-// slice-of-slices Stored rows, D2/D3 entry lists, Machine.Next — is the
-// reference semantics, kept deliberately close to the paper's hardware
-// description. The baked Program (see baked.go) is the default hot path:
-// Build flattens the machine into fixed arrays and a two-tier
-// dense/compressed layout, and Scanner.ScanAppend/Scan execute it. The two
-// must remain byte-exact equivalent; VerifyScan, the baked property tests
-// and FuzzBakedEquivalence enforce that continuously.
+// Execution is organized behind the ScanBackend seam (see backend.go):
+// every way of running the machine is a registered backend and all of them
+// are byte-exact equivalent — same states, histories, positions and match
+// sequences on every input. Three backends ship today. The "reference"
+// backend walks the Machine itself — slice-of-slices Stored rows, D2/D3
+// entry lists, Machine.Next — and is kept deliberately close to the
+// paper's hardware description. The "baked" backend runs the Program (see
+// baked.go), a pure re-layout into fixed arrays and a two-tier
+// dense/compressed format that Build compiles by default. The
+// "prefiltered" backend (see prefilter.go) is a two-stage pipeline: a tiny
+// lossy automaton skims clean traffic and only suspect byte windows run
+// through the exact baked kernel. The lossy stage admits false positives
+// but provably never false negatives — VerifySuperset proves the contract
+// structurally at bake time, in the spirit of VerifyTransitions — so even
+// the approximate pipeline stays exactly equivalent. VerifyScan iterates
+// every registered backend against the uncompressed-DFA oracle; the
+// lockstep property tests and fuzzers enforce register-level equivalence
+// continuously.
 //
 // Removal correctness. For a state s at depth ≥ 2 the previous two
 // characters are determined by s's path, so the default rule is evaluated
@@ -72,10 +82,20 @@ type Options struct {
 	// snapshots.
 	DenseStates int
 	// DisableBaked keeps the machine on the slice-walking reference scan
-	// path instead of compiling the baked Program. Used by benchmarks and
-	// equivalence tests that need the Machine.Next oracle as the default
-	// path; runtime-only, not serialized.
+	// path instead of compiling the baked Program.
+	//
+	// Deprecated: DisableBaked is an alias for Backend: BackendReference,
+	// kept for existing callers; setting both to conflicting values is a
+	// Build error. Runtime-only, not serialized.
 	DisableBaked bool
+	// Backend selects the scan implementation NewScanner hands out:
+	// BackendAuto (or "") picks baked when the machine fits the flat row
+	// format and reference otherwise; BackendReference pins the
+	// slice-walking interpreter (and skips compiling the kernels);
+	// BackendBaked and BackendPrefiltered pin those kernels and make Build
+	// fail if the configuration cannot compile them. Runtime-only, not
+	// serialized; NewScannerFor overrides it per scanner.
+	Backend string
 }
 
 func (o Options) withDefaults() Options {
@@ -88,6 +108,13 @@ func (o Options) withDefaults() Options {
 	if o.MaxDepth == 0 {
 		o.MaxDepth = 3
 	}
+	if o.Backend == "" {
+		if o.DisableBaked {
+			o.Backend = BackendReference
+		} else {
+			o.Backend = BackendAuto
+		}
+	}
 	return o
 }
 
@@ -97,6 +124,14 @@ func (o Options) validate() error {
 	}
 	if o.MaxDepth < 1 || o.MaxDepth > 3 {
 		return fmt.Errorf("core: MaxDepth %d out of range [1,3]", o.MaxDepth)
+	}
+	switch o.Backend {
+	case "", BackendAuto, BackendReference, BackendBaked, BackendPrefiltered:
+	default:
+		return fmt.Errorf("core: unknown backend %q (want auto|reference|baked|prefiltered)", o.Backend)
+	}
+	if o.DisableBaked && o.Backend != BackendReference {
+		return fmt.Errorf("core: DisableBaked conflicts with Backend %q", o.Backend)
 	}
 	return nil
 }
@@ -205,11 +240,19 @@ type Machine struct {
 	// manual Compile later — pickDense re-tallies from the move rows,
 	// deterministically reproducing the same promotion.
 	popularity []int64
-	// prog is the baked scan kernel, nil when Opts.DisableBaked is set,
-	// when the machine was hand-assembled, or when the configuration does
-	// not fit the fixed row format. Scanners fall back to the
-	// slice-walking reference path when nil.
+	// prog is the baked scan kernel, nil when the configured backend is
+	// reference, when the machine was hand-assembled, or when the
+	// configuration does not fit the fixed row format. Scanners fall back
+	// to the slice-walking reference path when nil.
 	prog *Program
+	// pre is the lossy prefilter stage, compiled (and superset-verified)
+	// alongside prog; nil whenever prog is nil or the collapsed machine
+	// does not fit the packed entry format. The prefiltered backend needs
+	// both.
+	pre *Prefilter
+	// backend is the resolved Options.Backend, consulted by NewScanner;
+	// empty (auto) on hand-assembled machines.
+	backend string
 }
 
 // Build compresses the move-function DFA for set under opts.
@@ -222,19 +265,58 @@ func Build(set *ruleset.Set, opts Options) (*Machine, error) {
 	if err != nil {
 		return nil, err
 	}
-	m := &Machine{Trie: trie, Opts: opts}
+	m := &Machine{Trie: trie, Opts: opts, backend: opts.Backend}
 	m.selectDefaults()
 	m.compress()
-	if !opts.DisableBaked {
-		m.prog = Compile(m)
+	if err := m.compileBackends(); err != nil {
+		return nil, err
 	}
 	m.popularity = nil
 	return m, nil
 }
 
+// compileBackends bakes the kernels the configured backend needs: the flat
+// Program and, on top of it, the lossy prefilter stage (which must pass
+// VerifySuperset to be kept — a prefilter that could miss is discarded,
+// never silently used). Under BackendAuto compilation is best-effort and
+// unbakeable configurations fall back to the reference path; an explicitly
+// pinned kernel backend turns the same condition into a Build error.
+func (m *Machine) compileBackends() error {
+	if m.backend == BackendReference {
+		return nil
+	}
+	m.prog = Compile(m)
+	if m.prog != nil {
+		m.pre = CompilePrefilter(m)
+		if m.pre != nil {
+			if err := m.VerifySuperset(); err != nil {
+				m.pre = nil
+				if m.backend == BackendPrefiltered {
+					return err
+				}
+			}
+		}
+	}
+	switch m.backend {
+	case BackendBaked:
+		if m.prog == nil {
+			return fmt.Errorf("core: Backend %q pinned but the configuration does not fit the baked row format", m.backend)
+		}
+	case BackendPrefiltered:
+		if m.prog == nil || m.pre == nil {
+			return fmt.Errorf("core: Backend %q pinned but the configuration does not fit the kernel formats", m.backend)
+		}
+	}
+	return nil
+}
+
 // Program returns the machine's baked scan kernel, or nil when the machine
 // runs on the slice-walking reference path.
 func (m *Machine) Program() *Program { return m.prog }
+
+// Prefilter returns the machine's lossy first-stage automaton, or nil when
+// the prefiltered backend is unavailable.
+func (m *Machine) Prefilter() *Prefilter { return m.pre }
 
 // selectDefaults runs the popularity pass: it counts, over every (state,
 // character) pair of the full DFA, how often each state is the transition

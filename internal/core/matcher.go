@@ -2,141 +2,95 @@ package core
 
 import "repro/internal/ac"
 
-// Scanner carries the per-packet scan state of one matching engine: the
-// current automaton state and the two-character input history the default
-// rule compares against. It mirrors the registers of the hardware engine
-// (Figure 5): input character, previous 2 input characters, current state.
+// Scanner carries the per-packet scan state of one matching engine. It is
+// a thin facade over a ScanBackend: the backend owns the architectural
+// registers (Figure 5: input character, previous 2 input characters,
+// current state, stream position) and the scan loops; the Scanner adds the
+// match scratch buffer that Scan replays through the caller's callback.
 //
-// When the machine has a baked Program (the default), ScanAppend and Scan
-// execute the flat kernel; Step and the prog-less fallback run the
-// reference Machine.Next path. Both paths keep the same registers, so a
-// caller may mix them freely.
+// Which backend a Scanner runs is decided by the machine's configuration
+// (Options.Backend, resolved at Build) or pinned explicitly with
+// NewScannerFor. All backends keep identical registers and emit identical
+// match sequences, so callers may select purely on performance.
 type Scanner struct {
-	m      *Machine
-	prog   *Program
-	state  int32
-	h1, h2 int16
-	pos    int
+	b ScanBackend
 	// scratch buffers Scan's matches between ScanAppend and the caller's
 	// emit callback, reused across calls.
 	scratch []ac.Match
 }
 
-// NewScanner returns a scanner positioned at the start of a packet.
+// NewScanner returns a scanner positioned at the start of a packet,
+// running the machine's configured backend.
 func (m *Machine) NewScanner() *Scanner {
-	s := &Scanner{m: m, prog: m.prog}
-	s.Reset()
+	s, err := m.NewScannerFor(m.backend)
+	if err != nil {
+		// Build validates the configured backend against the compiled
+		// artifacts, so this is unreachable for built or loaded machines;
+		// hand-assembled machines carry no backend name and resolve to
+		// auto above.
+		panic(err)
+	}
 	return s
 }
 
-// newReferenceScanner returns a scanner pinned to the slice-walking
-// Machine.Next path regardless of the machine's baked program — the oracle
-// the baked kernel is verified against.
-func (m *Machine) newReferenceScanner() *Scanner {
-	s := &Scanner{m: m}
-	s.Reset()
-	return s
-}
+// Backend reports the name of the backend this scanner runs.
+func (s *Scanner) Backend() string { return s.b.Name() }
 
 // Reset rewinds the scanner to start-of-packet: start state, empty history.
 // The history must be invalidated between packets — stale history bytes
 // from a previous packet could otherwise satisfy a depth-2/3 default
 // comparison that the current packet's bytes do not justify.
-func (s *Scanner) Reset() {
-	s.state = ac.Root
-	s.h1, s.h2 = HistNone, HistNone
-	s.pos = 0
-}
+func (s *Scanner) Reset() { s.b.Reset() }
 
 // SkipAhead invalidates the scan state as Reset does (start state, empty
 // history — a match must never span bytes the scanner did not see) but
 // advances the position by n unseen bytes, so match end offsets emitted
 // after a reassembly gap skip remain absolute in the flow's byte stream.
-func (s *Scanner) SkipAhead(n int) {
-	s.state = ac.Root
-	s.h1, s.h2 = HistNone, HistNone
-	s.pos += n
-}
+func (s *Scanner) SkipAhead(n int) { s.b.SkipAhead(n) }
 
 // Step consumes one input byte and reports the new state. Exactly one
 // transition is taken per byte — the guaranteed 1 character/cycle property.
-func (s *Scanner) Step(c byte) int32 {
-	s.state = s.m.Next(s.state, c, s.h2, s.h1)
-	s.h2 = s.h1
-	s.h1 = int16(c)
-	s.pos++
-	return s.state
-}
+func (s *Scanner) Step(c byte) int32 { return s.b.Step(c) }
 
 // State returns the current automaton state.
-func (s *Scanner) State() int32 { return s.state }
+func (s *Scanner) State() int32 { return s.b.Registers().State }
 
 // Pos returns the number of bytes consumed since Reset.
-func (s *Scanner) Pos() int { return s.pos }
+func (s *Scanner) Pos() int { return s.b.Registers().Pos }
+
+// Registers returns the architectural register snapshot — identical across
+// backends after any operation sequence; the lockstep equivalence tests
+// diff this view.
+func (s *Scanner) Registers() Registers { return s.b.Registers() }
 
 // Scan consumes data, invoking emit for every match. It continues from the
 // scanner's current state; call Reset first for a fresh packet. Matches are
 // emitted in increasing end-offset order (one machine scans left to right),
-// exactly the sequence ScanAppend would append. On a baked machine the
-// matches are gathered by the flat kernel and replayed to emit — so emit
-// observes the scanner's end-of-chunk registers (Pos, State), not the
-// per-match position; the reference path stays on the one-Step-per-byte
-// form so the oracle transition logic lives in exactly two places
-// (Machine.Next and the inlined reference loop in ScanAppend).
+// exactly the sequence ScanAppend would append. The matches are gathered by
+// the backend's chunk loop and replayed to emit — so emit observes the
+// scanner's end-of-chunk registers (Pos, State), not the per-match
+// position.
 func (s *Scanner) Scan(data []byte, emit func(ac.Match)) {
-	if s.prog != nil {
-		matches := s.ScanAppend(data, s.scratch[:0])
-		// Detach the buffer while replaying: an emit callback that
-		// reenters this scanner must not rewrite the slice being
-		// iterated (it grabs a fresh one, and the headers swap below).
-		s.scratch = nil
-		for _, m := range matches {
-			emit(m)
-		}
-		s.scratch = matches[:0]
-		return
+	matches := s.b.ScanAppend(data, s.scratch[:0])
+	// Detach the buffer while replaying: an emit callback that reenters
+	// this scanner must not rewrite the slice being iterated (it grabs a
+	// fresh one, and the headers swap below).
+	s.scratch = nil
+	for _, m := range matches {
+		emit(m)
 	}
-	t := s.m.Trie
-	for _, c := range data {
-		st := s.Step(c)
-		if t.HasOutput(st) {
-			t.EmitOutputs(st, s.pos, emit)
-		}
-	}
+	s.scratch = matches[:0]
 }
 
 // ScanAppend consumes data like Scan but appends matches to out and returns
 // the extended slice instead of invoking a callback, so steady-state
-// scanning allocates nothing once the caller's buffer has grown. On a
-// baked machine this runs the flat Program kernel — dense rows for the hot
-// near-root states, packed CSR stored pointers and the fused-history
-// lookup table elsewhere; the fallback inlines the reference transition
-// step. Both must stay exactly equivalent to Machine.Next; any change to
-// the stored-pointer or default-rule step applies to all three.
+// scanning allocates nothing once the caller's buffer has grown. The scan
+// loop is the backend's: the baked flat kernel, the reference slice walk,
+// or the two-stage prefiltered pipeline. All must stay exactly equivalent
+// to Machine.Next; any change to the stored-pointer or default-rule step
+// applies to every backend.
 func (s *Scanner) ScanAppend(data []byte, out []ac.Match) []ac.Match {
-	if p := s.prog; p != nil {
-		state, hist, pos, out := p.scanAppend(s.state, fuseHist(s.h2, s.h1), s.pos, data, out)
-		s.state, s.pos = state, pos
-		s.h2, s.h1 = splitHist(hist)
-		return out
-	}
-	m, t := s.m, s.m.Trie
-	state, h1, h2, pos := s.state, s.h1, s.h2, s.pos
-	maxDepth := m.Opts.MaxDepth
-	for _, c := range data {
-		if to := m.StoredAt(state, c); to != ac.None {
-			state = to
-		} else {
-			state = m.Defaults.Resolve(c, h2, h1, maxDepth)
-		}
-		h2, h1 = h1, int16(c)
-		pos++
-		if t.HasOutput(state) {
-			out = t.AppendOutputs(state, pos, out)
-		}
-	}
-	s.state, s.h1, s.h2, s.pos = state, h1, h2, pos
-	return out
+	return s.b.ScanAppend(data, out)
 }
 
 // FindAll scans one whole packet and returns its matches.

@@ -1,0 +1,624 @@
+package core
+
+// The two-stage approximate prefilter: a tiny lossy automaton skims clean
+// traffic and hands only suspect byte windows to the exact baked kernel.
+// The lossy machine may raise false alarms but provably never misses — the
+// superset contract below — so the pipeline stays byte-exact equivalent to
+// the reference machine while touching most clean bytes with a single
+// byte-indexed load.
+//
+// Construction. Fix a window depth K (prefK). Bytes are collapsed onto a
+// small class alphabet: every byte appearing within the first K levels of
+// the pattern trie gets a non-zero class, every other byte is class 0.
+// Pattern-starting bytes (depth 1) and deeper-only bytes are partitioned
+// onto disjoint class ranges — start-state residency is exactly "this byte
+// starts no pattern", and the partition keeps class folding from eroding
+// it — and each partition folds onto its own share of the budget when
+// rulesets use more distinct bytes than classes. Over that alphabet a collapsed Aho-Corasick DFA is built from
+// the truncated accept strings: φ(path(s)) for every exact trie state s at
+// depth exactly K, plus φ(path(s)) for every shallower state where a whole
+// pattern ends. States whose path *ends with* an accept string — the
+// accept set closed over fail links — are flagged suspect, and the flag is
+// folded into bit 15 of each uint16 transition entry so the skim loop
+// tests it for free.
+//
+// Superset contract (no false negatives). Start both machines at a stream
+// position where the exact machine is at the start state. While no suspect
+// entry has been hit: (1) the exact machine's depth stays below K — depth
+// grows at most one per byte, so first reaching depth K happens at a byte
+// whose last K inputs spell a depth-K trie path, whose collapsed form is
+// an accept string, and the collapsed DFA state (the longest collapsed
+// suffix) then carries that accept in its fail closure, firing suspect;
+// (2) no match ends — a pattern ending while depth < K has length < K, is
+// inserted as an accept string itself, and fires suspect the same way.
+// VerifySuperset checks the accept-string walk structurally at bake time
+// (in the spirit of VerifyTransitions); the property test and the
+// FuzzPrefilterEquivalence fuzzer check the runtime pipeline end to end.
+//
+// Suspect-window rebuild. When suspect fires at stream index a, the exact
+// kernel restarts from the start state at r = max(a−K+1, skim start) —
+// clamped so previously exact-scanned bytes are never rescanned, which
+// would double-emit — seeded with the true history bytes r−2, r−1 kept in
+// a small tail ring. The rescanned machine's state path is always a real
+// suffix of the stream (stored transitions extend it, d2/d3 defaults fire
+// only on true history bytes), so it emits only true matches; no true
+// match ends strictly before a+1 by the superset contract; and after
+// consuming through byte a its registers provably equal the true
+// machine's: a pure DFA restart over ≥ depth(a+1) trailing bytes computes
+// the true longest-suffix state, the DTP restart is sandwiched between
+// that DFA restart and the true machine (defaults only ever jump *deeper*
+// along true suffixes), and two identical register files stay identical
+// forever after. The pipeline then stays exact until the machine returns
+// to the start state, where skimming is sound again.
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"repro/internal/ac"
+)
+
+const (
+	// prefK is the prefilter window depth: the lossy machine proves "the
+	// exact machine is below depth K and no match ends here" for clean
+	// bytes. 3 matches the DTP default depth — the d2/d3 history window —
+	// and keeps the collapsed table a few tens of KB on Snort-scale sets.
+	prefK = 3
+
+	// pfSuspect flags a transition entry whose target state ends with an
+	// accept string; the low 15 bits are the target state id.
+	pfSuspect   = uint16(1) << 15
+	pfStateMask = pfSuspect - 1
+	pfMaxStates = 1 << 15
+
+	// pfMaxClasses bounds the collapsed alphabet (class 0 = byte absent
+	// from all pattern prefixes). Rulesets with more distinct prefix bytes
+	// fold classes together — more false suspects, never a miss.
+	pfMaxClasses = 64
+
+	// The transition table is laid out at a fixed power-of-two row stride
+	// (entry = tab[state<<pfStrideBits | class]) regardless of how many
+	// classes are in use, so the skim loop's address arithmetic is a shift
+	// and an OR on the load-to-load dependency chain instead of a multiply.
+	pfStrideBits = 6
+	pfStride     = 1 << pfStrideBits
+
+	// pfTailLen is the left-context ring: a rebuild needs the K−1 bytes
+	// before the suspect byte plus their 2 history bytes (one spare).
+	pfTailLen = prefK + 2
+)
+
+// Prefilter is the compiled lossy first stage, immutable after
+// CompilePrefilter except for its runtime counters; safe for concurrent
+// use by any number of scanners.
+type Prefilter struct {
+	class    [256]uint8 // byte → collapsed class, 0 = not in any prefix
+	nClasses int
+	tab      []uint16    // states × pfStride (row-strided): target | pfSuspect
+	rootTab  [256]uint16 // row 0 pre-composed with class[], byte-indexed
+	states   int
+	accepts  int // accept strings inserted
+	folded   bool
+
+	// Runtime counters, accumulated once per ScanAppend chunk.
+	skimmedBytes   atomic.Uint64
+	exactBytes     atomic.Uint64
+	suspectWindows atomic.Uint64
+}
+
+// CompilePrefilter builds the lossy first stage for m. It returns nil when
+// the collapsed machine does not fit the packed entry format (state ids
+// share a uint16 with the suspect flag), in which case the prefiltered
+// backend is simply unavailable. Build compiles it automatically alongside
+// the baked Program and proves VerifySuperset before keeping it.
+func CompilePrefilter(m *Machine) *Prefilter {
+	t := m.Trie
+	n := t.NumStates()
+
+	pf := &Prefilter{}
+	// Partition bytes into first bytes (depth 1) and deeper-only bytes
+	// (depth 2..K, never depth 1). The two partitions never share a class:
+	// the skim loop's start-state residency — its whole advantage on clean
+	// traffic — is exactly "this byte starts no pattern", and folding a
+	// deeper-only byte into a first byte's class would make it leave the
+	// start state too. Within a partition folding only coarsens depth-2/3
+	// discrimination (more false suspects, never a miss), so when the
+	// distinct bytes exceed the class budget each partition folds onto its
+	// own share, split proportionally.
+	var first, deep [256]bool
+	for s := 1; s < n; s++ {
+		if nd := &t.Nodes[s]; nd.Depth <= prefK {
+			if nd.Depth == 1 {
+				first[nd.Char] = true
+			} else {
+				deep[nd.Char] = true
+			}
+		}
+	}
+	nFirst, nDeep := 0, 0
+	for b := 0; b < 256; b++ {
+		if first[b] {
+			deep[b] = false
+			nFirst++
+		} else if deep[b] {
+			nDeep++
+		}
+	}
+	budget := pfMaxClasses - 1
+	fc, dc := nFirst, nDeep
+	if nFirst+nDeep > budget {
+		pf.folded = true
+		fc = budget * nFirst / (nFirst + nDeep)
+		if fc < 1 && nFirst > 0 {
+			fc = 1
+		}
+		if fc > nFirst {
+			fc = nFirst
+		}
+		dc = budget - fc
+		if dc > nDeep {
+			dc = nDeep
+		}
+	}
+	fi, di := 0, 0
+	for b := 0; b < 256; b++ {
+		switch {
+		case first[b]:
+			pf.class[b] = uint8(1 + fi%fc)
+			fi++
+		case deep[b]:
+			pf.class[b] = uint8(1 + fc + di%dc)
+			di++
+		}
+	}
+	pf.nClasses = 1 + fc + dc
+	nc := pf.nClasses
+
+	// Collapsed goto trie over the truncated accept strings.
+	type pnode struct {
+		next    []int32
+		fail    int32
+		accept  bool
+		suspect bool
+	}
+	newNode := func() pnode {
+		next := make([]int32, nc)
+		for i := range next {
+			next[i] = ac.None
+		}
+		return pnode{next: next}
+	}
+	nodes := []pnode{newNode()}
+	insert := func(classes []uint8) {
+		cur := int32(0)
+		for _, c := range classes {
+			nxt := nodes[cur].next[c]
+			if nxt == ac.None {
+				nodes = append(nodes, newNode())
+				nxt = int32(len(nodes) - 1)
+				nodes[cur].next[c] = nxt
+			}
+			cur = nxt
+		}
+		if !nodes[cur].accept {
+			nodes[cur].accept = true
+			pf.accepts++
+		}
+	}
+	var path [prefK]uint8
+	for s := 1; s < n; s++ {
+		nd := &t.Nodes[s]
+		d := int(nd.Depth)
+		if d > prefK || (d < prefK && len(nd.Out) == 0) {
+			continue
+		}
+		for j, cur := d-1, int32(s); j >= 0; j-- {
+			path[j] = pf.class[t.Nodes[cur].Char]
+			cur = t.Nodes[cur].Parent
+		}
+		insert(path[:d])
+	}
+	if len(nodes) > pfMaxStates {
+		return nil
+	}
+	pf.states = len(nodes)
+
+	// Breadth-first: fail links, suspect closure (a state is suspect when
+	// any suffix of its path is accept), and in-place DFA resolution of
+	// missing transitions — a node's fail is shallower, so its row is
+	// already resolved when the node is reached.
+	queue := make([]int32, 0, len(nodes))
+	for c := 0; c < nc; c++ {
+		v := nodes[0].next[c]
+		if v == ac.None {
+			nodes[0].next[c] = 0
+			continue
+		}
+		nodes[v].fail = 0
+		queue = append(queue, v)
+	}
+	nodes[0].suspect = nodes[0].accept
+	for qi := 0; qi < len(queue); qi++ {
+		u := queue[qi]
+		nu := &nodes[u]
+		nu.suspect = nu.accept || nodes[nu.fail].suspect
+		for c := 0; c < nc; c++ {
+			v := nu.next[c]
+			if v == ac.None {
+				nu.next[c] = nodes[nu.fail].next[c]
+				continue
+			}
+			nodes[v].fail = nodes[nu.fail].next[c]
+			queue = append(queue, v)
+		}
+	}
+
+	// Bake the packed table at the fixed row stride. Slots past nClasses
+	// are never addressed (class values are always < nClasses); they stay
+	// zero, which reads as "start state, not suspect" — consistent, since
+	// the start state is never suspect (no pattern is empty).
+	pf.tab = make([]uint16, len(nodes)<<pfStrideBits)
+	for s := range nodes {
+		for c := 0; c < nc; c++ {
+			v := nodes[s].next[c]
+			e := uint16(v)
+			if nodes[v].suspect {
+				e |= pfSuspect
+			}
+			pf.tab[s<<pfStrideBits|c] = e
+		}
+	}
+	// Pre-compose row 0 with the class map: the skim loop's start-state
+	// fast path is one byte-indexed load, no class indirection.
+	for b := 0; b < 256; b++ {
+		pf.rootTab[b] = pf.tab[int(pf.class[b])]
+	}
+	return pf
+}
+
+// PrefilterStats reports the lossy stage's layout and its runtime skim
+// accounting across all scanners sharing the machine.
+type PrefilterStats struct {
+	States      int  // collapsed DFA states
+	Classes     int  // collapsed alphabet size (class 0 = non-prefix bytes)
+	AcceptPaths int  // truncated accept strings inserted
+	TableBytes  int  // transition table + byte-indexed root row
+	Folded      bool // distinct prefix bytes exceeded the class budget
+
+	SkimmedBytes   uint64 // bytes cleared by the lossy machine alone
+	ExactBytes     uint64 // bytes run through the exact kernel (incl. rescans)
+	SuspectWindows uint64 // skim→exact handoffs
+	// SuspectRate is SuspectWindows per skimmed byte — the false-alarm
+	// density on the traffic actually seen (0 when nothing was skimmed).
+	SuspectRate float64
+}
+
+// Stats snapshots the prefilter's layout and runtime counters.
+func (pf *Prefilter) Stats() PrefilterStats {
+	st := PrefilterStats{
+		States:         pf.states,
+		Classes:        pf.nClasses,
+		AcceptPaths:    pf.accepts,
+		TableBytes:     len(pf.tab)*2 + len(pf.rootTab)*2,
+		Folded:         pf.folded,
+		SkimmedBytes:   pf.skimmedBytes.Load(),
+		ExactBytes:     pf.exactBytes.Load(),
+		SuspectWindows: pf.suspectWindows.Load(),
+	}
+	if st.SkimmedBytes > 0 {
+		st.SuspectRate = float64(st.SuspectWindows) / float64(st.SkimmedBytes)
+	}
+	return st
+}
+
+// VerifySuperset proves the prefilter admits no false negatives, in the
+// spirit of VerifyTransitions: for every exact trie state that terminates
+// an accept window — depth exactly prefK, or a shallower state where a
+// whole pattern ends — walking the collapsed form of its path from the
+// prefilter's start state must land on a suspect-flagged entry. Combined
+// with the longest-suffix property of the collapsed DFA and the suspect
+// closure over fail links, this extends to every runtime position (see the
+// file comment); the scan-level property tests and fuzzer check that
+// empirically. It also checks the packed table's structural invariant that
+// the suspect flag is a pure function of the target state.
+func (m *Machine) VerifySuperset() error {
+	pf := m.pre
+	if pf == nil {
+		return fmt.Errorf("core: no prefilter compiled for this machine")
+	}
+	t := m.Trie
+
+	sus := make([]int8, pf.states) // -1 suspect, +1 clean, 0 unseen
+	for i, e := range pf.tab {
+		v := int(e & pfStateMask)
+		want := int8(1)
+		if e&pfSuspect != 0 {
+			want = -1
+		}
+		if sus[v] == 0 {
+			sus[v] = want
+		} else if sus[v] != want {
+			return fmt.Errorf("core: prefilter entry %d disagrees on suspect flag of state %d", i, v)
+		}
+	}
+
+	var path [prefK]byte
+	for s := 1; s < t.NumStates(); s++ {
+		nd := &t.Nodes[s]
+		d := int(nd.Depth)
+		if d > prefK || (d < prefK && len(nd.Out) == 0) {
+			continue
+		}
+		for j, cur := d-1, int32(s); j >= 0; j-- {
+			path[j] = t.Nodes[cur].Char
+			cur = t.Nodes[cur].Parent
+		}
+		st, e := 0, uint16(0)
+		for _, c := range path[:d] {
+			e = pf.tab[st<<pfStrideBits|int(pf.class[c])]
+			st = int(e & pfStateMask)
+		}
+		if e&pfSuspect == 0 {
+			return fmt.Errorf(
+				"core: prefilter false negative: exact state %d (depth %d, window %q) not flagged suspect",
+				s, d, path[:d])
+		}
+	}
+	return nil
+}
+
+// prefilterBackend is the two-stage pipeline: skim with the lossy machine
+// while the exact machine is provably at the start state, drop to the
+// exact baked kernel through suspect windows, return to skimming at the
+// next start-state boundary.
+type prefilterBackend struct {
+	m    *Machine
+	pf   *Prefilter
+	prog *Program
+
+	// Exact registers. While skimming, state parks at ac.Root (the skim
+	// entry condition) and hist goes stale; both are rebuilt from the tail
+	// ring when the pipeline drops back to exact.
+	state int32
+	hist  uint32
+	pos   int
+
+	skimming  bool
+	skimStart int    // stream position where the current skim segment began
+	pfState   uint16 // lossy machine state while skimming
+
+	// tail holds the last tailLen stream bytes actually seen
+	// (tail[tailLen-1] is the byte at pos-1), capped at pfTailLen. It is
+	// the left context for suspect-window rebuilds and for register
+	// materialization during skims. Reset and SkipAhead clear it: bytes
+	// across a gap are unseen and must read back as HistNone.
+	tail    [pfTailLen]byte
+	tailLen int
+}
+
+func (b *prefilterBackend) Name() string { return BackendPrefiltered }
+
+func (b *prefilterBackend) enterSkim() {
+	b.skimming = true
+	b.skimStart = b.pos
+	b.pfState = 0
+}
+
+func (b *prefilterBackend) Reset() {
+	b.state = ac.Root
+	b.hist = histUnknown
+	b.pos = 0
+	b.tailLen = 0
+	b.enterSkim()
+}
+
+func (b *prefilterBackend) SkipAhead(n int) {
+	b.state = ac.Root
+	b.hist = histUnknown
+	b.pos += n
+	b.tailLen = 0
+	b.enterSkim()
+}
+
+func (b *prefilterBackend) pushTailByte(c byte) {
+	if b.tailLen == pfTailLen {
+		copy(b.tail[:], b.tail[1:])
+		b.tail[pfTailLen-1] = c
+		return
+	}
+	b.tail[b.tailLen] = c
+	b.tailLen++
+}
+
+// trueRegisters materializes the exact register file mid-skim. Sound
+// because the skim invariant bounds the true depth by prefK−1, so the true
+// state — the longest stream suffix that is a trie node — is determined by
+// the last prefK−1 seen bytes, all inside the tail ring; a pure DFA walk
+// over them from the start state computes it.
+func (b *prefilterBackend) trueRegisters() (int32, uint32) {
+	h2, h1 := HistNone, HistNone
+	if b.tailLen >= 2 {
+		h2 = int16(b.tail[b.tailLen-2])
+	}
+	if b.tailLen >= 1 {
+		h1 = int16(b.tail[b.tailLen-1])
+	}
+	w := prefK - 1
+	if b.tailLen < w {
+		w = b.tailLen
+	}
+	st := ac.Root
+	for _, c := range b.tail[b.tailLen-w : b.tailLen] {
+		st = b.m.Trie.Move(st, c)
+	}
+	return st, fuseHist(h2, h1)
+}
+
+func (b *prefilterBackend) Registers() Registers {
+	state, hist := b.state, b.hist
+	if b.skimming {
+		state, hist = b.trueRegisters()
+	}
+	h2, h1 := splitHist(hist)
+	return Registers{State: state, H2: h2, H1: h1, Pos: b.pos}
+}
+
+// Step is the register-machine view: it always runs exact semantics,
+// materializing the registers out of a skim first, and re-arms the skimmer
+// whenever the machine lands back on the start state.
+func (b *prefilterBackend) Step(c byte) int32 {
+	if b.skimming {
+		b.state, b.hist = b.trueRegisters()
+		b.skimming = false
+	}
+	b.state, b.hist = b.prog.step(b.state, b.hist, c)
+	b.pos++
+	b.pushTailByte(c)
+	if b.state == ac.Root {
+		b.enterSkim()
+	}
+	return b.state
+}
+
+// byteAt reads the stream byte at absolute position j from the current
+// chunk or the tail ring; ok is false when j precedes the seen window
+// (stream start, Reset, or a SkipAhead gap).
+func (b *prefilterBackend) byteAt(data []byte, chunkBase, j int) (byte, bool) {
+	if j >= chunkBase {
+		return data[j-chunkBase], true
+	}
+	if d := chunkBase - j; d >= 1 && d <= b.tailLen {
+		return b.tail[b.tailLen-d], true
+	}
+	return 0, false
+}
+
+// skimChunk advances the lossy machine over data[i:] until a suspect entry
+// fires or the chunk ends, returning the next unconsumed index and whether
+// the last consumed byte was flagged suspect. The loop is deliberately
+// branchless on the state: traffic that hovers near the start state (short
+// excursions into depth 1-2 every few bytes) makes any "am I at the start
+// state" test an unpredictable branch, and the mispredictions cost more
+// than the class indirection they would skip. The only branch taken on
+// clean bytes is the rare, well-predicted suspect test; the per-byte
+// dependency chain is shift, OR, one strided load.
+func (b *prefilterBackend) skimChunk(data []byte, i int) (int, bool) {
+	pf := b.pf
+	tab, class := pf.tab, &pf.class
+	st := uint32(b.pfState)
+	n := len(data)
+	for i < n {
+		e := tab[st<<pfStrideBits|uint32(class[data[i]])]
+		i++
+		st = uint32(e & pfStateMask)
+		if e&pfSuspect != 0 {
+			b.pfState = uint16(st)
+			return i, true
+		}
+	}
+	b.pfState = uint16(st)
+	return i, false
+}
+
+// rebuild runs the exact kernel through a suspect window: the skimmer
+// flagged the byte at data[i-1] (stream position chunkBase+i-1). Restart
+// at r = max(suspect−prefK+1, skim start) — the clamp keeps previously
+// exact-scanned bytes from being re-emitted — with the true history bytes
+// r−2, r−1, and scan through the suspect byte. Per the soundness argument
+// in the file comment this emits exactly the true matches ending at the
+// suspect boundary and leaves the registers equal to the true machine's.
+func (b *prefilterBackend) rebuild(data []byte, i, chunkBase int, out []ac.Match) []ac.Match {
+	a := chunkBase + i - 1
+	r := a + 1 - prefK
+	if r < b.skimStart {
+		r = b.skimStart
+	}
+	var state int32
+	var hist uint32
+	if r-2 >= chunkBase {
+		// Fast path — the whole window and both history bytes sit in the
+		// current chunk (every suspect more than prefK+1 bytes into a
+		// chunk), so the exact kernel can run straight over the chunk
+		// slice: no tail-ring reads, no window copy.
+		lo := r - chunkBase
+		state, hist, _, out = b.prog.scanAppend(
+			ac.Root, fuseHist(int16(data[lo-2]), int16(data[lo-1])), r, data[lo:i], out)
+	} else {
+		h2, h1 := HistNone, HistNone
+		if c, ok := b.byteAt(data, chunkBase, r-2); ok {
+			h2 = int16(c)
+		}
+		if c, ok := b.byteAt(data, chunkBase, r-1); ok {
+			h1 = int16(c)
+		}
+		// The window bytes [r, a] are always within the seen region: r is
+		// at most prefK−1 bytes behind the suspect byte and never precedes
+		// the skim segment start.
+		var win [prefK]byte
+		w := 0
+		for j := r; j <= a; j++ {
+			win[w], _ = b.byteAt(data, chunkBase, j)
+			w++
+		}
+		state, hist, _, out = b.prog.scanAppend(ac.Root, fuseHist(h2, h1), r, win[:w], out)
+	}
+	b.state, b.hist = state, hist
+	if state == ac.Root {
+		b.enterSkim()
+	} else {
+		b.skimming = false
+	}
+	return out
+}
+
+func (b *prefilterBackend) ScanAppend(data []byte, out []ac.Match) []ac.Match {
+	chunkBase := b.pos
+	i, n := 0, len(data)
+	var skimmed, exact, suspects uint64
+	for i < n {
+		if b.skimming {
+			start := i
+			var hit bool
+			i, hit = b.skimChunk(data, i)
+			skimmed += uint64(i - start)
+			b.pos = chunkBase + i
+			if !hit {
+				break
+			}
+			suspects++
+			exact += uint64(prefK) // rebuild rescan, counted as exact work
+			out = b.rebuild(data, i, chunkBase, out)
+			continue
+		}
+		before := b.pos
+		b.state, b.hist, b.pos, out = b.prog.scanAppendStopRoot(b.state, b.hist, b.pos, data[i:], out)
+		i += b.pos - before
+		exact += uint64(b.pos - before)
+		if b.state == ac.Root {
+			b.enterSkim()
+		}
+	}
+	// Fold the chunk into the tail ring (once per call, not per byte).
+	if n >= pfTailLen {
+		copy(b.tail[:], data[n-pfTailLen:])
+		b.tailLen = pfTailLen
+	} else if n > 0 {
+		keep := pfTailLen - n
+		if keep > b.tailLen {
+			keep = b.tailLen
+		}
+		copy(b.tail[:keep], b.tail[b.tailLen-keep:b.tailLen])
+		copy(b.tail[keep:], data)
+		b.tailLen = keep + n
+	}
+	if skimmed != 0 {
+		b.pf.skimmedBytes.Add(skimmed)
+	}
+	if exact != 0 {
+		b.pf.exactBytes.Add(exact)
+	}
+	if suspects != 0 {
+		b.pf.suspectWindows.Add(suspects)
+	}
+	return out
+}

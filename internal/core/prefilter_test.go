@@ -1,0 +1,197 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/ruleset"
+)
+
+// TestPrefilterSupersetProperty is the runtime form of the no-false-
+// negative contract: over random rulesets and random payloads, run the
+// lossy machine alone from the start of the payload and record where
+// suspect entries fire; every exact match must be preceded (or met) by a
+// suspect position — a match the skimmer would sail past is a false
+// negative. The structural VerifySuperset proof is checked alongside.
+func TestPrefilterSupersetProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(20100308))
+	for trial := 0; trial < 40; trial++ {
+		set := randBakedSet(rng)
+		m, err := Build(set, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		pf := m.pre
+		if pf == nil {
+			t.Fatalf("trial %d: prefilter unavailable", trial)
+		}
+		if err := m.VerifySuperset(); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		payload := randBakedPayload(rng, 256+rng.Intn(1024))
+		want := m.Trie.FindAll(payload)
+
+		// Drive the lossy DFA alone over the whole payload.
+		suspectAt := make([]bool, len(payload)+1) // position = bytes consumed
+		st := 0
+		for i, c := range payload {
+			e := pf.tab[st<<pfStrideBits|int(pf.class[c])]
+			st = int(e & pfStateMask)
+			if e&pfSuspect != 0 {
+				suspectAt[i+1] = true
+			}
+		}
+		firstSuspect := len(payload) + 1
+		for p, s := range suspectAt {
+			if s {
+				firstSuspect = p
+				break
+			}
+		}
+		for _, mt := range want {
+			if mt.End < firstSuspect {
+				t.Fatalf("trial %d: match %+v ends before first suspect position %d: false negative",
+					trial, mt, firstSuspect)
+			}
+			// The proof gives the stronger pointwise form for matches in a
+			// clean prefix: while no suspect has fired, the exact depth is
+			// below prefK and a match end itself fires suspect. After the
+			// first suspect the pipeline is exact anyway; the lockstep
+			// property test covers that regime.
+		}
+		// Pointwise: a match ending while the stream was still clean (no
+		// earlier suspect) must be flagged exactly at its end position.
+		for _, mt := range want {
+			clean := true
+			for p := 1; p < mt.End; p++ {
+				if suspectAt[p] {
+					clean = false
+					break
+				}
+			}
+			if clean && !suspectAt[mt.End] {
+				t.Fatalf("trial %d: clean-prefix match %+v not flagged suspect at its end", trial, mt)
+			}
+		}
+	}
+}
+
+// TestVerifySupersetDetectsCorruption proves the bake-time check actually
+// rejects a prefilter that could miss: erase the suspect flags from a
+// compiled table and VerifySuperset must fail.
+func TestVerifySupersetDetectsCorruption(t *testing.T) {
+	set := &ruleset.Set{Patterns: []ruleset.Pattern{
+		{ID: 0, Data: []byte("abc")},
+		{ID: 1, Data: []byte("xy")},
+	}}
+	m, err := Build(set, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.pre == nil {
+		t.Fatal("prefilter unavailable")
+	}
+	if err := m.VerifySuperset(); err != nil {
+		t.Fatalf("pristine table rejected: %v", err)
+	}
+	saved := make([]uint16, len(m.pre.tab))
+	copy(saved, m.pre.tab)
+	for i := range m.pre.tab {
+		m.pre.tab[i] &^= pfSuspect
+	}
+	if err := m.VerifySuperset(); err == nil {
+		t.Fatal("VerifySuperset accepted a table with no suspect flags")
+	}
+	copy(m.pre.tab, saved)
+	if err := m.VerifySuperset(); err != nil {
+		t.Fatalf("restored table rejected: %v", err)
+	}
+}
+
+// TestPrefilterUnavailableBackendErrors pins the registry contract: a
+// machine without compiled kernels lists only the reference backend, and
+// pinning an unavailable backend is an explicit error, not a silent
+// fallback.
+func TestPrefilterUnavailableBackendErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	m, err := Build(randBakedSet(rng), Options{DisableBaked: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := m.Backends()
+	if len(names) != 1 || names[0] != BackendReference {
+		t.Fatalf("reference-pinned machine lists backends %v", names)
+	}
+	if _, err := m.NewScannerFor(BackendPrefiltered); err == nil {
+		t.Fatal("NewScannerFor(prefiltered) succeeded without a prefilter")
+	}
+	if _, err := m.NewScannerFor("warp"); err == nil {
+		t.Fatal("NewScannerFor accepted an unknown backend name")
+	}
+	if m.DefaultBackend() != BackendReference {
+		t.Fatalf("DefaultBackend = %q, want reference", m.DefaultBackend())
+	}
+	// Pinning at Build time errors too: this d2-overflowing set cannot
+	// bake, so an explicit kernel backend must refuse to build.
+	wide := &ruleset.Set{}
+	for i, p := range []string{"ax", "bx", "cx", "dx", "ex", "fx"} {
+		wide.Patterns = append(wide.Patterns, ruleset.Pattern{ID: i, Data: []byte(p)})
+	}
+	if _, err := Build(wide, Options{D2PerChar: 8, Backend: BackendPrefiltered}); err == nil {
+		t.Fatal("Build pinned prefiltered on an unbakeable machine without error")
+	}
+	if _, err := Build(wide, Options{D2PerChar: 8, Backend: BackendBaked}); err == nil {
+		t.Fatal("Build pinned baked on an unbakeable machine without error")
+	}
+	if _, err := Build(wide, Options{D2PerChar: 8}); err != nil {
+		t.Fatalf("auto backend must fall back to reference, got error: %v", err)
+	}
+}
+
+// TestPrefilterStatsAccounting sanity-checks the layout report and the
+// runtime skim counters.
+func TestPrefilterStatsAccounting(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	m, err := Build(randBakedSet(rng), Options{Backend: BackendPrefiltered})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pf := m.pre
+	st := pf.Stats()
+	if st.States <= 0 || st.States > pfMaxStates {
+		t.Fatalf("States = %d", st.States)
+	}
+	if st.Classes < 1 || st.Classes > pfMaxClasses {
+		t.Fatalf("Classes = %d", st.Classes)
+	}
+	if st.AcceptPaths <= 0 {
+		t.Fatalf("AcceptPaths = %d", st.AcceptPaths)
+	}
+	if want := st.States*pfStride*2 + 512; st.TableBytes != want {
+		t.Fatalf("TableBytes = %d, want %d", st.TableBytes, want)
+	}
+	sc := m.NewScanner()
+	if sc.Backend() != BackendPrefiltered {
+		t.Fatalf("pinned machine built a %q scanner", sc.Backend())
+	}
+	// Clean traffic (bytes outside the pattern alphabet) must be fully
+	// skimmed; attack-dense traffic must drive the exact kernel.
+	clean := make([]byte, 4096)
+	for i := range clean {
+		clean[i] = 0xF0 | byte(i&3)
+	}
+	sc.ScanAppend(clean, nil)
+	st = pf.Stats()
+	if st.SkimmedBytes < uint64(len(clean)) {
+		t.Fatalf("SkimmedBytes = %d after %d clean bytes", st.SkimmedBytes, len(clean))
+	}
+	sc.Reset()
+	sc.ScanAppend(randBakedPayload(rng, 4096), nil)
+	st = pf.Stats()
+	if st.ExactBytes == 0 || st.SuspectWindows == 0 {
+		t.Fatalf("attack traffic left no exact work: %+v", st)
+	}
+	if st.SuspectRate <= 0 {
+		t.Fatalf("SuspectRate = %v with %d suspect windows", st.SuspectRate, st.SuspectWindows)
+	}
+}

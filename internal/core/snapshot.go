@@ -246,7 +246,7 @@ func Load(data []byte) (*Machine, error) {
 	}
 	m := &Machine{
 		Trie: trie,
-		Opts: Options{D2PerChar: int(d2), D3PerChar: int(d3), MaxDepth: int(maxDepth)},
+		Opts: Options{D2PerChar: int(d2), D3PerChar: int(d3), MaxDepth: int(maxDepth), Backend: BackendAuto},
 	}
 	if err := m.Opts.validate(); err != nil {
 		return nil, err
@@ -354,11 +354,19 @@ func Load(data []byte) (*Machine, error) {
 			}
 		}
 	}
-	// Bake the scan kernel for the restored machine. The snapshot predates
+	// Bake the scan kernels for the restored machine. The snapshot predates
 	// the popularity tally, so Compile re-derives dense-tier promotion
-	// from the move rows; runtime-only options (DenseStates/DisableBaked)
-	// are not part of the format and take their defaults.
+	// from the move rows; runtime-only options (DenseStates/Backend)
+	// are not part of the format and take their defaults (auto). The lossy
+	// prefilter stage only ships if it proves the superset contract, like
+	// in Build.
 	m.prog = Compile(m)
+	if m.prog != nil {
+		m.pre = CompilePrefilter(m)
+		if m.pre != nil && m.VerifySuperset() != nil {
+			m.pre = nil
+		}
+	}
 	return m, nil
 }
 

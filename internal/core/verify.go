@@ -37,23 +37,24 @@ func (m *Machine) VerifyTransitions() error {
 }
 
 // VerifyScan cross-checks matcher output against the uncompressed DFA on
-// the given payloads (each treated as one packet). On a baked machine both
-// the flat kernel (the default scan path) and the slice-walking reference
-// path are checked, so a layout bug in Compile cannot hide behind the
-// reference semantics.
+// the given payloads (each treated as one packet). Every backend the
+// machine supports (Backends: reference, baked, prefiltered, …) is run
+// against the oracle, so a layout bug in one kernel cannot hide behind
+// another implementation's semantics. A backend added to the registry is
+// pulled into this proof automatically.
 func (m *Machine) VerifyScan(payloads [][]byte) error {
+	backends := m.Backends()
 	for i, p := range payloads {
 		want := m.Trie.FindAll(p)
-		got := m.FindAll(p)
-		if !ac.MatchesEqual(got, want) {
-			return fmt.Errorf("core: payload %d (%d bytes): compressed machine found %d matches, DFA %d",
-				i, len(p), len(got), len(want))
-		}
-		if m.prog != nil {
-			ref := m.newReferenceScanner().ScanAppend(p, nil)
-			if !ac.MatchesEqual(ref, want) {
-				return fmt.Errorf("core: payload %d (%d bytes): reference path found %d matches, DFA %d",
-					i, len(p), len(ref), len(want))
+		for _, name := range backends {
+			sc, err := m.NewScannerFor(name)
+			if err != nil {
+				return fmt.Errorf("core: payload %d: backend %s: %w", i, name, err)
+			}
+			got := sc.ScanAppend(p, nil)
+			if !ac.MatchesEqual(got, want) {
+				return fmt.Errorf("core: payload %d (%d bytes): backend %s found %d matches, DFA %d",
+					i, len(p), name, len(got), len(want))
 			}
 		}
 	}

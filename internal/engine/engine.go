@@ -91,6 +91,16 @@ func New(g *core.Grouped, workers int) *Engine {
 // Workers returns the batch-scan worker-pool size.
 func (e *Engine) Workers() int { return e.workers }
 
+// Backend reports the scan backend every pooled scanner lane runs, as
+// resolved by the group machines at build time (all group machines share
+// one Options, so one name describes the whole set).
+func (e *Engine) Backend() string {
+	if len(e.g.Machines) == 0 {
+		return ""
+	}
+	return e.g.Machines[0].DefaultBackend()
+}
+
 // Stats returns this engine's work counters. Counters are monotone but
 // mutually unsynchronized, like every stats surface in the pipeline.
 func (e *Engine) Stats() Stats {
