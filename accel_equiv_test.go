@@ -6,41 +6,37 @@ import (
 	"repro/internal/ac"
 )
 
-// FuzzPrefilterEquivalence is the two-stage pipeline's contract under fuzz:
-// for a fuzz-chosen ruleset, payload and operation sequence (chunked
-// writes, mid-stream SkipGap, Reset), the prefiltered backend — which skims
-// clean spans with a lossy cache-resident automaton and replays suspect
-// windows through the exact baked kernel — must produce a match stream
-// identical to the slice-walking reference path and to the uncompressed
-// Aho-Corasick oracle: same patterns, same absolute offsets, same order.
-// The prefilter is allowed false positives (wasted exact work) but never
-// false negatives, and this fuzzer is the runtime half of that proof; the
-// structural half is core.VerifySuperset, run at every bake.
+// FuzzAcceleratedEquivalence is the accelerated kernel's contract under
+// fuzz: for a fuzz-chosen ruleset, payload and operation sequence (chunked
+// writes, mid-stream SkipGap, Reset), the accelerated backend — root-
+// resident bulk skip plus fused 2-byte stepping over the baked Program —
+// must produce a match stream identical to the slice-walking reference
+// path and to the uncompressed Aho-Corasick oracle: same patterns, same
+// absolute offsets, same order. The fast paths are pure skip optimizations
+// with no approximation budget, so unlike the prefilter there is no
+// false-positive allowance to account for: every divergence is a bug.
 //
 // The first op byte varies the compile shape (dense-tier budget, group
-// split) so the rebuild path is driven over every kernel tier combination.
-func FuzzPrefilterEquivalence(f *testing.F) {
+// split) so the skim, pair-chain and scalar hand-off paths are driven over
+// every kernel tier combination.
+func FuzzAcceleratedEquivalence(f *testing.F) {
 	f.Add([]byte{2, 'h', 'e', 3, 's', 'h', 'e', 3, 'h', 'i', 's', 4, 'h', 'e', 'r', 's'},
 		[]byte("ushers say she sells seashells"), []byte{0x10, 0x43, 0x08, 0x00, 0x22})
 	f.Add([]byte{1, 'a', 2, 'a', 'a', 3, 'a', 'a', 'a'},
 		[]byte("aaaaaaaaaaaaaaaa"), []byte{0x05, 0x09, 0x11, 0x01, 0x31})
 	f.Add([]byte{4, 0x00, 0xff, 0x00, 0xff}, []byte{0x00, 0xff, 0x00, 0xff, 0x00},
 		[]byte{0x83, 0x04})
-	// A long clean run with one planted pattern: drives skim -> rebuild ->
-	// exact -> re-arm across chunk boundaries.
+	// A long clean run with one planted pattern: drives the root skim,
+	// the pair-table hand-off and the return to skimming across chunk
+	// boundaries.
 	f.Add([]byte{3, 'a', 'b', 'c'},
 		[]byte("................................abc............................"),
 		[]byte{0x47, 0x47, 0x09, 0x47})
-	// Suspect window straddling a chunk boundary with the tail ring exactly
-	// at capacity: 5-byte chunks (pfTailLen) split the planted pattern so
-	// the rebuild's window and history bytes all come from the ring.
-	f.Add([]byte{5, 'v', 'w', 'x', 'y', 'z'}, []byte("...vwxyz.."),
-		[]byte{0x16, 0x16, 0x16})
-	// Reset landing mid-suspect-window: the pattern's halves are written
-	// around a Reset, so the straddling match must vanish while a later
-	// complete occurrence still fires.
-	f.Add([]byte{3, 'a', 'b', 'c'}, []byte("ababcabc"),
-		[]byte{0x0a, 0x00, 0x1e, 0x47})
+	// Odd-parity excursions: single escaping bytes inside clean runs land
+	// on both window parities, driving the restart-equivalent realign
+	// action and the scalar fallback.
+	f.Add([]byte{2, 'a', 'b'}, []byte(".a.a..a...a.ab..a.b.a"),
+		[]byte{0x47, 0x12, 0x47})
 	f.Fuzz(func(t *testing.T, patBlob, payload, ops []byte) {
 		rules := fuzzRulesFrom(patBlob)
 		if rules == nil {
@@ -50,7 +46,7 @@ func FuzzPrefilterEquivalence(f *testing.F) {
 		if len(ops) > 0 {
 			shape = ops[0]
 		}
-		cfg := Config{Backend: BackendPrefiltered}
+		cfg := Config{Backend: BackendAccelerated}
 		switch shape % 3 {
 		case 1:
 			cfg.DenseStates = -1 // compressed tier only
@@ -60,14 +56,14 @@ func FuzzPrefilterEquivalence(f *testing.F) {
 		if shape&0x40 != 0 && rules.Len() >= 2 {
 			cfg.Groups = 2
 		}
-		pre, err := Compile(rules, cfg)
+		acc, err := Compile(rules, cfg)
 		if err != nil {
 			// A fuzz-shaped ruleset outside the baked row format cannot pin
-			// the prefiltered backend; nothing to compare.
-			t.Skip("prefiltered backend unavailable for this shape")
+			// the accelerated backend; nothing to compare.
+			t.Skip("accelerated backend unavailable for this shape")
 		}
-		if pre.Backend() != BackendPrefiltered {
-			t.Fatalf("pinned compile resolved backend %q", pre.Backend())
+		if acc.Backend() != BackendAccelerated {
+			t.Fatalf("pinned compile resolved backend %q", acc.Backend())
 		}
 		refCfg := cfg
 		refCfg.Backend = BackendReference
@@ -80,22 +76,22 @@ func FuzzPrefilterEquivalence(f *testing.F) {
 			t.Fatal(err)
 		}
 
-		var pOut, rOut []Match
-		pf := pre.NewEngine(1).Flow(func(m Match) { pOut = append(pOut, m) })
+		var aOut, rOut []Match
+		af := acc.NewEngine(1).Flow(func(m Match) { aOut = append(aOut, m) })
 		rf := ref.NewEngine(1).Flow(func(m Match) { rOut = append(rOut, m) })
-		defer pf.Close()
+		defer af.Close()
 		defer rf.Close()
 
 		var seg []byte // contiguous bytes both flows have seen since the last gap
 		segStart := 0  // flow position where the segment began
-		segMark := 0   // len(pOut) when the segment began
+		segMark := 0   // len(aOut) when the segment began
 		checkSegment := func() {
 			t.Helper()
 			want := trie.FindAll(seg)
 			ac.SortMatches(want)
-			got := pOut[segMark:]
+			got := aOut[segMark:]
 			if len(got) != len(want) {
-				t.Fatalf("segment at %d: prefiltered found %d matches, oracle %d (shape %#x)",
+				t.Fatalf("segment at %d: accelerated found %d matches, oracle %d (shape %#x)",
 					segStart, len(got), len(want), shape)
 			}
 			for i, w := range want {
@@ -109,15 +105,15 @@ func FuzzPrefilterEquivalence(f *testing.F) {
 		}
 		checkAgainstRef := func(op string) {
 			t.Helper()
-			if pf.Consumed() != rf.Consumed() {
-				t.Fatalf("%s: prefiltered consumed %d, reference %d", op, pf.Consumed(), rf.Consumed())
+			if af.Consumed() != rf.Consumed() {
+				t.Fatalf("%s: accelerated consumed %d, reference %d", op, af.Consumed(), rf.Consumed())
 			}
-			if len(pOut) != len(rOut) {
-				t.Fatalf("%s: prefiltered emitted %d matches, reference %d", op, len(pOut), len(rOut))
+			if len(aOut) != len(rOut) {
+				t.Fatalf("%s: accelerated emitted %d matches, reference %d", op, len(aOut), len(rOut))
 			}
-			for i := range pOut {
-				if pOut[i] != rOut[i] {
-					t.Fatalf("%s: match %d prefiltered %+v reference %+v", op, i, pOut[i], rOut[i])
+			for i := range aOut {
+				if aOut[i] != rOut[i] {
+					t.Fatalf("%s: match %d accelerated %+v reference %+v", op, i, aOut[i], rOut[i])
 				}
 			}
 		}
@@ -127,15 +123,15 @@ func FuzzPrefilterEquivalence(f *testing.F) {
 			switch op % 8 {
 			case 0: // Reset: flow restarts at position zero
 				checkSegment()
-				pf.Reset()
+				af.Reset()
 				rf.Reset()
-				seg, segStart, segMark = seg[:0], 0, len(pOut)
+				seg, segStart, segMark = seg[:0], 0, len(aOut)
 			case 1: // SkipGap: unseen bytes, absolute offsets preserved
 				checkSegment()
 				n := int(op>>3) + 1
-				pf.SkipGap(n)
+				af.SkipGap(n)
 				rf.SkipGap(n)
-				seg, segStart, segMark = seg[:0], pf.Consumed(), len(pOut)
+				seg, segStart, segMark = seg[:0], af.Consumed(), len(aOut)
 			default: // write a chunk of the payload (cycling, possibly empty)
 				n := int(op >> 2)
 				if len(payload) == 0 {
@@ -151,7 +147,7 @@ func FuzzPrefilterEquivalence(f *testing.F) {
 					off = (off + take) % len(payload)
 				}
 				seg = append(seg, chunk...)
-				pf.Write(chunk)
+				af.Write(chunk)
 				rf.Write(chunk)
 			}
 			checkAgainstRef("op")

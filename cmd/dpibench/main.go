@@ -15,7 +15,7 @@
 //	dpibench -gateway -json out.json  # plus a machine-readable report
 //	dpibench -gateway -shards 4 -json BENCH_5.json  # the sharded perf-trajectory report
 //	dpibench -kernel              # raw scan-kernel throughput across all backends
-//	dpibench -kernel -json BENCH_6.json  # plus the perf-trajectory report
+//	dpibench -kernel -json BENCH_7.json  # plus the perf-trajectory report
 //	dpibench -parallel -backend reference   # pin -parallel/-gateway to one backend
 //	dpibench -gateway -backend prefiltered  # run the gateway on the two-stage pipeline
 //	dpibench -kernel -cpuprofile cpu.pprof -memprofile mem.pprof
@@ -29,6 +29,7 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"strings"
 
 	"repro/internal/core"
 	"repro/internal/experiments"
@@ -45,16 +46,18 @@ func main() {
 		parallel = flag.Bool("parallel", false, "measure engine throughput vs worker count")
 		gateway  = flag.Bool("gateway", false, "measure NIDS gateway ingestion throughput vs worker count")
 		kernel   = flag.Bool("kernel", false, "measure raw scan-kernel throughput across all registered backends")
-		backend  = flag.String("backend", "auto", "scan backend for -parallel/-gateway: auto, reference, baked or prefiltered (-kernel always sweeps all)")
-		baked    = flag.Bool("baked", true, "deprecated alias: -baked=false means -backend reference")
-		jsonOut  = flag.String("json", "", "with -gateway or -kernel: also write the machine-readable report as JSON to this path")
-		workers  = flag.Int("workers", 0, "max workers for -parallel/-gateway (0 = NumCPU)")
-		shards   = flag.Int("shards", 1, "max engine shards for -gateway: sweeps 2,4,...,N sharded rows on top of the worker sweep (1 = unsharded only)")
-		tsv      = flag.Bool("tsv", false, "emit figure series as TSV instead of ASCII plots")
-		seed     = flag.Int64("seed", experiments.DefaultSeed, "workload generation seed")
-		steps    = flag.Int("steps", 10, "clock sweep steps for figures 7/8")
-		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the run to this path")
-		memProf  = flag.String("memprofile", "", "write a heap profile to this path at exit")
+		backend  = flag.String("backend", "auto",
+			fmt.Sprintf("scan backend for -parallel/-gateway: auto or one of %s (-kernel always sweeps all)",
+				strings.Join(core.RegisteredBackends(), ", ")))
+		baked   = flag.Bool("baked", true, "deprecated alias: -baked=false means -backend reference")
+		jsonOut = flag.String("json", "", "with -gateway or -kernel: also write the machine-readable report as JSON to this path")
+		workers = flag.Int("workers", 0, "max workers for -parallel/-gateway (0 = NumCPU)")
+		shards  = flag.Int("shards", 1, "max engine shards for -gateway: sweeps 2,4,...,N sharded rows on top of the worker sweep (1 = unsharded only)")
+		tsv     = flag.Bool("tsv", false, "emit figure series as TSV instead of ASCII plots")
+		seed    = flag.Int64("seed", experiments.DefaultSeed, "workload generation seed")
+		steps   = flag.Int("steps", 10, "clock sweep steps for figures 7/8")
+		cpuProf = flag.String("cpuprofile", "", "write a CPU profile of the run to this path")
+		memProf = flag.String("memprofile", "", "write a heap profile to this path at exit")
 	)
 	flag.Parse()
 	if !*all && *table == 0 && *figure == 0 && !*ablation && !*parallel && !*gateway && !*kernel {
@@ -128,7 +131,28 @@ type modes struct {
 	steps    int
 }
 
+// validateBackend fails fast on a backend name the registry does not
+// know, before any workload is generated: a typo'd -backend must not cost
+// a multi-second bench run (or silently bench the wrong thing), and the
+// error lists exactly the names the registry accepts, so a newly
+// registered backend is never missing from it.
+func validateBackend(name string) error {
+	if name == "" || name == core.BackendAuto {
+		return nil
+	}
+	for _, known := range core.RegisteredBackends() {
+		if name == known {
+			return nil
+		}
+	}
+	return fmt.Errorf("unknown -backend %q (registered: auto, %s)",
+		name, strings.Join(core.RegisteredBackends(), ", "))
+}
+
 func dispatch(m modes) error {
+	if err := validateBackend(m.backend); err != nil {
+		return err
+	}
 	if m.jsonOut != "" {
 		if m.gateway && m.kernel {
 			return fmt.Errorf("-json with both -gateway and -kernel would overwrite one report with the other; run the modes separately")

@@ -187,8 +187,8 @@ type Config struct {
 	// Backend selects the scan implementation every scanner, stream, flow
 	// and engine built from this matcher runs:
 	//
-	//   - BackendAuto (or ""): baked when the configuration fits the flat
-	//     row format, reference otherwise — the fastest always-exact
+	//   - BackendAuto (or ""): accelerated when the configuration fits the
+	//     flat row format, reference otherwise — the fastest always-exact
 	//     default.
 	//   - BackendReference: the slice-walking interpreter, closest to the
 	//     paper's hardware description.
@@ -199,9 +199,16 @@ type Config struct {
 	//     byte windows run through the exact baked kernel. False positives
 	//     possible, false negatives provably not (the superset contract is
 	//     verified at compile time); Compile fails if unavailable.
+	//   - BackendAccelerated: the baked kernel plus exact fast paths —
+	//     root-resident bulk skip (SIMD-backed probing for the few bytes
+	//     that can leave the start state) and fused 2-byte stepping over
+	//     precomputed row-pair tables for the hottest states. No
+	//     approximation at all; Compile fails if the configuration cannot
+	//     bake.
 	//
 	// All backends are byte-exact equivalent on every input, so selection
-	// is purely a performance choice.
+	// is purely a performance choice. Unknown names are a Compile error
+	// listing the registered backends.
 	Backend string
 }
 
@@ -211,6 +218,7 @@ const (
 	BackendReference   = core.BackendReference
 	BackendBaked       = core.BackendBaked
 	BackendPrefiltered = core.BackendPrefiltered
+	BackendAccelerated = core.BackendAccelerated
 )
 
 func (c Config) coreOptions() core.Options {
@@ -394,6 +402,16 @@ type KernelStats struct {
 	ExactBytes      uint64
 	SuspectWindows  uint64
 	SuspectRate     float64
+
+	// Accelerated kernel layer (zero when unavailable), aggregated across
+	// group machines: states owning fused 2-byte row-pair tables and their
+	// footprint, the distinct bytes that can leave the start state, and
+	// whether every group machine's escape set is small enough for the
+	// SIMD-backed root probe.
+	AccelPairStates  int
+	AccelPairBytes   int
+	AccelEscapeBytes int
+	AccelProbe       bool
 }
 
 // Kernel summarizes the compiled scan kernels backing this matcher: the
@@ -402,6 +420,7 @@ type KernelStats struct {
 func (m *Matcher) Kernel() KernelStats {
 	var ks KernelStats
 	ks.Baked = true
+	ks.AccelProbe = true
 	for _, machine := range m.grouped.Machines {
 		p := machine.Program()
 		if p == nil {
@@ -424,6 +443,15 @@ func (m *Matcher) Kernel() KernelStats {
 			ks.SkimmedBytes += pst.SkimmedBytes
 			ks.ExactBytes += pst.ExactBytes
 			ks.SuspectWindows += pst.SuspectWindows
+		}
+		if a := machine.Accel(); a != nil {
+			ast := a.Stats()
+			ks.AccelPairStates += ast.PairStates
+			ks.AccelPairBytes += ast.PairBytes
+			ks.AccelEscapeBytes += ast.EscapeBytes
+			ks.AccelProbe = ks.AccelProbe && ast.Probe
+		} else {
+			ks.AccelProbe = false
 		}
 	}
 	ks.Backend = m.Backend()

@@ -1,0 +1,506 @@
+package core
+
+// The accelerated scan kernel: a thin runtime layer over the baked Program
+// that stops paying one dependent load per input byte wherever the machine
+// provably does not need it. Two fast paths, both byte-exact:
+//
+//   - Root-resident bulk skip. At a state of depth ≤ 1 with true stream
+//     history the d2/d3 defaults cannot fire (the longest-suffix argument
+//     in the core package comment), so at the start state the next state is
+//     a function of the input byte alone: Move(Root, c). Compile time
+//     computes the escape set — the bytes whose depth-1 trie node exists,
+//     the only bytes that can leave the start state. While the scanner sits
+//     at the start state and the escape set is small, the kernel probes
+//     forward with bytes.IndexByte (SIMD under the hood in the Go runtime)
+//     for the nearest escaping byte and bulk-advances position and the
+//     fused history register across the skipped span. The start state has
+//     no output (patterns are non-empty), so the span emits nothing; the
+//     skip cannot miss.
+//
+//   - Fused 2-byte stepping. For the start state and the hottest states of
+//     the dense tier, Compile precomputes 16-bit-indexed row-pair tables:
+//     entry (c1<<8 | c2) holds Move(Move(s,c1),c2), with a slow flag when
+//     either intermediate or final state carries output (the scalar loop
+//     must take those bytes to emit matches). The hot loop consumes two
+//     bytes per iteration while the current state owns a pair table,
+//     falling back to single-byte stepping at chunk tails, on CSR states
+//     and across output boundaries. The pair entry is exact at any history:
+//     at every reachable (state, true-history) point the DTP transition
+//     equals the full DFA move (VerifyTransitions' invariant), so the
+//     two-step composition is the precomputed truth.
+//
+//     While resident at the start state the kernel runs a skim over a
+//     16 KB 2-bit action table (advTab) derived from the start state's
+//     pair table: windows that compose back to the start state consume
+//     both bytes, windows that are restart-equivalent at their second
+//     byte (the composite state equals Move(Root, c2) with no output
+//     crossed) consume one byte and realign, and only windows reaching
+//     real depth or crossing output hand off to the full pair table.
+//     The advance is branch-free and consecutive probes are independent
+//     loads, so the CPU pipelines them. This is the big win on
+//     low-match-density traffic whose escape set is too large to probe
+//     byte-wise.
+//
+// History bookkeeping: the fast paths leave the fused history register
+// stale and rebuild it from the last two consumed stream bytes when they
+// hand off (bytes skipped or pair-stepped are real seen bytes, so the
+// rebuilt lanes are always true history). The scalar fallback runs the
+// baked Program's own loop, so the single-byte semantics live in exactly
+// one place.
+
+import (
+	"bytes"
+
+	"repro/internal/ac"
+)
+
+const (
+	// accelSlow flags a pair-table entry whose 2-byte step crosses a state
+	// with output; the scalar loop takes those bytes so matches are
+	// emitted at their exact positions. Entries are 16-bit so one table is
+	// 128 KB and the default budget stays cache-resident; the flag takes
+	// bit 15, so machines with accelMaxPairStates or more states skip the
+	// pair tier (the escape probe and the scalar loop still run).
+	accelSlow = uint16(1) << 15
+
+	// accelMaxPairStates is the largest state count whose ids fit beside
+	// the slow flag in a 16-bit pair entry.
+	accelMaxPairStates = 1 << 15
+
+	// accelMaxProbe bounds the escape-set size for IndexByte probing: one
+	// probe pass per escape byte per window, so past a few distinct bytes
+	// the pair-table path wins on uniform traffic.
+	accelMaxProbe = 4
+
+	// accelProbeWindow bounds each multi-escape probe pass so one distant
+	// escape byte cannot force full-chunk rescans for the others.
+	accelProbeWindow = 512
+
+	// DefaultPairStates is the pair-table budget when Options.PairStates
+	// is 0: the start state plus the hottest dense-tier states. Each table
+	// is 65536 × 2 bytes, so the default spends 512 KB on the two-byte
+	// fast path — sized for the states that absorb nearly all clean
+	// traffic while staying comfortably inside a typical L2.
+	DefaultPairStates = 4
+)
+
+// Accel is the compiled accelerated runtime, built by CompileAccel on top
+// of a baked Program. It is immutable after compile and safe for
+// concurrent use by any number of scanners.
+type Accel struct {
+	prog *Program
+
+	// escape lists the bytes that can leave the start state, kept only
+	// when the set is small enough to probe with bytes.IndexByte; nil
+	// disables probing (the start state's pair table covers stepping
+	// instead). escapeSize is the true set size either way.
+	escape     []byte
+	escapeSize int
+
+	// pairIdx[s] is the index of state s's row-pair table, -1 when s
+	// steps one byte at a time. pair holds the tables back to back:
+	// pair[pi<<16 | c1<<8 | c2] is the state after consuming c1 then c2,
+	// or accelSlow when the 2-byte step crosses an output state. The
+	// start state, when it owns a table, is always table 0, so its clean
+	// self-transition is entry value 0 exactly; in any table an entry of
+	// exactly 0 means the machine fell back to the start state.
+	pairIdx []int32
+	pair    []uint16
+
+	// advTab drives the root-resident skim: a 2-bit action per 16-bit
+	// window (c1,c2), evaluated against the start state's pair table.
+	//
+	//	2 — the window composes back to the start state with no output
+	//	    crossed: consume both bytes and stay in the skim.
+	//	1 — the window is restart-equivalent: the composite state equals
+	//	    Move(Root, c2) with no output crossed, so the machine behaves
+	//	    exactly as if it restarted at c2 from the start state.
+	//	    Consume c1 alone and realign the window to c2 — this absorbs
+	//	    a 1-byte excursion anywhere inside the window, at either
+	//	    parity.
+	//	0 — genuine hand-off: the window reaches real depth or crosses an
+	//	    output state; consult the full pair table.
+	//
+	// Packed 2 bits per window the table is 16 KB, so the skim's per-pair
+	// probe stays L1-resident; the 128 KB table is only consulted on a
+	// hand-off. The advance is branch-free (i += action), so the only
+	// unpredictable branch in the skim is the rare hand-off itself.
+	advTab []uint64
+}
+
+// CompileAccel builds the accelerated runtime for a machine whose baked
+// Program compiled. It returns nil when the Program is absent (the
+// reference path has nothing to accelerate) — unlike the baked and
+// prefiltered compiles it cannot otherwise fail: both fast paths degrade
+// to the exact scalar loop.
+func CompileAccel(m *Machine) *Accel {
+	p := m.prog
+	t := m.Trie
+	if p == nil || t.HasOutput(ac.Root) {
+		// A start state with output would make bulk skip unsound; it
+		// cannot happen (patterns are non-empty) but a hand-assembled
+		// trie should degrade, not miscount.
+		return nil
+	}
+	a := &Accel{prog: p}
+
+	var esc []byte
+	for c := 0; c < 256; c++ {
+		if t.Move(ac.Root, byte(c)) != ac.Root {
+			esc = append(esc, byte(c))
+		}
+	}
+	a.escapeSize = len(esc)
+	if len(esc) > 0 && len(esc) <= accelMaxProbe {
+		a.escape = esc
+	}
+
+	n := t.NumStates()
+	a.pairIdx = make([]int32, n)
+	for s := range a.pairIdx {
+		a.pairIdx[s] = -1
+	}
+	sel := m.pickPair()
+	if len(sel) == 0 || n >= accelMaxPairStates {
+		return a
+	}
+	a.pair = make([]uint16, len(sel)<<16)
+	// Cache full move rows per distinct intermediate state: the 256²
+	// entries of one pair table reuse at most 256 rows, and the hot
+	// intermediates (start state, depth-1) repeat across tables.
+	rowCache := make(map[int32]*[256]int32, 256)
+	moveRow := func(s int32) *[256]int32 {
+		if r, ok := rowCache[s]; ok {
+			return r
+		}
+		r := new([256]int32)
+		for c := 0; c < 256; c++ {
+			r[c] = t.Move(s, byte(c))
+		}
+		rowCache[s] = r
+		return r
+	}
+	for pi, s := range sel {
+		a.pairIdx[s] = int32(pi)
+		row1 := moveRow(s)
+		base := pi << 16
+		for c1 := 0; c1 < 256; c1++ {
+			s1 := row1[c1]
+			slow1 := t.HasOutput(s1)
+			row2 := moveRow(s1)
+			rowBase := base | c1<<8
+			for c2 := 0; c2 < 256; c2++ {
+				s2 := row2[c2]
+				if slow1 || t.HasOutput(s2) {
+					a.pair[rowBase|c2] = accelSlow
+				} else {
+					a.pair[rowBase|c2] = uint16(s2)
+				}
+			}
+		}
+	}
+	if pi := a.pairIdx[ac.Root]; pi >= 0 {
+		a.advTab = make([]uint64, 1<<16/32)
+		rootRow := moveRow(ac.Root)
+		tbl := a.pair[int(pi)<<16:][:1<<16]
+		for idx, e := range tbl {
+			var adv uint64
+			switch {
+			case e == 0:
+				adv = 2 // composes back to the start state
+			case e&accelSlow == 0 && int32(e) == rootRow[idx&0xff]:
+				adv = 1 // restart-equivalent at c2
+			}
+			a.advTab[idx>>5] |= adv << ((uint(idx) & 31) << 1)
+		}
+	}
+	return a
+}
+
+// pickPair selects the states given row-pair tables: the start state
+// first, then the hottest dense-promoted states in the same deterministic
+// order the dense tier itself uses, up to the Options.PairStates budget
+// (0 = DefaultPairStates, negative disables the tier). Restricting the
+// pool to the dense tier keeps the two fast tiers nested: a pair-stepped
+// state always has a dense row for its scalar fallback.
+func (m *Machine) pickPair() []int32 {
+	budget := m.Opts.PairStates
+	if budget == 0 {
+		budget = DefaultPairStates
+	}
+	if budget < 0 {
+		return nil
+	}
+	promoted := m.pickDense()
+	sel := make([]int32, 0, budget)
+	for _, s := range m.denseOrder() {
+		if len(sel) == budget {
+			break
+		}
+		if s == ac.Root || promoted[s] {
+			sel = append(sel, s)
+		}
+	}
+	return sel
+}
+
+// AccelStats reports the accelerated layer's layout.
+type AccelStats struct {
+	EscapeBytes int  // distinct bytes that can leave the start state
+	Probe       bool // root-resident IndexByte probing enabled
+	PairStates  int  // states owning a 2-byte row-pair table
+	PairBytes   int  // pair tables: PairStates × 65536 × 2
+	TotalBytes  int  // pair tables + skim action table + pairIdx + escape list
+}
+
+// Stats summarizes the accelerated layer's memory layout.
+func (a *Accel) Stats() AccelStats {
+	return AccelStats{
+		EscapeBytes: a.escapeSize,
+		Probe:       a.escape != nil,
+		PairStates:  len(a.pair) >> 16,
+		PairBytes:   len(a.pair) * 2,
+		TotalBytes:  len(a.pair)*2 + len(a.advTab)*8 + len(a.pairIdx)*4 + len(a.escape),
+	}
+}
+
+// bulkHist advances the fused history register across a span of consumed
+// bytes without stepping the machine: the result depends only on the last
+// two bytes of the span (or one, shifting the old register in from the
+// left). Every byte in the span was really seen, so the rebuilt lanes are
+// true history.
+func bulkHist(hist uint32, data []byte, from, to int) uint32 {
+	switch {
+	case to-from >= 2:
+		return uint32(data[to-2])<<histLaneBits | uint32(data[to-1])
+	case to-from == 1:
+		return (hist<<histLaneBits | uint32(data[from])) & histMask
+	default:
+		return hist
+	}
+}
+
+// nextEscape returns the index of the nearest byte in data that can leave
+// the start state, or -1 when no byte of data escapes. Single-escape
+// machines are one IndexByte call over the whole span; multi-escape
+// machines probe per escape byte over bounded windows, shrinking the
+// window to the best hit so later probes only scan what could still win.
+func (a *Accel) nextEscape(data []byte) int {
+	esc := a.escape
+	if len(esc) == 1 {
+		return bytes.IndexByte(data, esc[0])
+	}
+	for off := 0; off < len(data); off += accelProbeWindow {
+		end := off + accelProbeWindow
+		if end > len(data) {
+			end = len(data)
+		}
+		w := data[off:end]
+		best := -1
+		for _, c := range esc {
+			if j := bytes.IndexByte(w, c); j >= 0 {
+				best = j
+				w = w[:j]
+			}
+		}
+		if best >= 0 {
+			return off + best
+		}
+	}
+	return -1
+}
+
+// scanAppend is the accelerated hot loop. One fused loop dispatches
+// between three regimes. At the start state: bulk skip (IndexByte probe
+// for the nearest escaping byte, when the escape set is small) and the
+// root pair skim — the start state is pair table 0, so a clean 2-byte
+// self-transition is entry value 0 exactly, one indexed load and one
+// compare per two bytes with no load-to-load dependency between
+// iterations. When the skim stops on a non-zero entry it takes that
+// 2-byte transition directly (unless the slow flag demands scalar
+// emission) and chains through further pair tables while the landing
+// states own them. Everywhere else: an inlined copy of the baked
+// per-byte body — identical to Program.scanAppend's, see the note there —
+// so excursions off the root cost exactly the baked kernel plus one
+// well-predicted start-state test per byte, with no function-call
+// boundary on the way back to the skim.
+//
+// Every fast-path handoff rebuilds the fused history register from the
+// last two consumed stream bytes (all skipped or pair-stepped bytes are
+// real seen bytes), so the scalar regime — the only one that emits
+// matches or consults d2/d3 defaults — always runs with true registers.
+// Equivalence with every other backend is enforced register-for-register
+// by the lockstep property tests and the fuzzers.
+func (a *Accel) scanAppend(state int32, hist uint32, pos int, data []byte, out []ac.Match) (int32, uint32, int, []ac.Match) {
+	p := a.prog
+	t := p.trie
+	rows, dense, outBits := p.rows, p.dense, p.outBits
+	pair, pairIdx, advTab := a.pair, a.pairIdx, a.advTab
+	i, n := 0, len(data)
+	base := pos // absolute stream position of data[0]
+	for i < n {
+		if state == ac.Root {
+			if a.escape != nil {
+				// Bulk skip: probe for the nearest escaping byte; every
+				// byte before it keeps the machine at the (output-free)
+				// start state.
+				j := a.nextEscape(data[i:])
+				if j < 0 {
+					hist = bulkHist(hist, data, i, n)
+					i = n
+					break
+				}
+				if j > 0 {
+					hist = bulkHist(hist, data, i, i+j)
+					i += j
+				}
+			}
+			if advTab != nil && i+1 < n {
+				// Root skim over the 2-bit action table: action 2 consumes
+				// a window that composes back to the start state (it may
+				// contain a whole 1-byte excursion), action 1 consumes one
+				// byte of a restart-equivalent window and realigns at its
+				// second byte, action 0 hands off to the full pair table.
+				// The advance i += action is branch-free, so the hand-off
+				// test is the skim's only unpredictable branch, and the
+				// probe loads are independent of each other so the CPU
+				// pipelines them. advTab is 16 KB — L1-resident — and the
+				// 128 KB pair table is only touched at the hand-off.
+				start := i
+				var e uint16
+				for i+1 < n {
+					idx := uint32(data[i])<<8 | uint32(data[i+1])
+					adv := advTab[idx>>5] >> ((idx & 31) << 1) & 3
+					if adv == 0 {
+						e = pair[idx]
+						break
+					}
+					i += int(adv)
+				}
+				if i > start {
+					hist = bulkHist(hist, data, start, i)
+				}
+				if e != 0 && e&accelSlow == 0 {
+					// Take the 2-byte transition the skim stopped on, then
+					// chain through pair tables while the landing states
+					// own them (the hottest dense states do). The slow flag
+					// hands output-crossing steps to the scalar loop; a
+					// chain entry of exactly 0 is a fall-back to the root.
+					state = int32(e)
+					i += 2
+					for i+1 < n {
+						pi := pairIdx[state]
+						if pi < 0 {
+							break
+						}
+						e = pair[uint32(pi)<<16|uint32(data[i])<<8|uint32(data[i+1])]
+						if e&accelSlow != 0 {
+							break
+						}
+						state = int32(e)
+						i += 2
+						if e == 0 {
+							break
+						}
+					}
+					hist = uint32(data[i-2])<<histLaneBits | uint32(data[i-1])
+					if state == ac.Root {
+						continue
+					}
+				}
+			}
+			if i >= n {
+				break
+			}
+		}
+		// Exact scalar step: a copy of the baked per-byte body (it must
+		// stay identical to Program.scanAppend's). One byte per pass; the
+		// outer loop's start-state test bounces control back to the fast
+		// paths the moment the machine returns to the root.
+		c := data[i]
+		ref := rows[state]
+		if ref >= rowDense {
+			state = dense[int(ref-rowDense)<<8|int(c)]
+		} else {
+			if cnt := ref >> 24; cnt != 0 {
+				sbase := ref & rowOffMask
+				key := uint32(c)
+				for k := uint32(0); k < cnt; k++ {
+					if e := p.stored[sbase+k]; uint32(e>>32) == key {
+						state = int32(uint32(e))
+						goto stepped
+					}
+				}
+			}
+			if e := p.d3[c]; uint32(e>>32) == hist {
+				state = int32(uint32(e))
+			} else {
+				h1 := hist & histLaneMask
+				d2 := &p.d2[c]
+				switch {
+				case uint32(d2[0]>>32) == h1:
+					state = int32(uint32(d2[0]))
+				case uint32(d2[1]>>32) == h1:
+					state = int32(uint32(d2[1]))
+				case uint32(d2[2]>>32) == h1:
+					state = int32(uint32(d2[2]))
+				case uint32(d2[3]>>32) == h1:
+					state = int32(uint32(d2[3]))
+				default:
+					state = p.d1[c]
+				}
+			}
+		}
+	stepped:
+		hist = (hist<<histLaneBits | uint32(c)) & histMask
+		i++
+		if outBits[uint32(state)>>6]&(1<<(uint32(state)&63)) != 0 {
+			out = t.AppendOutputs(state, base+i, out)
+		}
+	}
+	return state, hist, base + n, out
+}
+
+// accelBackend executes the accelerated kernel: baked Program semantics
+// with root-resident bulk skip and fused 2-byte stepping layered on top.
+// Registers are kept in the kernel's fused form, like the baked backend.
+type accelBackend struct {
+	prog  *Program
+	acc   *Accel
+	state int32
+	hist  uint32
+	pos   int
+}
+
+func (b *accelBackend) Name() string { return BackendAccelerated }
+
+func (b *accelBackend) Reset() {
+	b.state = ac.Root
+	b.hist = histUnknown
+	b.pos = 0
+}
+
+func (b *accelBackend) SkipAhead(n int) {
+	if n <= 0 {
+		return
+	}
+	b.state = ac.Root
+	b.hist = histUnknown
+	b.pos += n
+}
+
+func (b *accelBackend) Step(c byte) int32 {
+	b.state, b.hist = b.prog.step(b.state, b.hist, c)
+	b.pos++
+	return b.state
+}
+
+func (b *accelBackend) Registers() Registers {
+	h2, h1 := splitHist(b.hist)
+	return Registers{State: b.state, H2: h2, H1: h1, Pos: b.pos}
+}
+
+func (b *accelBackend) ScanAppend(data []byte, out []ac.Match) []ac.Match {
+	b.state, b.hist, b.pos, out = b.acc.scanAppend(b.state, b.hist, b.pos, data, out)
+	return out
+}

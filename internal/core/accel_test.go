@@ -1,0 +1,210 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/ac"
+	"repro/internal/ruleset"
+)
+
+// toyAccelSet is the paper's Figure 1 set: two escaping bytes ('h', 's'),
+// so the compiled Accel exercises the IndexByte probe path, the pair
+// tables and the skim action table at once.
+func toyAccelSet() *ruleset.Set {
+	return &ruleset.Set{Patterns: []ruleset.Pattern{
+		{ID: 0, Data: []byte("he")},
+		{ID: 1, Data: []byte("she")},
+		{ID: 2, Data: []byte("his")},
+		{ID: 3, Data: []byte("hers")},
+	}}
+}
+
+// TestAccelCompileLayout pins the compiled layout on the toy machine:
+// escape set, probe mode, pair-table allocation and the stats accounting.
+func TestAccelCompileLayout(t *testing.T) {
+	m, err := Build(toyAccelSet(), Options{Backend: BackendAccelerated})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := m.acc
+	if a == nil {
+		t.Fatal("accelerated kernel did not compile")
+	}
+	if a.escapeSize != 2 || a.escape == nil {
+		t.Fatalf("escape set: size %d probe %v, want 2 bytes probed", a.escapeSize, a.escape != nil)
+	}
+	for _, c := range []byte{'h', 's'} {
+		found := false
+		for _, e := range a.escape {
+			found = found || e == c
+		}
+		if !found {
+			t.Fatalf("escape set %q missing %q", a.escape, c)
+		}
+	}
+	if a.pairIdx[ac.Root] != 0 {
+		t.Fatalf("start state owns pair table %d, want 0", a.pairIdx[ac.Root])
+	}
+	if a.advTab == nil {
+		t.Fatal("skim action table not built despite a root pair table")
+	}
+	st := a.Stats()
+	if !st.Probe || st.EscapeBytes != 2 {
+		t.Fatalf("stats escape: %+v", st)
+	}
+	if st.PairStates != len(a.pair)>>16 || st.PairBytes != len(a.pair)*2 {
+		t.Fatalf("stats pair accounting: %+v vs %d entries", st, len(a.pair))
+	}
+	want := len(a.pair)*2 + len(a.advTab)*8 + len(a.pairIdx)*4 + len(a.escape)
+	if st.TotalBytes != want {
+		t.Fatalf("stats TotalBytes = %d, want %d (advTab must be counted)", st.TotalBytes, want)
+	}
+}
+
+// TestAccelAdvTabOracle checks every one of the 65536 skim actions against
+// the trie itself: action 2 must mean "both bytes compose back to the
+// start state, no output crossed", action 1 must mean "restart-equivalent
+// at the second byte" (the composite state equals Move(Root, c2), no
+// output crossed), and everything else must hand off. The skim's
+// exactness argument rests on precisely these side conditions.
+func TestAccelAdvTabOracle(t *testing.T) {
+	m, err := Build(toyAccelSet(), Options{Backend: BackendAccelerated})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, tr := m.acc, m.Trie
+	for c1 := 0; c1 < 256; c1++ {
+		s1 := tr.Move(ac.Root, byte(c1))
+		for c2 := 0; c2 < 256; c2++ {
+			s2 := tr.Move(s1, byte(c2))
+			crossesOut := tr.HasOutput(s1) || tr.HasOutput(s2)
+			idx := uint32(c1)<<8 | uint32(c2)
+			adv := a.advTab[idx>>5] >> ((idx & 31) << 1) & 3
+			var want uint64
+			switch {
+			case !crossesOut && s2 == ac.Root:
+				want = 2
+			case !crossesOut && s2 == tr.Move(ac.Root, byte(c2)):
+				want = 1
+			}
+			if adv != want {
+				t.Fatalf("window (%#02x,%#02x): action %d, want %d (s1=%d s2=%d out=%v)",
+					c1, c2, adv, want, s1, s2, crossesOut)
+			}
+		}
+	}
+}
+
+// TestAccelPairStatesConfig drives the PairStates knob: negative disables
+// the pair tier (probe + scalar only), 1 keeps just the start state, and
+// every shape scans byte-exact against the reference backend.
+func TestAccelPairStatesConfig(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	set := randBakedSet(rng)
+	payload := randBakedPayload(rng, 4096)
+	ref, err := Build(set, Options{Backend: BackendReference})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := ref.FindAll(payload)
+	for _, tc := range []struct {
+		pairStates int
+		wantTables int // -1 = don't check
+	}{
+		{-1, 0},
+		{1, 1},
+		{0, -1}, // DefaultPairStates, capped by the dense tier
+	} {
+		m, err := Build(set, Options{Backend: BackendAccelerated, PairStates: tc.pairStates})
+		if err != nil {
+			t.Fatalf("PairStates %d: %v", tc.pairStates, err)
+		}
+		if m.acc == nil {
+			t.Fatalf("PairStates %d: accelerated backend unavailable", tc.pairStates)
+		}
+		st := m.acc.Stats()
+		if tc.wantTables >= 0 && st.PairStates != tc.wantTables {
+			t.Fatalf("PairStates %d: %d tables, want %d", tc.pairStates, st.PairStates, tc.wantTables)
+		}
+		if tc.wantTables < 0 && st.PairStates < 1 {
+			t.Fatalf("PairStates %d: no pair tables under the default budget", tc.pairStates)
+		}
+		got := m.FindAll(payload)
+		if !ac.MatchesEqual(got, want) {
+			t.Fatalf("PairStates %d: %d matches, reference %d", tc.pairStates, len(got), len(want))
+		}
+	}
+}
+
+// TestAccelSingleEscapeProbe pins the single-escape IndexByte fast path: a
+// one-pattern machine has exactly one escaping byte, long clean spans are
+// bulk-skipped, and matches land at exact offsets with true history.
+func TestAccelSingleEscapeProbe(t *testing.T) {
+	set := &ruleset.Set{Patterns: []ruleset.Pattern{{ID: 0, Data: []byte("xyz")}}}
+	m, err := Build(set, Options{Backend: BackendAccelerated})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.acc.escapeSize != 1 || len(m.acc.escape) != 1 || m.acc.escape[0] != 'x' {
+		t.Fatalf("escape set %q (size %d), want exactly {x}", m.acc.escape, m.acc.escapeSize)
+	}
+	payload := make([]byte, 0, 3000)
+	for i := 0; i < 3; i++ {
+		payload = append(payload, make([]byte, 900)...) // NUL runs: pure skip
+		payload = append(payload, 'x', 'y', 'z')
+	}
+	got := m.FindAll(payload)
+	if len(got) != 3 {
+		t.Fatalf("%d matches, want 3", len(got))
+	}
+	for i, mt := range got {
+		if wantEnd := (i+1)*903 + 0; mt.End != wantEnd {
+			t.Fatalf("match %d ends at %d, want %d", i, mt.End, wantEnd)
+		}
+	}
+}
+
+// TestAccelBackendSelection pins the registry plumbing: a bakeable build
+// defaults to the accelerated backend, lists it, and the scanner the
+// default path hands out runs it; DisableBaked machines have no trace of
+// it; SkipAhead(n <= 0) is a no-op on the accelerated backend too.
+func TestAccelBackendSelection(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	m, err := Build(randBakedSet(rng), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.DefaultBackend(); got != BackendAccelerated {
+		t.Fatalf("auto default backend %q, want %q", got, BackendAccelerated)
+	}
+	found := false
+	for _, name := range m.Backends() {
+		found = found || name == BackendAccelerated
+	}
+	if !found {
+		t.Fatalf("Backends() %v missing %q", m.Backends(), BackendAccelerated)
+	}
+	sc := m.NewScanner()
+	if sc.Backend() != BackendAccelerated {
+		t.Fatalf("NewScanner runs %q, want %q", sc.Backend(), BackendAccelerated)
+	}
+	sc.ScanAppend([]byte("abcab"), nil)
+	before := sc.Registers()
+	sc.SkipAhead(0)
+	sc.SkipAhead(-7)
+	if got := sc.Registers(); got != before {
+		t.Fatalf("SkipAhead(<=0) moved registers %+v -> %+v", before, got)
+	}
+
+	off, err := Build(randBakedSet(rng), Options{DisableBaked: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if off.acc != nil {
+		t.Fatal("DisableBaked machine still compiled the accelerated kernel")
+	}
+	if _, err := off.NewScannerFor(BackendAccelerated); err == nil {
+		t.Fatal("NewScannerFor(accelerated) succeeded without a baked program")
+	}
+}

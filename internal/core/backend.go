@@ -2,7 +2,8 @@ package core
 
 // The scan-backend seam: every way of executing the DTP machine — the
 // slice-walking reference interpreter, the baked flat Program, the
-// two-stage approximate-prefilter pipeline — implements ScanBackend, and
+// two-stage approximate-prefilter pipeline, the accelerated skip/pair
+// kernel — implements ScanBackend, and
 // the Scanner is a thin facade over whichever backend the machine (or an
 // explicit caller) selected. Backends are registered in scanBackends so
 // equivalence harnesses (VerifyScan, the lockstep property tests, the
@@ -17,13 +18,15 @@ import (
 )
 
 // Backend names accepted by Options.Backend and Machine.NewScannerFor.
-// BackendAuto (or "") resolves to the fastest always-exact default: baked
-// when the machine fits the flat row format, reference otherwise.
+// BackendAuto (or "") resolves to the fastest always-exact default:
+// accelerated when the machine bakes, baked if only the flat Program
+// compiled, reference otherwise.
 const (
 	BackendAuto        = "auto"
 	BackendReference   = "reference"
 	BackendBaked       = "baked"
 	BackendPrefiltered = "prefiltered"
+	BackendAccelerated = "accelerated"
 )
 
 // Registers is the architectural register file of one scan lane, mirroring
@@ -62,7 +65,8 @@ type ScanBackend interface {
 	Reset()
 	// SkipAhead invalidates state and history like Reset (a match must
 	// never span bytes the backend did not see) but advances the position
-	// by n unseen bytes.
+	// by n unseen bytes. n <= 0 is a no-op on every backend: no bytes were
+	// skipped, so the registers — including position — must not move.
 	SkipAhead(n int)
 	// Registers returns the architectural register snapshot. Exactness is
 	// defined on this view: after any operation sequence, all backends
@@ -99,6 +103,26 @@ var scanBackends = []backendSpec{
 			return &prefilterBackend{m: m, pf: m.pre, prog: m.prog}
 		},
 	},
+	{
+		name:      BackendAccelerated,
+		available: func(m *Machine) bool { return m.prog != nil && m.acc != nil },
+		build: func(m *Machine) ScanBackend {
+			return &accelBackend{prog: m.prog, acc: m.acc}
+		},
+	},
+}
+
+// RegisteredBackends lists every backend name in the registry, registry
+// order, regardless of per-machine availability — the vocabulary
+// Options.Backend and NewScannerFor accept besides BackendAuto. Error
+// messages and flag validation derive from this list so a new backend is
+// never silently missing from them.
+func RegisteredBackends() []string {
+	names := make([]string, len(scanBackends))
+	for i, spec := range scanBackends {
+		names[i] = spec.name
+	}
+	return names
 }
 
 // Backends lists the backend names available on this machine, registry
@@ -115,11 +139,14 @@ func (m *Machine) Backends() []string {
 }
 
 // DefaultBackend reports the backend NewScanner selects: the machine's
-// configured backend, or the auto resolution (baked when compiled,
-// reference otherwise).
+// configured backend, or the auto resolution — accelerated when the bake
+// succeeded, baked if only the flat Program compiled, reference otherwise.
 func (m *Machine) DefaultBackend() string {
 	if m.backend != "" && m.backend != BackendAuto {
 		return m.backend
+	}
+	if m.acc != nil {
+		return BackendAccelerated
 	}
 	if m.prog != nil {
 		return BackendBaked
@@ -169,6 +196,9 @@ func (b *referenceBackend) Reset() {
 }
 
 func (b *referenceBackend) SkipAhead(n int) {
+	if n <= 0 {
+		return
+	}
 	b.state = ac.Root
 	b.h2, b.h1 = HistNone, HistNone
 	b.pos += n
@@ -229,6 +259,9 @@ func (b *bakedBackend) Reset() {
 }
 
 func (b *bakedBackend) SkipAhead(n int) {
+	if n <= 0 {
+		return
+	}
 	b.state = ac.Root
 	b.hist = histUnknown
 	b.pos += n

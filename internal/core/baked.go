@@ -238,8 +238,7 @@ func Compile(m *Machine) *Program {
 // disable the tier — is exhausted. Machines small enough to fit entirely
 // become a pure flat DFA.
 func (m *Machine) pickDense() []bool {
-	t := m.Trie
-	n := t.NumStates()
+	n := m.Trie.NumStates()
 	promoted := make([]bool, n)
 	budget := m.Opts.DenseStates
 	if budget == 0 {
@@ -254,6 +253,21 @@ func (m *Machine) pickDense() []bool {
 		}
 		return promoted
 	}
+	for _, s := range m.denseOrder()[:budget] {
+		promoted[s] = true
+	}
+	return promoted
+}
+
+// denseOrder ranks every state for fast-tier promotion: the start state,
+// then depth-1 states, then everything else, popularity-descending within
+// a tier with ties to the lower state number — fully deterministic, so a
+// snapshot Load reproduces the exact promotion Build made. pickDense takes
+// the dense-tier budget off the front; pickPair (accel.go) ranks its
+// 2-byte pair tables by the same order so the fast tiers nest.
+func (m *Machine) denseOrder() []int32 {
+	t := m.Trie
+	n := t.NumStates()
 	pop := m.popularity
 	if pop == nil {
 		// Load-ed machines skip the builder passes; re-tally here.
@@ -290,10 +304,7 @@ func (m *Machine) pickDense() []bool {
 		}
 		return a < b
 	})
-	for _, s := range order[:budget] {
-		promoted[s] = true
-	}
-	return promoted
+	return order
 }
 
 // scanAppend is the baked hot loop: one transition per input byte, matches

@@ -84,6 +84,9 @@ func TestBakedEquivalenceProperty(t *testing.T) {
 				if m.pre == nil {
 					t.Fatalf("trial %d: prefilter unexpectedly unavailable", trial)
 				}
+				if m.acc == nil {
+					t.Fatalf("trial %d: accelerated kernel unexpectedly unavailable", trial)
+				}
 				driveLockstep(t, m, rng)
 			}
 		})
@@ -97,8 +100,8 @@ func TestBakedEquivalenceProperty(t *testing.T) {
 func driveLockstep(t *testing.T, m *Machine, rng *rand.Rand) {
 	t.Helper()
 	names := m.Backends()
-	if len(names) < 3 {
-		t.Fatalf("expected at least 3 backends, registry lists %v", names)
+	if len(names) < 4 {
+		t.Fatalf("expected at least 4 backends, registry lists %v", names)
 	}
 	scs := make([]*Scanner, len(names))
 	outs := make([][]ac.Match, len(names))
@@ -168,6 +171,16 @@ func driveLockstep(t *testing.T, m *Machine, rng *rand.Rand) {
 			}
 			seg, segStart, segMark = seg[:0], scs[0].Pos(), len(outs[0])
 			checkRegisters("SkipAhead")
+		case 3: // SkipAhead(n <= 0): documented no-op — no register moves
+			before := scs[0].Registers()
+			for _, sc := range scs {
+				sc.SkipAhead(0)
+				sc.SkipAhead(-1 - rng.Intn(16))
+			}
+			if got := scs[0].Registers(); got != before {
+				t.Fatalf("SkipAhead(<=0) moved reference registers %+v -> %+v", before, got)
+			}
+			checkRegisters("SkipAhead no-op")
 		case 2: // single-byte Steps (the register-machine view, no outputs)
 			// Steps leave matches unemitted, so the segment oracle no
 			// longer applies: fold the stepped bytes into the *next*
@@ -322,6 +335,12 @@ func TestSnapshotLoadBakes(t *testing.T) {
 	}
 	if loaded.prog == nil {
 		t.Fatal("loaded machine has no baked program")
+	}
+	if loaded.acc == nil {
+		t.Fatal("loaded machine has no accelerated kernel")
+	}
+	if got := loaded.DefaultBackend(); got != BackendAccelerated {
+		t.Fatalf("loaded machine defaults to backend %q, want %q", got, BackendAccelerated)
 	}
 	payload := randBakedPayload(rng, 4096)
 	got := loaded.FindAll(payload)

@@ -58,6 +58,7 @@ package core
 import (
 	"fmt"
 	"sort"
+	"strings"
 
 	"repro/internal/ac"
 	"repro/internal/ruleset"
@@ -81,20 +82,30 @@ type Options struct {
 	// negative disables the tier). Runtime-only tuning; not serialized in
 	// snapshots.
 	DenseStates int
+	// PairStates budgets the accelerated kernel's fused 2-byte tier: how
+	// many dense-tier states get 16-bit-indexed row-pair tables (0 =
+	// DefaultPairStates, negative disables the tier). Runtime-only tuning;
+	// not serialized in snapshots.
+	PairStates int
 	// DisableBaked keeps the machine on the slice-walking reference scan
 	// path instead of compiling the baked Program.
 	//
 	// Deprecated: DisableBaked is an alias for Backend: BackendReference,
-	// kept for existing callers; setting both to conflicting values is a
-	// Build error. Runtime-only, not serialized.
+	// kept for existing callers. An explicit Backend wins where the two
+	// can agree: with Backend empty or BackendAuto the machine resolves to
+	// the reference path; combining DisableBaked with a pinned kernel
+	// backend is a Build error. Runtime-only, not serialized.
 	DisableBaked bool
 	// Backend selects the scan implementation NewScanner hands out:
-	// BackendAuto (or "") picks baked when the machine fits the flat row
-	// format and reference otherwise; BackendReference pins the
+	// BackendAuto (or "") picks the fastest always-exact default —
+	// accelerated when the machine bakes, baked if only the flat Program
+	// compiled, reference otherwise. BackendReference pins the
 	// slice-walking interpreter (and skips compiling the kernels);
-	// BackendBaked and BackendPrefiltered pin those kernels and make Build
-	// fail if the configuration cannot compile them. Runtime-only, not
-	// serialized; NewScannerFor overrides it per scanner.
+	// BackendBaked, BackendPrefiltered and BackendAccelerated pin those
+	// kernels and make Build fail if the configuration cannot compile
+	// them. Unknown names are a Build error listing RegisteredBackends.
+	// Runtime-only, not serialized; NewScannerFor overrides it per
+	// scanner.
 	Backend string
 }
 
@@ -108,7 +119,10 @@ func (o Options) withDefaults() Options {
 	if o.MaxDepth == 0 {
 		o.MaxDepth = 3
 	}
-	if o.Backend == "" {
+	if o.Backend == "" || o.Backend == BackendAuto {
+		// The deprecated DisableBaked alias only resolves an unpinned
+		// Backend; an explicitly pinned backend wins (validate rejects the
+		// conflicting combinations).
 		if o.DisableBaked {
 			o.Backend = BackendReference
 		} else {
@@ -126,12 +140,23 @@ func (o Options) validate() error {
 		return fmt.Errorf("core: MaxDepth %d out of range [1,3]", o.MaxDepth)
 	}
 	switch o.Backend {
-	case "", BackendAuto, BackendReference, BackendBaked, BackendPrefiltered:
+	case "", BackendAuto:
 	default:
-		return fmt.Errorf("core: unknown backend %q (want auto|reference|baked|prefiltered)", o.Backend)
+		known := false
+		for _, name := range RegisteredBackends() {
+			if o.Backend == name {
+				known = true
+				break
+			}
+		}
+		if !known {
+			return fmt.Errorf("core: unknown backend %q (want %s)",
+				o.Backend, strings.Join(append([]string{BackendAuto}, RegisteredBackends()...), "|"))
+		}
 	}
 	if o.DisableBaked && o.Backend != BackendReference {
-		return fmt.Errorf("core: DisableBaked conflicts with Backend %q", o.Backend)
+		return fmt.Errorf("core: DisableBaked (deprecated alias for Backend %q) conflicts with pinned Backend %q",
+			BackendReference, o.Backend)
 	}
 	return nil
 }
@@ -250,6 +275,10 @@ type Machine struct {
 	// does not fit the packed entry format. The prefiltered backend needs
 	// both.
 	pre *Prefilter
+	// acc is the accelerated runtime layered over prog — escape set for
+	// root-resident bulk skip plus the fused 2-byte pair tables; nil
+	// whenever prog is nil.
+	acc *Accel
 	// backend is the resolved Options.Backend, consulted by NewScanner;
 	// empty (auto) on hand-assembled machines.
 	backend string
@@ -287,6 +316,7 @@ func (m *Machine) compileBackends() error {
 	}
 	m.prog = Compile(m)
 	if m.prog != nil {
+		m.acc = CompileAccel(m)
 		m.pre = CompilePrefilter(m)
 		if m.pre != nil {
 			if err := m.VerifySuperset(); err != nil {
@@ -306,6 +336,10 @@ func (m *Machine) compileBackends() error {
 		if m.prog == nil || m.pre == nil {
 			return fmt.Errorf("core: Backend %q pinned but the configuration does not fit the kernel formats", m.backend)
 		}
+	case BackendAccelerated:
+		if m.prog == nil || m.acc == nil {
+			return fmt.Errorf("core: Backend %q pinned but the configuration does not fit the baked row format", m.backend)
+		}
 	}
 	return nil
 }
@@ -317,6 +351,11 @@ func (m *Machine) Program() *Program { return m.prog }
 // Prefilter returns the machine's lossy first-stage automaton, or nil when
 // the prefiltered backend is unavailable.
 func (m *Machine) Prefilter() *Prefilter { return m.pre }
+
+// Accel returns the machine's accelerated runtime, or nil when the
+// accelerated backend is unavailable (reference-pinned or unbaked
+// configurations).
+func (m *Machine) Accel() *Accel { return m.acc }
 
 // selectDefaults runs the popularity pass: it counts, over every (state,
 // character) pair of the full DFA, how often each state is the transition

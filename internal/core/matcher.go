@@ -46,6 +46,8 @@ func (s *Scanner) Reset() { s.b.Reset() }
 // history — a match must never span bytes the scanner did not see) but
 // advances the position by n unseen bytes, so match end offsets emitted
 // after a reassembly gap skip remain absolute in the flow's byte stream.
+// n <= 0 is a no-op: no bytes were skipped, so no register — state,
+// history or position — moves, on any backend.
 func (s *Scanner) SkipAhead(n int) { s.b.SkipAhead(n) }
 
 // Step consumes one input byte and reports the new state. Exactly one

@@ -413,6 +413,9 @@ func (b *prefilterBackend) Reset() {
 }
 
 func (b *prefilterBackend) SkipAhead(n int) {
+	if n <= 0 {
+		return
+	}
 	b.state = ac.Root
 	b.hist = histUnknown
 	b.pos += n

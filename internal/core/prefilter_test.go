@@ -4,6 +4,7 @@ import (
 	"math/rand"
 	"testing"
 
+	"repro/internal/ac"
 	"repro/internal/ruleset"
 )
 
@@ -193,5 +194,101 @@ func TestPrefilterStatsAccounting(t *testing.T) {
 	}
 	if st.SuspectRate <= 0 {
 		t.Fatalf("SuspectRate = %v with %d suspect windows", st.SuspectRate, st.SuspectWindows)
+	}
+}
+
+// TestPrefilterTailRingBoundary pins the rebuild path's hardest geometry:
+// a suspect window that straddles a chunk boundary when the tail ring is
+// exactly at capacity (the previous chunk was exactly pfTailLen bytes, so
+// every ring slot is live and the rebuild's window and history reads hit
+// the ring's oldest entries), plus Reset and SkipAhead landing in the
+// middle of a suspect window. Each scenario drives the prefiltered
+// backend against the reference interpreter in register lockstep; the
+// fuzz seeds in FuzzPrefilterEquivalence cover the same shapes end to
+// end through the public API.
+func TestPrefilterTailRingBoundary(t *testing.T) {
+	if pfTailLen != 5 {
+		t.Fatalf("pfTailLen = %d; revisit the chunk geometry below", pfTailLen)
+	}
+	set := &ruleset.Set{Patterns: []ruleset.Pattern{{ID: 0, Data: []byte("vwxyz")}}}
+	m, err := Build(set, Options{Backend: BackendPrefiltered})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	type op struct {
+		kind  string // "write" | "reset" | "skip"
+		chunk string
+		n     int
+	}
+	scenarios := []struct {
+		name    string
+		ops     []op
+		matches int
+	}{
+		// "...vw" fills the ring to capacity; the suspect fires on 'x' at
+		// index 0 of the next chunk, so the rebuild window ('v', 'w') and
+		// its history bytes ('.', '.') all come from the ring.
+		{"straddle-at-ring-capacity", []op{
+			{kind: "write", chunk: "...vw"},
+			{kind: "write", chunk: "xyz.."},
+		}, 1},
+		// Same geometry but the straddling window is cut by Reset: the
+		// pattern's bytes were never contiguous in one stream, so nothing
+		// may match and the ring must restart empty.
+		{"reset-mid-suspect-window", []op{
+			{kind: "write", chunk: "...vw"},
+			{kind: "reset"},
+			{kind: "write", chunk: "xyz.."},
+			{kind: "write", chunk: "vwxyz"},
+		}, 1},
+		// A gap skip mid-window: like Reset, but the stream position keeps
+		// advancing, so the later match's offset is shifted by the gap.
+		{"skip-mid-suspect-window", []op{
+			{kind: "write", chunk: "...vw"},
+			{kind: "skip", n: 3},
+			{kind: "write", chunk: "xyz.."},
+			{kind: "write", chunk: "vwxyz"},
+		}, 1},
+	}
+	for _, sc := range scenarios {
+		t.Run(sc.name, func(t *testing.T) {
+			pre, err := m.NewScannerFor(BackendPrefiltered)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ref, err := m.NewScannerFor(BackendReference)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var pOut, rOut []ac.Match
+			for i, o := range sc.ops {
+				switch o.kind {
+				case "write":
+					pOut = pre.ScanAppend([]byte(o.chunk), pOut)
+					rOut = ref.ScanAppend([]byte(o.chunk), rOut)
+				case "reset":
+					pre.Reset()
+					ref.Reset()
+				case "skip":
+					pre.SkipAhead(o.n)
+					ref.SkipAhead(o.n)
+				}
+				if got, want := pre.Registers(), ref.Registers(); got != want {
+					t.Fatalf("op %d (%s): prefiltered registers %+v, reference %+v", i, o.kind, got, want)
+				}
+				if len(pOut) != len(rOut) {
+					t.Fatalf("op %d (%s): prefiltered %d matches, reference %d", i, o.kind, len(pOut), len(rOut))
+				}
+			}
+			if len(pOut) != sc.matches {
+				t.Fatalf("%d matches, want %d", len(pOut), sc.matches)
+			}
+			for i := range pOut {
+				if pOut[i] != rOut[i] {
+					t.Fatalf("match %d: prefiltered %+v, reference %+v", i, pOut[i], rOut[i])
+				}
+			}
+		})
 	}
 }

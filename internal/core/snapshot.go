@@ -356,12 +356,13 @@ func Load(data []byte) (*Machine, error) {
 	}
 	// Bake the scan kernels for the restored machine. The snapshot predates
 	// the popularity tally, so Compile re-derives dense-tier promotion
-	// from the move rows; runtime-only options (DenseStates/Backend)
-	// are not part of the format and take their defaults (auto). The lossy
-	// prefilter stage only ships if it proves the superset contract, like
-	// in Build.
+	// from the move rows; runtime-only options (DenseStates/PairStates/
+	// Backend) are not part of the format and take their defaults (auto).
+	// The lossy prefilter stage only ships if it proves the superset
+	// contract, like in Build.
 	m.prog = Compile(m)
 	if m.prog != nil {
+		m.acc = CompileAccel(m)
 		m.pre = CompilePrefilter(m)
 		if m.pre != nil && m.VerifySuperset() != nil {
 			m.pre = nil

@@ -272,7 +272,12 @@ func (f *Flow) Consumed() int { return f.consumed }
 // gap skipped on timeout): scanner states and histories are invalidated —
 // no match may span unseen bytes — while the stream position advances, so
 // subsequent matches keep absolute offsets into the flow's true stream.
+// n <= 0 is a no-op, mirroring Scanner.SkipAhead: no bytes were skipped,
+// so neither the scanners' registers nor the consumed count may move.
 func (f *Flow) SkipGap(n int) {
+	if n <= 0 {
+		return
+	}
 	for _, sc := range f.ss.set {
 		sc.SkipAhead(n)
 	}
