@@ -16,6 +16,9 @@
 //	dpibench -gateway -shards 4 -json BENCH_5.json  # the sharded perf-trajectory report
 //	dpibench -kernel              # raw scan-kernel throughput across all backends
 //	dpibench -kernel -json BENCH_7.json  # plus the perf-trajectory report
+//	dpibench -pcap 'testdata/pcap/*.pcap'            # capture-fed gateway replay + oracle check
+//	dpibench -pcap 'testdata/pcap/*.pcap' -shards 4 -repeats 500
+//	dpibench -pcap 'testdata/pcap/*.pcap' -json pcap.json
 //	dpibench -parallel -backend reference   # pin -parallel/-gateway to one backend
 //	dpibench -gateway -backend prefiltered  # run the gateway on the two-stage pipeline
 //	dpibench -kernel -cpuprofile cpu.pprof -memprofile mem.pprof
@@ -46,6 +49,8 @@ func main() {
 		parallel = flag.Bool("parallel", false, "measure engine throughput vs worker count")
 		gateway  = flag.Bool("gateway", false, "measure NIDS gateway ingestion throughput vs worker count")
 		kernel   = flag.Bool("kernel", false, "measure raw scan-kernel throughput across all registered backends")
+		pcap     = flag.String("pcap", "", "replay capture files matching this glob through the gateway (oracle check + capture-fed throughput)")
+		repeats  = flag.Int("repeats", 200, "replay count for the -pcap throughput measurement")
 		backend  = flag.String("backend", "auto",
 			fmt.Sprintf("scan backend for -parallel/-gateway: auto or one of %s (-kernel always sweeps all)",
 				strings.Join(core.RegisteredBackends(), ", ")))
@@ -60,7 +65,7 @@ func main() {
 		memProf = flag.String("memprofile", "", "write a heap profile to this path at exit")
 	)
 	flag.Parse()
-	if !*all && *table == 0 && *figure == 0 && !*ablation && !*parallel && !*gateway && !*kernel {
+	if !*all && *table == 0 && *figure == 0 && !*ablation && !*parallel && !*gateway && !*kernel && *pcap == "" {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -85,6 +90,7 @@ func main() {
 	err := dispatch(modes{
 		all: *all, table: *table, figure: *figure, ablation: *ablation,
 		parallel: *parallel, gateway: *gateway, kernel: *kernel,
+		pcap: *pcap, repeats: *repeats,
 		backend: be, jsonOut: *jsonOut, workers: *workers, shards: *shards,
 		tsv: *tsv, seed: *seed, steps: *steps,
 	})
@@ -122,6 +128,8 @@ type modes struct {
 	parallel bool
 	gateway  bool
 	kernel   bool
+	pcap     string
+	repeats  int
 	backend  string
 	jsonOut  string
 	workers  int
@@ -154,11 +162,17 @@ func dispatch(m modes) error {
 		return err
 	}
 	if m.jsonOut != "" {
-		if m.gateway && m.kernel {
-			return fmt.Errorf("-json with both -gateway and -kernel would overwrite one report with the other; run the modes separately")
+		writers := 0
+		for _, on := range []bool{m.gateway, m.kernel, m.pcap != ""} {
+			if on {
+				writers++
+			}
 		}
-		if !m.gateway && !m.kernel {
-			return fmt.Errorf("-json is only produced by -gateway or -kernel; no report would be written")
+		if writers > 1 {
+			return fmt.Errorf("-json with more than one of -gateway, -kernel, -pcap would overwrite one report with another; run the modes separately")
+		}
+		if writers == 0 {
+			return fmt.Errorf("-json is only produced by -gateway, -kernel or -pcap; no report would be written")
 		}
 	}
 	if m.parallel {
@@ -180,6 +194,18 @@ func dispatch(m modes) error {
 	}
 	if m.kernel {
 		if err := runKernel(os.Stdout, m.jsonOut, defaultKernelConfig(m.seed)); err != nil {
+			return err
+		}
+	}
+	if m.pcap != "" {
+		shards := m.shards
+		if shards < 1 {
+			shards = 1
+		}
+		if err := runPcap(os.Stdout, m.jsonOut, pcapConfig{
+			Glob: m.pcap, Backend: m.backend, Workers: m.workers,
+			Shards: shards, Repeats: m.repeats,
+		}); err != nil {
 			return err
 		}
 	}

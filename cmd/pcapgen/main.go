@@ -1,0 +1,52 @@
+// Command pcapgen regenerates the committed pcap corpora under
+// testdata/pcap/ from their deterministic definitions in
+// internal/capture/corpus. Run it from the repository root after changing
+// a corpus definition; the drift-guard test (TestCommittedCorporaMatch in
+// the root package) fails until the committed bytes match the definitions
+// again, so corpus code and corpus files cannot diverge.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/capture/corpus"
+)
+
+func main() {
+	dir := flag.String("dir", "testdata/pcap", "output directory for the corpus files")
+	check := flag.Bool("check", false, "verify committed files match the definitions instead of writing")
+	flag.Parse()
+
+	status := 0
+	for _, c := range corpus.All() {
+		path := filepath.Join(*dir, c.File)
+		want := c.Bytes()
+		if *check {
+			got, err := os.ReadFile(path)
+			switch {
+			case err != nil:
+				fmt.Fprintf(os.Stderr, "pcapgen: %s: %v\n", path, err)
+				status = 1
+			case string(got) != string(want):
+				fmt.Fprintf(os.Stderr, "pcapgen: %s: committed bytes differ from definition (run pcapgen to regenerate)\n", path)
+				status = 1
+			default:
+				fmt.Printf("pcapgen: %s: ok (%d records, %d bytes)\n", path, len(c.Records), len(want))
+			}
+			continue
+		}
+		if err := os.MkdirAll(*dir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, "pcapgen:", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(path, want, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "pcapgen:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("pcapgen: wrote %s (%d records, %d bytes)\n", path, len(c.Records), len(want))
+	}
+	os.Exit(status)
+}

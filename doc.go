@@ -11,7 +11,7 @@
 // all states, leaving each state with only the few pointers the table
 // cannot reproduce.
 //
-// Five layers are exposed:
+// Seven layers are exposed:
 //
 //   - Ruleset: fixed-string pattern sets — parse Snort-style content
 //     strings, generate synthetic Snort-like sets, reduce while preserving
@@ -20,7 +20,14 @@
 //     scan payloads at one transition per byte. Scanning runs behind a
 //     backend seam (Config.Backend) with four peer implementations of
 //     one contract, registered in one registry (reference, baked,
-//     prefiltered, accelerated). The baked flat kernel is the workhorse:
+//     prefiltered, accelerated). Config.Backend names the backend;
+//     BackendAuto (the empty default) picks the fastest exact kernel the
+//     configuration compiles. The deprecated DisableBakedKernel flag is
+//     an alias for Backend: BackendReference and only resolves an
+//     unpinned Backend — an explicitly pinned backend wins where the two
+//     can agree, and combining DisableBakedKernel with a pinned kernel
+//     backend is a Compile error, never a silent override.
+//     The baked flat kernel is the workhorse:
 //     Compile flattens each machine into a two-tier program whose hot
 //     near-root states (the start state, every depth-1 state, and the
 //     most popular deeper states) are dense 256-entry move rows — one
@@ -85,6 +92,24 @@
 //     packets), a FIN returns scanner state to the pool immediately (the
 //     entry lingers to absorb stragglers), an RST tears the flow down, and
 //     an evicted-then-recreated flow always starts from clean state.
+//   - Capture: the ingestion edge — internal/capture reads classic
+//     libpcap files (both endiannesses, microsecond and nanosecond
+//     timestamps) and translates Ethernet/IPv4 frames (VLAN tags, IPv4
+//     options, snap truncation) into the gateway's packet model, carrying
+//     TCP sequence numbers and SYN/FIN/RST flags through so reassembly
+//     and flow lifecycle see real wire semantics. Gateway.ReplayPcap is
+//     the one-call seam: a capture file in, verdicts and matches out,
+//     with ReplayStats accounting for every frame skipped and why.
+//     Committed corpora under testdata/pcap/ carry their own ground
+//     truth (internal/capture/corpus) and gate CI end to end.
+//   - Observability: Gateway.Metrics() renders every counter the
+//     pipeline already keeps — gateway totals, per-shard engine stats,
+//     flow-table occupancy and evictions, reassembly buffer pressure,
+//     per-rule verdict and match counts — in the Prometheus text
+//     exposition format (internal/metrics, dependency-free). It is an
+//     http.Handler; mount it at /metrics. Scrapes snapshot atomics and
+//     never touch the packet hot path. OPERATIONS.md documents every
+//     series.
 //   - Accelerator: a functional model of the paper's FPGA design — packed
 //     324-bit memory images, 6-engine string matching blocks, multi-block
 //     scan-out with throughput, resource and power reporting for the
@@ -107,5 +132,10 @@
 //	    fmt.Printf("rule %s at [%d,%d)\n", rs.Name(match.PatternID), match.Start, match.End)
 //	}
 //
-// See EXPERIMENTS.md for the paper-reproduction harness.
+// ARCHITECTURE.md walks the packet lifecycle and names the test that
+// enforces each invariant; OPERATIONS.md documents the metrics surface;
+// README.md covers the backends and the tooling. cmd/dpibench
+// regenerates the paper's evaluation section (dpibench -all) and replays
+// the committed capture corpora (dpibench -pcap); examples/sensor is the
+// complete capture-to-verdict edge in one binary.
 package dpi

@@ -1,0 +1,134 @@
+package dpi
+
+import (
+	"fmt"
+	"go/format"
+	"os"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// lintedDocs is the authored documentation set. ISSUE.md, SNIPPETS.md and
+// PAPERS.md are driver/reference material whose content this repository
+// does not control, so they are deliberately excluded.
+var lintedDocs = []string{
+	"README.md",
+	"ARCHITECTURE.md",
+	"OPERATIONS.md",
+	"ROADMAP.md",
+	"PAPER.md",
+	"CHANGES.md",
+}
+
+var goFence = regexp.MustCompile("(?s)```go\n(.*?)```")
+
+// TestDocsGoBlocksFormatted holds every fenced Go block in the authored
+// docs to the same standard as committed source: it must parse (as a file
+// or as a statement/declaration fragment) and already be gofmt-clean, so
+// examples in prose cannot rot into code that would not survive review.
+func TestDocsGoBlocksFormatted(t *testing.T) {
+	blocks := 0
+	for _, name := range lintedDocs {
+		raw, err := os.ReadFile(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		for i, m := range goFence.FindAllStringSubmatch(string(raw), -1) {
+			blocks++
+			src := m[1]
+			formatted, err := format.Source([]byte(src))
+			if err != nil {
+				t.Errorf("%s: go block %d does not parse: %v\n%s", name, i+1, err, src)
+				continue
+			}
+			if got, want := strings.TrimRight(string(formatted), "\n"), strings.TrimRight(src, "\n"); got != want {
+				t.Errorf("%s: go block %d is not gofmt-clean; want:\n%s", name, i+1, got)
+			}
+		}
+	}
+	if blocks == 0 {
+		t.Error("no fenced Go blocks found in the authored docs (regex or docs drift)")
+	}
+}
+
+var mdLink = regexp.MustCompile(`\[[^\]]*\]\(([^)\s]+)\)`)
+
+// TestDocsRelativeLinksResolve checks that every relative markdown link
+// in the authored docs points at a file or directory that exists, so a
+// rename or deletion cannot silently strand the documentation.
+func TestDocsRelativeLinksResolve(t *testing.T) {
+	links := 0
+	for _, name := range lintedDocs {
+		raw, err := os.ReadFile(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		for _, m := range mdLink.FindAllStringSubmatch(string(raw), -1) {
+			target := m[1]
+			if strings.HasPrefix(target, "http://") || strings.HasPrefix(target, "https://") ||
+				strings.HasPrefix(target, "mailto:") || strings.HasPrefix(target, "#") {
+				continue
+			}
+			if i := strings.IndexByte(target, '#'); i >= 0 {
+				target = target[:i]
+			}
+			links++
+			if _, err := os.Stat(target); err != nil {
+				t.Errorf("%s: link target %q does not exist", name, m[1])
+			}
+		}
+	}
+	if links == 0 {
+		t.Error("no relative links found in the authored docs (regex or docs drift)")
+	}
+}
+
+// TestDocsNamedTestsExist cross-checks ARCHITECTURE.md's enforcement
+// table: every Test/Fuzz function it names must exist somewhere in the
+// repository's _test.go files, so the table cannot refer to tests that
+// were renamed or removed.
+func TestDocsNamedTestsExist(t *testing.T) {
+	raw, err := os.ReadFile("ARCHITECTURE.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	named := regexp.MustCompile("`((?:Test|Fuzz)[A-Za-z0-9_]+)`").FindAllStringSubmatch(string(raw), -1)
+	if len(named) == 0 {
+		t.Fatal("ARCHITECTURE.md names no tests (regex or docs drift)")
+	}
+
+	defined := make(map[string]bool)
+	var walk func(dir string)
+	walk = func(dir string) {
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, e := range entries {
+			path := dir + "/" + e.Name()
+			switch {
+			case e.IsDir() && e.Name() != "testdata" && !strings.HasPrefix(e.Name(), "."):
+				walk(path)
+			case strings.HasSuffix(e.Name(), "_test.go"):
+				src, err := os.ReadFile(path)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, d := range regexp.MustCompile(`(?m)^func ((?:Test|Fuzz)[A-Za-z0-9_]+)\(`).FindAllSubmatch(src, -1) {
+					defined[string(d[1])] = true
+				}
+			}
+		}
+	}
+	walk(".")
+
+	for _, m := range named {
+		if !defined[m[1]] {
+			t.Errorf("ARCHITECTURE.md names %s, which is not defined in any _test.go file", m[1])
+		}
+	}
+	if !defined["TestDocsNamedTestsExist"] {
+		t.Error(fmt.Sprintf("self-check failed: walker did not see this file (%d tests found)", len(defined)))
+	}
+}

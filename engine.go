@@ -18,6 +18,13 @@ import (
 // many goroutines at once and flows may be opened and written
 // concurrently. Each individual Flow is single-goroutine, like the socket
 // it shadows.
+//
+// Stats is the engine's observability seam: every counter in
+// EngineStats is an atomic the workers already bump, so a snapshot is
+// wait-free and safe while scans run. A sharded Gateway re-exports one
+// snapshot per replica through ShardStats, which is what the
+// dpi_engine_*_total{shard="i"} series on Gateway.Metrics render —
+// shard skew in a dashboard traces directly back to these counters.
 type Engine struct {
 	m   *Matcher
 	eng *engine.Engine

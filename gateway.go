@@ -34,6 +34,22 @@ package dpi
 //     every match with the rule that admitted it. The verdict is decided
 //     once per flow (per packet for stateless traffic) and reported through
 //     OnVerdict before any match from that flow is emitted.
+//
+// Two seams face outward from this layer. Upstream, the capture edge
+// (capture.go, internal/capture) feeds the gateway from classic libpcap
+// files: Gateway.ReplayPcap translates Ethernet/IPv4 frames into Ingest
+// calls, preserving TCP sequence numbers and SYN/FIN/RST so the
+// reassembly and lifecycle paths above see real wire semantics, and a
+// replay deliberately does not flush or close the gateway, so rotated
+// capture files replay back-to-back with flows continuing across file
+// boundaries. Downstream, the observability edge (metrics.go,
+// internal/metrics) renders this file's accounting — GatewayStats, the
+// flow-table snapshot, per-shard EngineStats and the per-rule counters
+// kept in ruleFlows/ruleMatches — as a Prometheus text exposition via
+// Gateway.Metrics. Both seams are read-only over state the pipeline
+// already maintains: the hot path has no capture- or metrics-specific
+// branches, and the per-rule counters are position-indexed atomics
+// bumped where the verdict and match decisions already happen.
 
 import (
 	"bufio"
@@ -384,6 +400,13 @@ type Gateway struct {
 	verdictDrops  atomic.Uint64
 	verdictPasses atomic.Uint64
 	droppedBytes  atomic.Uint64
+
+	// Per-rule counters, indexed by the rule's position in cfg.Rules (not
+	// its ID — IDs may be sparse). Fixed-size atomic slices allocated at
+	// construction keep the hot path allocation-free: counting a verdict or
+	// an attributed match is one predictable atomic add.
+	ruleFlows   []atomic.Uint64 // classifications decided by this rule
+	ruleMatches []atomic.Uint64 // matches attributed to this rule
 }
 
 type seqPacket struct {
@@ -418,9 +441,11 @@ type gwEngineShard struct {
 func (e *Engine) Gateway(cfg GatewayConfig, emit func(FlowMatch)) *Gateway {
 	cfg = cfg.withDefaults(e)
 	g := &Gateway{
-		m:   e.m,
-		cfg: cfg,
-		in:  make(chan seqPacket, cfg.QueueDepth),
+		m:           e.m,
+		cfg:         cfg,
+		in:          make(chan seqPacket, cfg.QueueDepth),
+		ruleFlows:   make([]atomic.Uint64, len(cfg.Rules)),
+		ruleMatches: make([]atomic.Uint64, len(cfg.Rules)),
 	}
 	// A negative MaxTotalBuffer disables the global cap but the budget is
 	// still kept, with an effectively infinite limit, so Stats can always
@@ -510,6 +535,7 @@ func (g *Gateway) notifyVerdict(t FiveTuple, v Verdict, idx int) {
 	if idx < 0 {
 		return
 	}
+	g.ruleFlows[idx].Add(1)
 	switch v {
 	case VerdictAlert:
 		g.verdictAlerts.Add(1)
@@ -550,13 +576,16 @@ type gwFlow struct {
 // open checks scanner state out of the engine pool and binds the match
 // emission path, stamping each match with the flow's verdict attribution.
 func (fl *gwFlow) open() {
-	v, rid := VerdictNone, -1
-	if fl.ruleIdx >= 0 {
+	v, rid, idx := VerdictNone, -1, fl.ruleIdx
+	if idx >= 0 {
 		v = VerdictAlert
-		rid = fl.g.cfg.Rules[fl.ruleIdx].ID
+		rid = fl.g.cfg.Rules[idx].ID
 	}
 	g := fl.g
 	fl.f = fl.e.Flow(func(m Match) {
+		if idx >= 0 {
+			g.ruleMatches[idx].Add(1)
+		}
 		g.emit(FlowMatch{Tuple: fl.tuple, Match: m, Verdict: v, RuleID: rid})
 	})
 }
@@ -874,6 +903,9 @@ func (g *Gateway) burstScanner(sh *gwEngineShard) {
 					rid = g.cfg.Rules[ruleIdx[i]].ID
 				}
 				for _, am := range ms {
+					if ruleIdx[i] >= 0 {
+						g.ruleMatches[ruleIdx[i]].Add(1)
+					}
 					g.emit(FlowMatch{Tuple: kept[i].tuple, Match: g.m.convert(am, kept[i].seq), Verdict: v, RuleID: rid})
 				}
 			}
@@ -913,6 +945,39 @@ func (g *Gateway) ShardStats() []EngineStats {
 	out := make([]EngineStats, len(g.shards))
 	for i, sh := range g.shards {
 		out[i] = sh.e.Stats()
+	}
+	return out
+}
+
+// RuleStats is one verdict rule's running counters. Flows counts the
+// classification decisions the rule made (once per TCP connection, once
+// per stateless packet); Matches counts the emitted matches it admitted —
+// always zero for drop/pass rules, whose traffic is never scanned.
+type RuleStats struct {
+	ID      int
+	Name    string
+	Verdict Verdict // the configured action, with VerdictNone normalized to alert
+	Flows   uint64
+	Matches uint64
+}
+
+// RuleStats returns per-rule counters in cfg.Rules order. Like Stats, it
+// may be called while the gateway is running.
+func (g *Gateway) RuleStats() []RuleStats {
+	out := make([]RuleStats, len(g.cfg.Rules))
+	for i := range g.cfg.Rules {
+		r := &g.cfg.Rules[i]
+		v := r.Verdict
+		if v == VerdictNone {
+			v = VerdictAlert
+		}
+		out[i] = RuleStats{
+			ID:      r.ID,
+			Name:    r.Name,
+			Verdict: v,
+			Flows:   g.ruleFlows[i].Load(),
+			Matches: g.ruleMatches[i].Load(),
+		}
 	}
 	return out
 }

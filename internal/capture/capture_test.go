@@ -1,0 +1,346 @@
+package capture
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+
+	"repro/internal/nids"
+)
+
+func tcpTuple(sport, dport uint16) nids.FiveTuple {
+	return nids.FiveTuple{
+		SrcIP:   nids.IPv4(10, 0, 0, 1),
+		DstIP:   nids.IPv4(192, 168, 0, 1),
+		SrcPort: sport, DstPort: dport,
+		Proto: nids.ProtoTCP,
+	}
+}
+
+// TestPcapRoundTrip writes and re-reads files in every container variant:
+// both byte orders × both timestamp resolutions, truncation preserved.
+func TestPcapRoundTrip(t *testing.T) {
+	payload := bytes.Repeat([]byte("x"), 100)
+	for _, cfg := range []WriterConfig{
+		{},
+		{BigEndian: true},
+		{Nano: true},
+		{BigEndian: true, Nano: true},
+	} {
+		var buf bytes.Buffer
+		w, err := NewWriter(&buf, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := w.WriteRecord(1000, 42, payload, len(payload)); err != nil {
+			t.Fatal(err)
+		}
+		if err := w.WriteRecord(1001, 43, payload[:60], len(payload)); err != nil { // snap-truncated
+			t.Fatal(err)
+		}
+		r, err := NewReader(&buf)
+		if err != nil {
+			t.Fatalf("%+v: %v", cfg, err)
+		}
+		hdr := r.Header()
+		if hdr.BigEndian != cfg.BigEndian || hdr.Nano != cfg.Nano {
+			t.Fatalf("%+v: header round-trip got %+v", cfg, hdr)
+		}
+		if hdr.SnapLen != 65535 || hdr.LinkType != LinkEthernet || hdr.VersionMajor != 2 || hdr.VersionMinor != 4 {
+			t.Fatalf("%+v: bad defaults in header %+v", cfg, hdr)
+		}
+		rec, err := r.Next()
+		if err != nil || rec.Sec != 1000 || rec.Subsec != 42 || !bytes.Equal(rec.Data, payload) || rec.Truncated() {
+			t.Fatalf("%+v: record 1 = %+v, %v", cfg, rec, err)
+		}
+		rec, err = r.Next()
+		if err != nil || !rec.Truncated() || len(rec.Data) != 60 || rec.OrigLen != 100 {
+			t.Fatalf("%+v: record 2 = %+v, %v", cfg, rec, err)
+		}
+		if _, err := r.Next(); err != io.EOF {
+			t.Fatalf("%+v: want clean EOF, got %v", cfg, err)
+		}
+	}
+}
+
+// TestPcapTruncatedFile proves every mid-structure cut is a detectable
+// error, never a silent clean EOF — a rotated-out or disk-full capture
+// must fail loudly, not lose its tail.
+func TestPcapTruncatedFile(t *testing.T) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf, WriterConfig{})
+	if err := w.WriteRecord(1, 2, bytes.Repeat([]byte("y"), 80), 80); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+
+	// Inside the global header.
+	if _, err := NewReader(bytes.NewReader(full[:10])); !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Fatalf("global header cut: got %v", err)
+	}
+	// Inside a record header.
+	r, err := NewReader(bytes.NewReader(full[:fileHeaderLen+7]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Next(); !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Fatalf("record header cut: got %v", err)
+	}
+	// Inside a record body.
+	r, err = NewReader(bytes.NewReader(full[:len(full)-5]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Next(); !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Fatalf("record body cut: got %v", err)
+	}
+}
+
+func TestPcapBadHeaders(t *testing.T) {
+	if _, err := NewReader(bytes.NewReader(make([]byte, 24))); err == nil {
+		t.Fatal("zero magic accepted")
+	}
+	png := append([]byte{0x0a, 0x0d, 0x0d, 0x0a}, make([]byte, 20)...)
+	if _, err := NewReader(bytes.NewReader(png)); err == nil || !bytes.Contains([]byte(err.Error()), []byte("pcapng")) {
+		t.Fatalf("pcapng magic: got %v", err)
+	}
+
+	// A record claiming more captured bytes than wire bytes is corrupt.
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf, WriterConfig{})
+	_ = w.WriteRecord(0, 0, []byte("abc"), 3)
+	raw := buf.Bytes()
+	// orig_len is at offset 12 of the record header; shrink it below incl_len.
+	raw[fileHeaderLen+12] = 1
+	raw[fileHeaderLen+13] = 0
+	raw[fileHeaderLen+14] = 0
+	raw[fileHeaderLen+15] = 0
+	r, err := NewReader(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Next(); err == nil {
+		t.Fatal("incl_len > orig_len accepted")
+	}
+}
+
+func TestTranslateTCP(t *testing.T) {
+	tr, err := NewTranslator(LinkEthernet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tup := tcpTuple(1234, 80)
+	payload := []byte("GET /cgi-bin/phf HTTP/1.0")
+	f := TCPFrame(tup, 0xdeadbeef, FlagSYN, payload, FrameOptions{})
+	pkt, ok := tr.Frame(f, len(f))
+	if !ok {
+		t.Fatal("TCP frame skipped")
+	}
+	if pkt.Tuple != tup || pkt.Seq != 0xdeadbeef || pkt.Flags != FlagSeq|FlagSYN {
+		t.Fatalf("translated %+v", pkt)
+	}
+	if !bytes.Equal(pkt.Payload, payload) {
+		t.Fatalf("payload %q", pkt.Payload)
+	}
+	// The payload must be an owned copy: the gateway takes ownership while
+	// the reader reuses its record buffer.
+	f[len(f)-1] ^= 0xff
+	if !bytes.Equal(pkt.Payload, payload) {
+		t.Fatal("payload aliases the frame buffer")
+	}
+
+	// FIN and RST map; a pure ACK is skipped.
+	f = TCPFrame(tup, 5, FlagFIN, nil, FrameOptions{})
+	if pkt, ok = tr.Frame(f, len(f)); !ok || pkt.Flags != FlagSeq|FlagFIN || len(pkt.Payload) != 0 {
+		t.Fatalf("FIN: ok=%v %+v", ok, pkt)
+	}
+	f = TCPFrame(tup, 6, FlagRST, nil, FrameOptions{})
+	if pkt, ok = tr.Frame(f, len(f)); !ok || pkt.Flags != FlagSeq|FlagRST {
+		t.Fatalf("RST: ok=%v %+v", ok, pkt)
+	}
+	f = TCPFrame(tup, 7, 0, nil, FrameOptions{})
+	if _, ok = tr.Frame(f, len(f)); ok {
+		t.Fatal("pure ACK delivered")
+	}
+	st := tr.Stats()
+	if st.TCPSegments != 3 || st.EmptyTCP != 1 || st.Frames != 4 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+// TestTranslateEthernetPadding: a 1-byte payload rides a frame padded to
+// the 60-byte Ethernet minimum; the IP total-length clamp must shed the
+// pad bytes or the flow's stream gains garbage.
+func TestTranslateEthernetPadding(t *testing.T) {
+	tr, _ := NewTranslator(LinkEthernet)
+	f := TCPFrame(tcpTuple(1, 2), 9, 0, []byte("Z"), FrameOptions{})
+	if len(f) != ethMinFrame {
+		t.Fatalf("frame not padded: %d", len(f))
+	}
+	pkt, ok := tr.Frame(f, len(f))
+	if !ok || string(pkt.Payload) != "Z" {
+		t.Fatalf("ok=%v payload=%q", ok, pkt.Payload)
+	}
+}
+
+func TestTranslateIPv4Options(t *testing.T) {
+	tr, _ := NewTranslator(LinkEthernet)
+	opts := []byte{0x07, 0x04, 0x00, 0x00, 0x01, 0x01, 0x01, 0x00} // record-route + NOPs, 8 bytes
+	payload := []byte("/etc/passwd")
+	f := TCPFrame(tcpTuple(4444, 80), 77, 0, payload, FrameOptions{IPOptions: opts})
+	pkt, ok := tr.Frame(f, len(f))
+	if !ok || !bytes.Equal(pkt.Payload, payload) || pkt.Seq != 77 {
+		t.Fatalf("IPv4 options: ok=%v %+v", ok, pkt)
+	}
+}
+
+func TestTranslateVLAN(t *testing.T) {
+	tr, _ := NewTranslator(LinkEthernet)
+	payload := []byte("tagged")
+	f := TCPFrame(tcpTuple(5, 6), 1, 0, payload, FrameOptions{VLAN: 42})
+	pkt, ok := tr.Frame(f, len(f))
+	if !ok || !bytes.Equal(pkt.Payload, payload) {
+		t.Fatalf("VLAN: ok=%v %+v", ok, pkt)
+	}
+	if tr.Stats().VLANTags != 1 {
+		t.Fatalf("stats %+v", tr.Stats())
+	}
+}
+
+func TestTranslateNonTCP(t *testing.T) {
+	tr, _ := NewTranslator(LinkEthernet)
+	udpT := nids.FiveTuple{SrcIP: 1, DstIP: 2, SrcPort: 53, DstPort: 4242, Proto: nids.ProtoUDP}
+	f := UDPFrame(udpT, []byte("dns-ish payload bytes"), FrameOptions{})
+	pkt, ok := tr.Frame(f, len(f))
+	if !ok || pkt.Tuple != udpT || pkt.Flags != 0 || string(pkt.Payload) != "dns-ish payload bytes" {
+		t.Fatalf("UDP: ok=%v %+v", ok, pkt)
+	}
+
+	icmpT := nids.FiveTuple{SrcIP: 3, DstIP: 4, Proto: nids.ProtoICMP}
+	f = IPFrame(icmpT, []byte{8, 0, 0, 0, 0, 1, 0, 1, 'p', 'i', 'n', 'g'}, FrameOptions{})
+	pkt, ok = tr.Frame(f, len(f))
+	if !ok || pkt.Tuple.Proto != nids.ProtoICMP || len(pkt.Payload) != 12 {
+		t.Fatalf("ICMP: ok=%v %+v", ok, pkt)
+	}
+
+	if _, ok = tr.Frame(ARPFrame(), ethMinFrame); ok {
+		t.Fatal("ARP delivered")
+	}
+	// An IPv6 frame: EtherType 0x86dd.
+	v6 := ARPFrame()
+	v6[12], v6[13] = 0x86, 0xdd
+	if _, ok = tr.Frame(v6, len(v6)); ok {
+		t.Fatal("IPv6 delivered")
+	}
+	st := tr.Stats()
+	if st.UDPPackets != 1 || st.OtherIP != 1 || st.NonIP != 2 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestTranslateFragmentsAndShort(t *testing.T) {
+	tr, _ := NewTranslator(LinkEthernet)
+	tup := tcpTuple(1, 2)
+	// First fragment (MF set) and a continuation fragment (offset 100).
+	for _, frag := range []uint16{0x2000, 100} {
+		f := TCPFrame(tup, 1, 0, []byte("fragmented-data"), FrameOptions{FragField: frag})
+		if _, ok := tr.Frame(f, len(f)); ok {
+			t.Fatalf("fragment %#x delivered", frag)
+		}
+	}
+	// Cut inside the IP header, and inside the TCP header.
+	f := TCPFrame(tup, 1, 0, []byte("body"), FrameOptions{NoPad: true})
+	if _, ok := tr.Frame(f[:20], len(f)); ok {
+		t.Fatal("IP-header stub delivered")
+	}
+	if _, ok := tr.Frame(f[:14+20+10], len(f)); ok {
+		t.Fatal("TCP-header stub delivered")
+	}
+	st := tr.Stats()
+	if st.Fragments != 2 || st.Short != 2 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+// TestTranslateSnapTruncation: a record whose capture stopped mid-payload
+// delivers the captured prefix and is counted Truncated.
+func TestTranslateSnapTruncation(t *testing.T) {
+	tr, _ := NewTranslator(LinkEthernet)
+	payload := bytes.Repeat([]byte("A"), 200)
+	f := TCPFrame(tcpTuple(1, 2), 1, 0, payload, FrameOptions{})
+	cut := f[:len(f)-150]
+	pkt, ok := tr.Frame(cut, len(f))
+	if !ok || len(pkt.Payload) != 50 || !bytes.Equal(pkt.Payload, payload[:50]) {
+		t.Fatalf("truncated: ok=%v len=%d", ok, len(pkt.Payload))
+	}
+	if tr.Stats().Truncated != 1 {
+		t.Fatalf("stats %+v", tr.Stats())
+	}
+}
+
+func TestRawIPLinkType(t *testing.T) {
+	tr, err := NewTranslator(LinkRawIP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eth := TCPFrame(tcpTuple(9, 10), 3, 0, []byte("raw"), FrameOptions{NoPad: true})
+	ip := eth[14:] // strip the Ethernet header: raw-IP frames start at IP
+	pkt, ok := tr.Frame(ip, len(ip))
+	if !ok || string(pkt.Payload) != "raw" {
+		t.Fatalf("raw IP: ok=%v %+v", ok, pkt)
+	}
+	if _, err := NewTranslator(113); err == nil {
+		t.Fatal("unknown link type accepted")
+	}
+}
+
+// TestSourceSkipsAndEOF: the fused Source yields only scannable packets
+// and distinguishes clean EOF from truncation.
+func TestSourceSkipsAndEOF(t *testing.T) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf, WriterConfig{})
+	tup := tcpTuple(1000, 80)
+	_ = w.WriteRecord(1, 0, ARPFrame(), ethMinFrame)
+	f1 := TCPFrame(tup, 10, FlagSYN, nil, FrameOptions{})
+	_ = w.WriteRecord(1, 1, f1, len(f1))
+	f2 := TCPFrame(tup, 11, 0, []byte("hello"), FrameOptions{})
+	_ = w.WriteRecord(1, 2, f2, len(f2))
+
+	s, err := NewSource(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1, err := s.Next()
+	if err != nil || p1.Flags != FlagSeq|FlagSYN {
+		t.Fatalf("p1 %+v %v", p1, err)
+	}
+	p2, err := s.Next()
+	if err != nil || string(p2.Payload) != "hello" {
+		t.Fatalf("p2 %+v %v", p2, err)
+	}
+	if _, err := s.Next(); err != io.EOF {
+		t.Fatalf("want EOF, got %v", err)
+	}
+	if st := s.Stats(); st.NonIP != 1 || st.TCPSegments != 2 {
+		t.Fatalf("stats %+v", st)
+	}
+
+	if _, err := s2OrErr(buf.Bytes()[:len(buf.Bytes())-3]); !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Fatalf("truncated source: got %v", err)
+	}
+}
+
+// s2OrErr drains a source built over raw bytes, returning the terminal
+// error.
+func s2OrErr(raw []byte) (TranslateStats, error) {
+	s, err := NewSource(bytes.NewReader(raw))
+	if err != nil {
+		return TranslateStats{}, err
+	}
+	for {
+		if _, err := s.Next(); err != nil {
+			return s.Stats(), err
+		}
+	}
+}

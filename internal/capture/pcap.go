@@ -1,0 +1,244 @@
+// Package capture is the capture-to-verdict edge: it reads real packet
+// captures (classic libpcap files, pure Go, no cgo) and translates their
+// link-layer frames into the gateway's packet model — 5-tuple, TCP sequence
+// number and control flags, payload — so recorded traffic can flow through
+// the same reassembly, verdict and scan pipeline the synthetic workloads
+// exercise. The package is the seam ROADMAP item 5 names: the v2 gateway
+// frame format was designed for exactly this translation, and committed
+// pcap corpora become scenario regression tests with per-flow FindAll
+// oracles (see testdata/pcap and the pcap scenario tests in the root
+// package).
+//
+// Three layers, composable separately:
+//
+//   - Reader/Writer: the classic libpcap container (magic 0xa1b2c3d4 and
+//     the nanosecond 0xa1b23c4d variant, both byte orders, snaplen
+//     truncation preserved through OrigLen). Next reuses one record buffer,
+//     so reading a multi-gigabyte trace allocates per payload, not per
+//     record.
+//   - Translator: link-layer frame → Packet. Ethernet (including stacked
+//     802.1Q/802.1ad VLAN tags) and raw-IP link types; IPv4 with options
+//     (IHL honoured, total-length clamp strips Ethernet padding); TCP with
+//     options (data offset honoured), sequence numbers and SYN/FIN/RST;
+//     UDP and other IP protocols as stateless packets. Frames the pipeline
+//     cannot scan (non-IPv4, fragments, header-truncated captures,
+//     payload-less ACKs) are counted, never silently dropped.
+//   - Source: Reader + Translator fused into a pull iterator of scannable
+//     packets, the shape Gateway.ReplayPcap consumes.
+//
+// The translator is deliberately conservative: anything it cannot parse
+// completely and unambiguously is skipped and accounted in Stats rather
+// than delivered half-parsed, because a half-parsed segment would corrupt a
+// flow's reassembled stream and break the byte-exactness contract the scan
+// backends are proven against.
+package capture
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Link types (pcap "network" field) the translator understands.
+const (
+	// LinkEthernet is DLT_EN10MB: 14-byte Ethernet II headers, optionally
+	// VLAN-tagged.
+	LinkEthernet uint32 = 1
+	// LinkRawIP is DLT_RAW: frames begin directly at the IP header.
+	LinkRawIP uint32 = 101
+)
+
+// pcap container constants. The magic doubles as the byte-order probe: a
+// little-endian writer emits d4 c3 b2 a1 on the wire, a big-endian writer
+// a1 b2 c3 d4, and the nanosecond variants swap the inner bytes.
+const (
+	magicMicro       = 0xa1b2c3d4
+	magicNano        = 0xa1b23c4d
+	fileHeaderLen    = 24
+	recordHeaderLen  = 16
+	defaultSnapLen   = 65535
+	maxSaneRecordLen = 64 << 20 // no real link produces a 64 MiB packet; larger means corruption
+)
+
+// FileHeader describes one pcap file's container parameters.
+type FileHeader struct {
+	BigEndian    bool   // byte order of all container fields
+	Nano         bool   // record timestamps carry nanoseconds, not microseconds
+	SnapLen      uint32 // capture length limit records were truncated to
+	LinkType     uint32 // link-layer type of every record (LinkEthernet, ...)
+	VersionMajor uint16
+	VersionMinor uint16
+}
+
+// Record is one captured frame. Data is valid only until the next call to
+// Reader.Next — it aliases the reader's internal buffer; copy to retain.
+type Record struct {
+	Sec     uint32 // capture timestamp, seconds
+	Subsec  uint32 // microseconds, or nanoseconds when the file header says Nano
+	OrigLen uint32 // original frame length on the wire; > len(Data) when truncated at SnapLen
+	Data    []byte
+}
+
+// Truncated reports whether the capture cut this frame short of its
+// on-the-wire length.
+func (r Record) Truncated() bool { return int(r.OrigLen) > len(r.Data) }
+
+// Reader reads classic libpcap files in either byte order, with either
+// timestamp resolution.
+type Reader struct {
+	r   io.Reader
+	hdr FileHeader
+	ord binary.ByteOrder
+	buf []byte
+	max uint32
+}
+
+// NewReader reads and validates the 24-byte global header. It rejects
+// pcapng files (a different container; convert with `tshark -F libpcap`)
+// and unknown magics.
+func NewReader(r io.Reader) (*Reader, error) {
+	var hdr [fileHeaderLen]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			return nil, fmt.Errorf("capture: truncated pcap file header: %w", io.ErrUnexpectedEOF)
+		}
+		return nil, err
+	}
+	rd := &Reader{r: r}
+	switch be := binary.BigEndian.Uint32(hdr[:4]); be {
+	case magicMicro, magicNano:
+		rd.ord = binary.BigEndian
+		rd.hdr.BigEndian = true
+		rd.hdr.Nano = be == magicNano
+	default:
+		switch le := binary.LittleEndian.Uint32(hdr[:4]); le {
+		case magicMicro, magicNano:
+			rd.ord = binary.LittleEndian
+			rd.hdr.Nano = le == magicNano
+		case 0x0a0d0d0a:
+			return nil, fmt.Errorf("capture: pcapng container not supported; convert to classic pcap")
+		default:
+			return nil, fmt.Errorf("capture: bad pcap magic %#08x", be)
+		}
+	}
+	rd.hdr.VersionMajor = rd.ord.Uint16(hdr[4:6])
+	rd.hdr.VersionMinor = rd.ord.Uint16(hdr[6:8])
+	// hdr[8:16] is thiszone/sigfigs — always zero in practice, ignored.
+	rd.hdr.SnapLen = rd.ord.Uint32(hdr[16:20])
+	rd.hdr.LinkType = rd.ord.Uint32(hdr[20:24])
+	rd.max = rd.hdr.SnapLen
+	if rd.max == 0 || rd.max > maxSaneRecordLen {
+		rd.max = maxSaneRecordLen
+	}
+	return rd, nil
+}
+
+// Header returns the validated file header.
+func (r *Reader) Header() FileHeader { return r.hdr }
+
+// Next returns the next record. It returns io.EOF exactly at a record
+// boundary and io.ErrUnexpectedEOF when the file ends inside a record — a
+// truncated capture file is a distinct, detectable condition, not a clean
+// end of feed. Record.Data aliases an internal buffer reused across calls.
+func (r *Reader) Next() (Record, error) {
+	var hdr [recordHeaderLen]byte
+	if _, err := io.ReadFull(r.r, hdr[:]); err != nil {
+		if err == io.ErrUnexpectedEOF {
+			return Record{}, fmt.Errorf("capture: truncated record header: %w", err)
+		}
+		return Record{}, err // io.EOF: clean end of file
+	}
+	rec := Record{
+		Sec:     r.ord.Uint32(hdr[0:4]),
+		Subsec:  r.ord.Uint32(hdr[4:8]),
+		OrigLen: r.ord.Uint32(hdr[12:16]),
+	}
+	incl := r.ord.Uint32(hdr[8:12])
+	if incl > r.max {
+		return Record{}, fmt.Errorf("capture: record capture length %d exceeds limit %d (corrupt file?)", incl, r.max)
+	}
+	if incl > rec.OrigLen {
+		return Record{}, fmt.Errorf("capture: record capture length %d exceeds wire length %d", incl, rec.OrigLen)
+	}
+	if cap(r.buf) < int(incl) {
+		r.buf = make([]byte, incl)
+	}
+	r.buf = r.buf[:incl]
+	if _, err := io.ReadFull(r.r, r.buf); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return Record{}, fmt.Errorf("capture: truncated record body: %w", err)
+	}
+	rec.Data = r.buf
+	return rec, nil
+}
+
+// WriterConfig parameterizes a pcap Writer. The zero value writes a
+// little-endian, microsecond, Ethernet file with the conventional 65535
+// snap length.
+type WriterConfig struct {
+	BigEndian bool
+	Nano      bool
+	SnapLen   uint32 // 0 selects 65535
+	LinkType  uint32 // 0 selects LinkEthernet
+}
+
+// Writer writes classic libpcap files, byte-for-byte deterministic for a
+// given configuration and record sequence — which is what lets the
+// committed corpora under testdata/pcap be regenerated and diffed.
+type Writer struct {
+	w   io.Writer
+	ord binary.ByteOrder
+	cfg WriterConfig
+}
+
+// NewWriter writes the global header and returns a record writer.
+func NewWriter(w io.Writer, cfg WriterConfig) (*Writer, error) {
+	if cfg.SnapLen == 0 {
+		cfg.SnapLen = defaultSnapLen
+	}
+	if cfg.LinkType == 0 {
+		cfg.LinkType = LinkEthernet
+	}
+	var ord binary.ByteOrder = binary.LittleEndian
+	if cfg.BigEndian {
+		ord = binary.BigEndian
+	}
+	magic := uint32(magicMicro)
+	if cfg.Nano {
+		magic = magicNano
+	}
+	var hdr [fileHeaderLen]byte
+	ord.PutUint32(hdr[0:4], magic)
+	ord.PutUint16(hdr[4:6], 2)
+	ord.PutUint16(hdr[6:8], 4)
+	ord.PutUint32(hdr[16:20], cfg.SnapLen)
+	ord.PutUint32(hdr[20:24], cfg.LinkType)
+	if _, err := w.Write(hdr[:]); err != nil {
+		return nil, err
+	}
+	return &Writer{w: w, ord: ord, cfg: cfg}, nil
+}
+
+// WriteRecord writes one frame. origLen is the frame's on-the-wire length;
+// pass len(data) for untruncated frames, or more to record a frame the
+// capture cut short at the snap length.
+func (w *Writer) WriteRecord(sec, subsec uint32, data []byte, origLen int) error {
+	if origLen < len(data) {
+		return fmt.Errorf("capture: origLen %d shorter than captured data %d", origLen, len(data))
+	}
+	if uint32(len(data)) > w.cfg.SnapLen {
+		return fmt.Errorf("capture: record length %d exceeds snap length %d", len(data), w.cfg.SnapLen)
+	}
+	var hdr [recordHeaderLen]byte
+	w.ord.PutUint32(hdr[0:4], sec)
+	w.ord.PutUint32(hdr[4:8], subsec)
+	w.ord.PutUint32(hdr[8:12], uint32(len(data)))
+	w.ord.PutUint32(hdr[12:16], uint32(origLen))
+	if _, err := w.w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.w.Write(data)
+	return err
+}

@@ -1,0 +1,89 @@
+package metrics
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestWriterAndValidateRoundTrip(t *testing.T) {
+	var w Writer
+	w.Metric("dpi_packets_total", "counter", "Packets ingested.")
+	w.Sample(12345)
+	w.Metric("dpi_rule_flows_total", "counter", `Flows per rule, with "quotes" and back\slash.`)
+	w.Sample(3, Label{"rule_id", "7"}, Label{"rule", `quo"te\d`}, Label{"verdict", "alert"})
+	w.Sample(0, Label{"rule_id", "8"}, Label{"rule", "plain"}, Label{"verdict", "drop"})
+	w.Metric("dpi_flows_live", "gauge", "Live flows.")
+	w.Sample(17.5)
+
+	n, err := Validate(w.Bytes())
+	if err != nil {
+		t.Fatalf("Validate: %v\n%s", err, w.Bytes())
+	}
+	if n != 4 {
+		t.Errorf("Validate counted %d samples, want 4", n)
+	}
+	out := string(w.Bytes())
+	for _, want := range []string{
+		"# TYPE dpi_packets_total counter\n",
+		"dpi_packets_total 12345\n",
+		`rule="quo\"te\\d"`,
+		"dpi_flows_live 17.5\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestValidateRejectsMalformed(t *testing.T) {
+	cases := map[string]string{
+		"undeclared family":  "dpi_x 1\n",
+		"missing newline":    "# HELP a b\n# TYPE a counter\na 1",
+		"bad value":          "# HELP a b\n# TYPE a counter\na one\n",
+		"bad type":           "# HELP a b\n# TYPE a meter\na 1\n",
+		"empty label name":   "# HELP a b\n# TYPE a counter\na{=\"x\"} 1\n",
+		"unterminated label": "# HELP a b\n# TYPE a counter\na{l=\"x} 1\n",
+		"bad escape":         "# HELP a b\n# TYPE a counter\na{l=\"\\x\"} 1\n",
+		"duplicate family":   "# HELP a b\n# TYPE a counter\n# TYPE a counter\na 1\n",
+		"name starts digit":  "# HELP a b\n# TYPE a counter\n9a 1\n",
+	}
+	for what, in := range cases {
+		if _, err := Validate([]byte(in)); err == nil {
+			t.Errorf("%s: Validate accepted %q", what, in)
+		}
+	}
+}
+
+func TestHandler(t *testing.T) {
+	h := Handler(func(w *Writer) {
+		w.Metric("dpi_up", "gauge", "Always one.")
+		w.Sample(1)
+	})
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != ContentType {
+		t.Errorf("Content-Type = %q, want %q", ct, ContentType)
+	}
+	buf := make([]byte, 1<<12)
+	n, _ := resp.Body.Read(buf)
+	if _, err := Validate(buf[:n]); err != nil {
+		t.Errorf("served exposition invalid: %v", err)
+	}
+
+	post, err := http.Post(srv.URL, "text/plain", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	post.Body.Close()
+	if post.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("POST status = %d, want 405", post.StatusCode)
+	}
+}

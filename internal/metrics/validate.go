@@ -1,0 +1,198 @@
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Validate strictly checks one text exposition: every line must be a
+// well-formed HELP/TYPE comment or sample, label syntax and escaping must
+// be exact, every sample's family must have been declared by a preceding
+// TYPE line, and a family must not be declared twice. It returns the
+// number of samples on success.
+func Validate(exposition []byte) (samples int, err error) {
+	typed := map[string]string{} // family → counter|gauge
+	lines := strings.Split(string(exposition), "\n")
+	for i, line := range lines {
+		lineNo := i + 1
+		if line == "" {
+			// Only legal as the trailing newline's empty remainder.
+			if i != len(lines)-1 {
+				return samples, fmt.Errorf("line %d: empty line inside exposition", lineNo)
+			}
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			if err := validateComment(line, typed); err != nil {
+				return samples, fmt.Errorf("line %d: %w", lineNo, err)
+			}
+			continue
+		}
+		if err := validateSample(line, typed); err != nil {
+			return samples, fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		samples++
+	}
+	if len(exposition) > 0 && exposition[len(exposition)-1] != '\n' {
+		return samples, fmt.Errorf("exposition does not end with a newline")
+	}
+	return samples, nil
+}
+
+func validateComment(line string, typed map[string]string) error {
+	parts := strings.SplitN(line, " ", 4)
+	if len(parts) < 3 || parts[0] != "#" {
+		return fmt.Errorf("malformed comment %q", line)
+	}
+	switch parts[1] {
+	case "HELP":
+		if !validMetricName(parts[2]) {
+			return fmt.Errorf("HELP for invalid metric name %q", parts[2])
+		}
+		return nil
+	case "TYPE":
+		if !validMetricName(parts[2]) {
+			return fmt.Errorf("TYPE for invalid metric name %q", parts[2])
+		}
+		if len(parts) != 4 {
+			return fmt.Errorf("TYPE line missing type: %q", line)
+		}
+		switch parts[3] {
+		case "counter", "gauge", "histogram", "summary", "untyped":
+		default:
+			return fmt.Errorf("unknown metric type %q", parts[3])
+		}
+		if _, dup := typed[parts[2]]; dup {
+			return fmt.Errorf("family %q declared twice", parts[2])
+		}
+		typed[parts[2]] = parts[3]
+		return nil
+	}
+	return fmt.Errorf("unknown comment keyword %q", parts[1])
+}
+
+func validateSample(line string, typed map[string]string) error {
+	rest := line
+	// Metric name.
+	end := 0
+	for end < len(rest) && isNameChar(rest[end], end == 0) {
+		end++
+	}
+	if end == 0 {
+		return fmt.Errorf("sample does not start with a metric name: %q", line)
+	}
+	name := rest[:end]
+	if _, ok := typed[name]; !ok {
+		return fmt.Errorf("sample for undeclared family %q", name)
+	}
+	rest = rest[end:]
+	// Optional label set.
+	if strings.HasPrefix(rest, "{") {
+		var err error
+		rest, err = validateLabels(rest)
+		if err != nil {
+			return fmt.Errorf("sample %q: %w", line, err)
+		}
+	}
+	// Mandatory " value", optional " timestamp" (we emit none; reject to
+	// stay strict about what our own writer produces).
+	if !strings.HasPrefix(rest, " ") {
+		return fmt.Errorf("sample %q: missing space before value", line)
+	}
+	val := rest[1:]
+	switch val {
+	case "+Inf", "-Inf", "NaN":
+		return nil
+	}
+	f, err := strconv.ParseFloat(val, 64)
+	if err != nil {
+		return fmt.Errorf("sample %q: bad value %q", line, val)
+	}
+	if math.IsInf(f, 0) {
+		return fmt.Errorf("sample %q: non-canonical infinity", line)
+	}
+	return nil
+}
+
+// validateLabels consumes a {name="value",...} block, returning the
+// remainder of the line.
+func validateLabels(rest string) (string, error) {
+	rest = rest[1:] // consume '{'
+	for {
+		end := 0
+		for end < len(rest) && isLabelChar(rest[end], end == 0) {
+			end++
+		}
+		if end == 0 {
+			return "", fmt.Errorf("empty label name")
+		}
+		rest = rest[end:]
+		if !strings.HasPrefix(rest, `="`) {
+			return "", fmt.Errorf("label missing =\"")
+		}
+		rest = rest[2:]
+		for {
+			if len(rest) == 0 {
+				return "", fmt.Errorf("unterminated label value")
+			}
+			c := rest[0]
+			if c == '"' {
+				rest = rest[1:]
+				break
+			}
+			if c == '\\' {
+				if len(rest) < 2 || (rest[1] != '\\' && rest[1] != '"' && rest[1] != 'n') {
+					return "", fmt.Errorf("bad escape in label value")
+				}
+				rest = rest[2:]
+				continue
+			}
+			if c == '\n' {
+				return "", fmt.Errorf("raw newline in label value")
+			}
+			rest = rest[1:]
+		}
+		if strings.HasPrefix(rest, ",") {
+			rest = rest[1:]
+			continue
+		}
+		if strings.HasPrefix(rest, "}") {
+			return rest[1:], nil
+		}
+		return "", fmt.Errorf("expected ',' or '}' after label")
+	}
+}
+
+func validMetricName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		if !isNameChar(s[i], i == 0) {
+			return false
+		}
+	}
+	return true
+}
+
+func isNameChar(c byte, first bool) bool {
+	switch {
+	case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+		return true
+	case c >= '0' && c <= '9':
+		return !first
+	}
+	return false
+}
+
+func isLabelChar(c byte, first bool) bool {
+	switch {
+	case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_':
+		return true
+	case c >= '0' && c <= '9':
+		return !first
+	}
+	return false
+}

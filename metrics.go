@@ -1,0 +1,182 @@
+package dpi
+
+// The metrics seam: Gateway.Metrics() is the observability half of the
+// capture-to-verdict edge. Everything it exports is a counter the pipeline
+// already keeps — GatewayStats, per-shard EngineStats, flow-table
+// occupancy and evictions by reason, reassembly buffer pressure, and the
+// per-rule verdict/match counters — rendered on demand into the
+// Prometheus text exposition format by internal/metrics. A scrape costs
+// one snapshot and one buffer render; nothing on the packet hot path
+// knows metrics exist. OPERATIONS.md documents every series, its type and
+// labels, and what alerting on it means.
+
+import (
+	"io"
+	"net/http"
+	"strconv"
+
+	"repro/internal/metrics"
+)
+
+// GatewayMetrics renders a Gateway's counters in the Prometheus text
+// exposition format (version 0.0.4). It implements http.Handler — mount
+// it at /metrics — and WriteTo for non-HTTP collection. Every render is a
+// fresh point-in-time snapshot; the value is safe to share and scrape
+// concurrently while the gateway runs.
+type GatewayMetrics struct {
+	g *Gateway
+	h http.Handler
+}
+
+// Metrics returns the gateway's Prometheus-format metrics surface.
+func (g *Gateway) Metrics() *GatewayMetrics {
+	gm := &GatewayMetrics{g: g}
+	gm.h = metrics.Handler(gm.render)
+	return gm
+}
+
+// ServeHTTP serves one exposition per GET/HEAD request with the
+// text-format Content-Type.
+func (gm *GatewayMetrics) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	gm.h.ServeHTTP(w, r)
+}
+
+// WriteTo renders one exposition to w.
+func (gm *GatewayMetrics) WriteTo(w io.Writer) (int64, error) {
+	var mw metrics.Writer
+	gm.render(&mw)
+	return mw.WriteTo(w)
+}
+
+func (gm *GatewayMetrics) render(w *metrics.Writer) {
+	g := gm.g
+	s := g.Stats()
+	ts := g.table.Stats()
+
+	w.Metric("dpi_backend_info", "gauge",
+		"Scan backend every shard runs (see Config.Backend); value is always 1.")
+	w.Sample(1, metrics.Label{Name: "backend", Value: g.Backend()})
+
+	w.Metric("dpi_gateway_engine_shards", "gauge", "Engine replicas behind this gateway.")
+	w.Sample(float64(s.EngineShards))
+
+	w.Metric("dpi_gateway_packets_total", "counter", "Packets ingested.")
+	w.Sample(float64(s.Packets))
+	w.Metric("dpi_gateway_payload_bytes_total", "counter", "Payload bytes ingested.")
+	w.Sample(float64(s.Bytes))
+	w.Metric("dpi_gateway_stream_packets_total", "counter",
+		"Packets routed through per-flow stream state (TCP).")
+	w.Sample(float64(s.StreamPackets))
+	w.Metric("dpi_gateway_batch_packets_total", "counter",
+		"Packets scanned statelessly in bursts (UDP and other IP).")
+	w.Sample(float64(s.BatchPackets))
+	w.Metric("dpi_gateway_batches_total", "counter", "Bursts handed to the batch scanners.")
+	w.Sample(float64(s.Batches))
+	w.Metric("dpi_gateway_matches_total", "counter", "FlowMatches emitted.")
+	w.Sample(float64(s.Matches))
+
+	w.Metric("dpi_gateway_reassembled_bytes_total", "counter",
+		"Bytes delivered to scanners in stream order by TCP reassembly.")
+	w.Sample(float64(s.ReassembledBytes))
+	w.Metric("dpi_gateway_out_of_order_segments_total", "counter",
+		"Segments that had to be buffered out of order.")
+	w.Sample(float64(s.OutOfOrderSegs))
+	w.Metric("dpi_gateway_duplicate_bytes_total", "counter",
+		"Retransmitted or overlapping bytes discarded by the overlap policy.")
+	w.Sample(float64(s.DuplicateBytes))
+	w.Metric("dpi_gateway_reassembly_dropped_bytes_total", "counter",
+		"Out-of-order bytes dropped to the per-flow or global buffer caps.")
+	w.Sample(float64(s.ReassemblyDrops))
+	w.Metric("dpi_gateway_gap_skips_total", "counter", "Reassembly gaps skipped on timeout.")
+	w.Sample(float64(s.GapSkips))
+	w.Metric("dpi_gateway_gap_skipped_bytes_total", "counter",
+		"Unseen stream bytes skipped past on gap timeouts.")
+	w.Sample(float64(s.GapSkippedBytes))
+	w.Metric("dpi_gateway_reassembly_buffered_bytes", "gauge",
+		"Out-of-order bytes currently buffered across all flows.")
+	w.Sample(float64(s.BufferedBytes))
+	w.Metric("dpi_gateway_reassembly_buffer_limit_bytes", "gauge",
+		"Configured global out-of-order buffer cap (0 = unlimited).")
+	limit := g.cfg.MaxTotalBuffer
+	if limit < 0 {
+		limit = 0
+	}
+	w.Sample(float64(limit))
+
+	w.Metric("dpi_gateway_verdicts_total", "counter",
+		"Header-rule classifications by action (per TCP connection, per stateless packet).")
+	w.Sample(float64(s.VerdictAlerts), metrics.Label{Name: "verdict", Value: "alert"})
+	w.Sample(float64(s.VerdictDrops), metrics.Label{Name: "verdict", Value: "drop"})
+	w.Sample(float64(s.VerdictPasses), metrics.Label{Name: "verdict", Value: "pass"})
+	w.Metric("dpi_gateway_verdict_dropped_bytes_total", "counter",
+		"Payload bytes of verdict-dropped traffic, discarded unscanned.")
+	w.Sample(float64(s.DroppedBytes))
+
+	w.Metric("dpi_gateway_flows_live", "gauge", "Flow-table entries currently live.")
+	w.Sample(float64(ts.Live))
+	w.Metric("dpi_gateway_flows_created_total", "counter", "Flow-table entries created.")
+	w.Sample(float64(ts.Created))
+	w.Metric("dpi_gateway_flows_evicted_total", "counter",
+		"Flow-table entries removed, by reason: capacity (MaxFlows pressure), idle (IdleTimeout), teardown (RST).")
+	w.Sample(float64(ts.EvictedCap), metrics.Label{Name: "reason", Value: "capacity"})
+	w.Sample(float64(ts.EvictedIdle), metrics.Label{Name: "reason", Value: "idle"})
+	w.Sample(float64(ts.Removed), metrics.Label{Name: "reason", Value: "teardown"})
+	w.Metric("dpi_gateway_flows_finished_total", "counter", "Connections completed via FIN.")
+	w.Sample(float64(s.FlowsFinished))
+	w.Metric("dpi_gateway_flows_reset_total", "counter", "Connections torn down by RST.")
+	w.Sample(float64(s.FlowsReset))
+	w.Metric("dpi_gateway_flow_table_clock", "gauge",
+		"Flow-table logical clock: table-wide stream packets seen (the unit IdleTimeout is measured in).")
+	w.Sample(float64(ts.Clock))
+
+	shardStats := g.ShardStats()
+	shardLabel := func(i int) metrics.Label {
+		return metrics.Label{Name: "shard", Value: strconv.Itoa(i)}
+	}
+	w.Metric("dpi_engine_batches_total", "counter",
+		"Stateless scan batches per engine shard.")
+	for i, es := range shardStats {
+		w.Sample(float64(es.Batches), shardLabel(i))
+	}
+	w.Metric("dpi_engine_batch_packets_total", "counter",
+		"Stateless payloads scanned per engine shard.")
+	for i, es := range shardStats {
+		w.Sample(float64(es.BatchPkts), shardLabel(i))
+	}
+	w.Metric("dpi_engine_batch_bytes_total", "counter",
+		"Stateless payload bytes scanned per engine shard.")
+	for i, es := range shardStats {
+		w.Sample(float64(es.BatchBytes), shardLabel(i))
+	}
+	w.Metric("dpi_engine_flows_opened_total", "counter",
+		"Scanner-state checkouts from each shard's flow pool.")
+	for i, es := range shardStats {
+		w.Sample(float64(es.FlowsOpened), shardLabel(i))
+	}
+	w.Metric("dpi_engine_stream_bytes_total", "counter",
+		"Stream bytes scanned per engine shard.")
+	for i, es := range shardStats {
+		w.Sample(float64(es.StreamBytes), shardLabel(i))
+	}
+
+	rules := g.RuleStats()
+	if len(rules) > 0 {
+		ruleLabels := func(r RuleStats) []metrics.Label {
+			return []metrics.Label{
+				{Name: "rule_id", Value: strconv.Itoa(r.ID)},
+				{Name: "rule", Value: r.Name},
+				{Name: "verdict", Value: r.Verdict.String()},
+			}
+		}
+		w.Metric("dpi_rule_flows_total", "counter",
+			"Classification decisions per verdict rule (per TCP connection, per stateless packet).")
+		for _, r := range rules {
+			w.Sample(float64(r.Flows), ruleLabels(r)...)
+		}
+		w.Metric("dpi_rule_matches_total", "counter",
+			"Matches admitted per verdict rule (always 0 for drop/pass rules).")
+		for _, r := range rules {
+			w.Sample(float64(r.Matches), ruleLabels(r)...)
+		}
+	}
+}
