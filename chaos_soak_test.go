@@ -1,0 +1,539 @@
+package dpi_test
+
+// Chaos soak: the deterministic fault-injection acceptance suite. Each
+// scenario drives the gateway through a seeded fault regime from
+// internal/chaos and asserts the two robustness contracts from the same
+// run: matches stay oracle-exact over the bytes actually delivered to
+// scanning, and the byte-conservation ledger balances at every drained
+// checkpoint (Ingested == Scanned + Shed + Skipped + Buffered). This file
+// lives in the external test package because internal/chaos imports the
+// root dpi package — an internal test package would close an import cycle.
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	dpi "repro"
+	"repro/internal/chaos"
+	"repro/internal/ruleset"
+	"repro/internal/traffic"
+)
+
+// soakCollector gathers matches by tuple; emit runs on pipeline
+// goroutines, so it locks.
+type soakCollector struct {
+	mu      sync.Mutex
+	byTuple map[dpi.FiveTuple][]dpi.Match
+}
+
+func newSoakCollector() *soakCollector {
+	return &soakCollector{byTuple: map[dpi.FiveTuple][]dpi.Match{}}
+}
+
+func (c *soakCollector) emit(fm dpi.FlowMatch) {
+	c.mu.Lock()
+	c.byTuple[fm.Tuple] = append(c.byTuple[fm.Tuple], fm.Match)
+	c.mu.Unlock()
+}
+
+func (c *soakCollector) matches(t dpi.FiveTuple) []dpi.Match {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.byTuple[t]
+}
+
+func soakMatcher(t testing.TB, n int, backend string) (*dpi.Matcher, *ruleset.Set) {
+	t.Helper()
+	rules, err := dpi.GenerateSnortLike(n, 77)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := dpi.Compile(rules, dpi.Config{Groups: 2, Backend: backend})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, rules.InternalSet()
+}
+
+// sameSoakMatches compares match sequences ignoring PacketID (the oracle
+// scans whole streams; the gateway attributes segments).
+func sameSoakMatches(got, want []dpi.Match) bool {
+	if len(got) != len(want) {
+		return false
+	}
+	for i := range got {
+		if got[i].PatternID != want[i].PatternID || got[i].Start != want[i].Start || got[i].End != want[i].End {
+			return false
+		}
+	}
+	return true
+}
+
+func requireBalanced(t *testing.T, st dpi.GatewayStats, when string) {
+	t.Helper()
+	if l := st.Ledger(); !l.Balanced() {
+		t.Fatalf("%s: conservation law violated: %+v (stats %+v)", when, l, st)
+	}
+}
+
+// TestChaosSoakBlockStorm: under the default Block policy a seeded
+// duplicate/reorder storm within the reassembly buffers' reach must be
+// invisible — every flow's matches byte-identical to the in-order FindAll
+// oracle, across every backend × shard combination, with the ledger
+// balancing at the drained checkpoint.
+func TestChaosSoakBlockStorm(t *testing.T) {
+	for _, backend := range []string{dpi.BackendReference, dpi.BackendBaked, dpi.BackendPrefiltered, dpi.BackendAccelerated} {
+		for _, shards := range []int{1, 2, 4} {
+			t.Run(fmt.Sprintf("backend=%s/shards=%d", backend, shards), func(t *testing.T) {
+				m, set := soakMatcher(t, 250, backend)
+				w, err := traffic.GenerateFlows(set, traffic.FlowConfig{
+					Flows: 16, SegmentsPerFlow: 6, SegmentBytes: 140, Seed: 211,
+					CrossDensity: 1.5, AttackDensity: 1, Profile: traffic.Textual,
+					Sequenced: true,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				storm := chaos.New(31).Storm(w.Packets, chaos.StormConfig{DupFactor: 1, ReorderSpan: 24})
+				if len(storm) <= len(w.Packets) {
+					t.Fatal("storm added no duplicates; soak is vacuous")
+				}
+				c := newSoakCollector()
+				gw := m.NewEngine(4).Gateway(dpi.GatewayConfig{
+					EngineShards: shards, StreamWorkers: 3,
+				}, c.emit)
+				for _, p := range storm {
+					if err := gw.Ingest(dpi.GatewayPacket{
+						Tuple: p.Tuple, Seq: p.TCPSeq, Flags: dpi.TCPFlags(p.Flags), Payload: p.Payload,
+					}); err != nil {
+						t.Fatal(err)
+					}
+				}
+				gw.Flush()
+				st := gw.Stats()
+				requireBalanced(t, st, "after Flush")
+				if st.DuplicateBytes == 0 {
+					t.Fatal("storm duplicates never reached the reassembler")
+				}
+				if err := gw.Close(); err != nil {
+					t.Fatal(err)
+				}
+				matched := 0
+				for f, tuple := range w.Tuples {
+					want := m.FindAll(w.Streams[f])
+					got := c.matches(tuple)
+					if !sameSoakMatches(got, want) {
+						t.Fatalf("flow %d: storm changed results: got %d matches, oracle %d\ngot  %+v\nwant %+v",
+							f, len(got), len(want), got, want)
+					}
+					matched += len(got)
+				}
+				if matched == 0 {
+					t.Fatal("no matches at all; soak is vacuous")
+				}
+			})
+		}
+	}
+}
+
+// TestChaosSoakOverflowConservation: a storm far beyond the reassembly
+// buffer caps (tiny per-flow and global budgets, aggressive gap timeout)
+// forces cap drops and gap skips. The full-stream oracle no longer applies
+// — what must survive is the ledger: every ingested byte lands in exactly
+// one bucket, at the Flush checkpoint and again after Close.
+func TestChaosSoakOverflowConservation(t *testing.T) {
+	for _, shards := range []int{1, 2, 4} {
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			m, set := soakMatcher(t, 200, dpi.BackendAuto)
+			w, err := traffic.GenerateFlows(set, traffic.FlowConfig{
+				Flows: 12, SegmentsPerFlow: 16, SegmentBytes: 300, Seed: 97,
+				CrossDensity: 1, AttackDensity: 1, Profile: traffic.Textual,
+				Sequenced: true,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			storm := chaos.New(5).Storm(w.Packets, chaos.StormConfig{DupFactor: 2, ReorderSpan: 400})
+			gw := m.NewEngine(2).Gateway(dpi.GatewayConfig{
+				EngineShards: shards, StreamWorkers: 2,
+				MaxFlowBuffer: 1024, MaxTotalBuffer: 4096, GapTimeout: 4,
+			}, func(dpi.FlowMatch) {})
+			for _, p := range storm {
+				if err := gw.Ingest(dpi.GatewayPacket{
+					Tuple: p.Tuple, Seq: p.TCPSeq, Flags: dpi.TCPFlags(p.Flags), Payload: p.Payload,
+				}); err != nil {
+					t.Fatal(err)
+				}
+			}
+			gw.Flush()
+			st := gw.Stats()
+			requireBalanced(t, st, "after Flush")
+			if st.ReassemblyDrops == 0 && st.GapSkips == 0 {
+				t.Fatalf("storm never hit the caps; soak is vacuous: %+v", st)
+			}
+			if err := gw.Close(); err != nil {
+				t.Fatal(err)
+			}
+			requireBalanced(t, gw.Stats(), "after Close")
+		})
+	}
+}
+
+// TestChaosSoakShedPacketsDeliveredOracle: with ShedPackets and a chaos
+// stall wedging the pipeline, admission sheds packets — and the matches
+// over the bytes that WERE delivered must equal the per-flow FindAll
+// oracle over each maximal contiguous run of admitted segments, at
+// absolute stream offsets. The expected set is computed from the actual
+// admission decisions TryIngest reported, so the assertion is exact
+// whatever the timing.
+func TestChaosSoakShedPacketsDeliveredOracle(t *testing.T) {
+	for _, shards := range []int{1, 2, 4} {
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			m, set := soakMatcher(t, 250, dpi.BackendAuto)
+			w, err := traffic.GenerateFlows(set, traffic.FlowConfig{
+				Flows: 12, SegmentsPerFlow: 40, SegmentBytes: 120, Seed: 313,
+				CrossDensity: 1, AttackDensity: 1.5, Profile: traffic.Textual,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			release := make(chan struct{})
+			c := newSoakCollector()
+			emit := chaos.StallOnce(c.emit, func(dpi.FlowMatch) bool { return true }, release)
+			gw := m.NewEngine(2).Gateway(dpi.GatewayConfig{
+				EngineShards: shards, StreamWorkers: 1, QueueDepth: 4,
+				OverloadPolicy: dpi.ShedPackets, IngestDeadline: -1,
+			}, emit)
+
+			// Replay the in-order feed, recording admission per packet. A
+			// flow's expected matches are FindAll over each contiguous run of
+			// admitted bytes, shifted to the run's absolute stream offset —
+			// SkipGap guarantees no gateway match spans a shed packet.
+			type acc struct {
+				pos      int
+				runStart int
+				run      []byte
+			}
+			accs := map[dpi.FiveTuple]*acc{}
+			want := map[dpi.FiveTuple][]dpi.Match{}
+			closeRun := func(tuple dpi.FiveTuple, a *acc) {
+				if len(a.run) == 0 {
+					return
+				}
+				for _, mt := range m.FindAll(a.run) {
+					mt.Start += a.runStart
+					mt.End += a.runStart
+					want[tuple] = append(want[tuple], mt)
+				}
+				a.run = nil
+			}
+			shed := 0
+			var shedBytes uint64
+			for _, p := range w.Packets {
+				admitted, err := gw.TryIngest(dpi.GatewayPacket{Tuple: p.Tuple, Payload: p.Payload})
+				if err != nil {
+					t.Fatal(err)
+				}
+				a := accs[p.Tuple]
+				if a == nil {
+					a = &acc{}
+					accs[p.Tuple] = a
+				}
+				if admitted {
+					if a.run == nil {
+						a.runStart = a.pos
+					}
+					a.run = append(a.run, p.Payload...)
+				} else {
+					shed++
+					shedBytes += uint64(len(p.Payload))
+					closeRun(p.Tuple, a)
+				}
+				a.pos += len(p.Payload)
+			}
+			close(release)
+			gw.Flush()
+			if shed == 0 {
+				t.Fatal("nothing was shed; soak is vacuous")
+			}
+			st := gw.Stats()
+			if st.ShedPackets != uint64(shed) || st.ShedBytes != shedBytes {
+				t.Fatalf("shed accounting: stats (%d pkts, %d bytes), observed (%d, %d)",
+					st.ShedPackets, st.ShedBytes, shed, shedBytes)
+			}
+			requireBalanced(t, st, "after Flush")
+			if err := gw.Close(); err != nil {
+				t.Fatal(err)
+			}
+			for f, tuple := range w.Tuples {
+				closeRun(tuple, accs[tuple])
+				if got := c.matches(tuple); !sameSoakMatches(got, want[tuple]) {
+					t.Fatalf("flow %d: delivered-subset oracle diverged\ngot  %+v\nwant %+v",
+						f, got, want[tuple])
+				}
+			}
+		})
+	}
+}
+
+// TestChaosSoakShedNewFlows: under ShedNewFlows only packets that would
+// create flow state are shed; established connections ride out the
+// overload untouched. A chaos stall wedges the stream lane, a burst of
+// fresh single-segment flows hits the full queue, and afterwards every
+// established flow's matches are still the full-stream oracle.
+func TestChaosSoakShedNewFlows(t *testing.T) {
+	for _, shards := range []int{1, 2, 4} {
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			m, set := soakMatcher(t, 250, dpi.BackendAuto)
+			w, err := traffic.GenerateFlows(set, traffic.FlowConfig{
+				Flows: 8, SegmentsPerFlow: 6, SegmentBytes: 140, Seed: 409,
+				CrossDensity: 1, AttackDensity: 1, Profile: traffic.Textual,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			release := make(chan struct{})
+			trigTuple := dpi.FiveTuple{SrcIP: dpi.IPv4(10, 9, 9, 9), DstIP: dpi.IPv4(10, 9, 9, 10),
+				SrcPort: 4000, DstPort: 80, Proto: dpi.ProtoTCP}
+			c := newSoakCollector()
+			emit := chaos.StallOnce(c.emit, func(fm dpi.FlowMatch) bool { return fm.Tuple == trigTuple }, release)
+			gw := m.NewEngine(2).Gateway(dpi.GatewayConfig{
+				EngineShards: shards, StreamWorkers: 1, QueueDepth: 4,
+				OverloadPolicy: dpi.ShedNewFlows, IngestDeadline: -1,
+			}, emit)
+
+			// Phase 1: establish the workload's flows while the pipeline is
+			// healthy. The opening segments go in first and a Flush barrier
+			// guarantees their table entries exist before any follow-up
+			// arrives — admission classifies "new flow" against the table, so
+			// a follow-up racing its own opener would otherwise be sheddable.
+			// After the barrier every packet is established and blocks rather
+			// than sheds.
+			for _, p := range w.Packets {
+				if p.Seq != 0 {
+					continue
+				}
+				if err := gw.Ingest(dpi.GatewayPacket{Tuple: p.Tuple, Payload: p.Payload}); err != nil {
+					t.Fatal(err)
+				}
+				gw.Flush()
+			}
+			for _, p := range w.Packets {
+				if p.Seq == 0 {
+					continue
+				}
+				if err := gw.Ingest(dpi.GatewayPacket{Tuple: p.Tuple, Payload: p.Payload}); err != nil {
+					t.Fatal(err)
+				}
+			}
+			gw.Flush()
+
+			// Phase 2: wedge the lane. The trigger flow's payload is a full
+			// workload stream, guaranteed to match; its first match stalls the
+			// lane that scans it.
+			if len(m.FindAll(w.Streams[0])) == 0 {
+				t.Fatal("trigger payload carries no match; soak is vacuous")
+			}
+			if admitted, err := gw.TryIngest(dpi.GatewayPacket{Tuple: trigTuple, Payload: w.Streams[0]}); err != nil || !admitted {
+				t.Fatalf("trigger packet not admitted (admitted=%v err=%v)", admitted, err)
+			}
+
+			// Phase 3: a SYN-flood-shaped burst of fresh single-segment
+			// flows. Each is new state, so each may be shed; none may block.
+			shed := 0
+			for i := 0; i < 600; i++ {
+				tup := dpi.FiveTuple{SrcIP: dpi.IPv4(172, 16, byte(i>>8), byte(i)), DstIP: dpi.IPv4(10, 0, 0, 1),
+					SrcPort: uint16(10000 + i), DstPort: 80, Proto: dpi.ProtoTCP}
+				admitted, err := gw.TryIngest(dpi.GatewayPacket{Tuple: tup, Payload: []byte("fresh-flow-filler-bytes")})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !admitted {
+					shed++
+				}
+			}
+			close(release)
+			gw.Flush()
+			if shed == 0 {
+				t.Fatal("no new flows shed; soak is vacuous")
+			}
+			st := gw.Stats()
+			if st.ShedNewFlows != uint64(shed) || st.ShedPackets != uint64(shed) {
+				t.Fatalf("every shed packet should be a new flow: %d shed observed, stats %+v", shed, st)
+			}
+			requireBalanced(t, st, "after Flush")
+			if err := gw.Close(); err != nil {
+				t.Fatal(err)
+			}
+			for f, tuple := range w.Tuples {
+				want := m.FindAll(w.Streams[f])
+				if got := c.matches(tuple); !sameSoakMatches(got, want) {
+					t.Fatalf("established flow %d damaged by overload\ngot  %+v\nwant %+v", f, got, want)
+				}
+			}
+		})
+	}
+}
+
+// TestChaosSoakPanicQuarantine: an injected panic on a victim flow's match
+// (detonating on the stream lane itself) must quarantine exactly that one
+// flow — the gateway stays live, every other flow's matches are intact,
+// the panic lands on the per-shard counter, and the ledger still balances
+// because the poisoned packet's bytes move to the quarantined bucket.
+func TestChaosSoakPanicQuarantine(t *testing.T) {
+	for _, shards := range []int{1, 2, 4} {
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			m, set := soakMatcher(t, 250, dpi.BackendAuto)
+			w, err := traffic.GenerateFlows(set, traffic.FlowConfig{
+				Flows: 20, SegmentsPerFlow: 6, SegmentBytes: 140, Seed: 503,
+				CrossDensity: 1, AttackDensity: 1, Profile: traffic.Textual,
+				Sequenced: true,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			victim := -1
+			for f := range w.Tuples {
+				if len(m.FindAll(w.Streams[f])) > 0 {
+					victim = f
+					break
+				}
+			}
+			if victim < 0 {
+				t.Fatal("no flow matches; soak is vacuous")
+			}
+			c := newSoakCollector()
+			emit := chaos.PanicOnce(c.emit, func(fm dpi.FlowMatch) bool { return fm.Tuple == w.Tuples[victim] })
+			gw := m.NewEngine(2).Gateway(dpi.GatewayConfig{
+				EngineShards: shards, StreamWorkers: 2,
+			}, emit)
+			for _, p := range w.Packets {
+				if err := gw.Ingest(dpi.GatewayPacket{
+					Tuple: p.Tuple, Seq: p.TCPSeq, Flags: dpi.TCPFlags(p.Flags), Payload: p.Payload,
+				}); err != nil {
+					t.Fatal(err)
+				}
+			}
+			gw.Flush()
+			st := gw.Stats()
+			if st.Panics != 1 {
+				t.Fatalf("Panics = %d, want exactly the 1 injected", st.Panics)
+			}
+			if st.QuarantinedFlows != 1 {
+				t.Fatalf("QuarantinedFlows = %d, want exactly the victim", st.QuarantinedFlows)
+			}
+			var byShard uint64
+			for _, n := range gw.PanicsByShard() {
+				byShard += n
+			}
+			if byShard != st.Panics {
+				t.Fatalf("per-shard panic counters sum to %d, total %d", byShard, st.Panics)
+			}
+			// Containment working is the healthy outcome: a quarantined flow
+			// must not trip the liveness probe.
+			if h := gw.Health(); !h.Healthy || h.Panics != 1 || h.QuarantinedFlows != 1 {
+				t.Fatalf("health after containment: %+v", h)
+			}
+			requireBalanced(t, st, "after Flush")
+			if err := gw.Close(); err != nil {
+				t.Fatal(err)
+			}
+			matched := 0
+			for f, tuple := range w.Tuples {
+				if f == victim {
+					continue
+				}
+				want := m.FindAll(w.Streams[f])
+				got := c.matches(tuple)
+				if !sameSoakMatches(got, want) {
+					t.Fatalf("flow %d collateral damage from quarantine of flow %d\ngot  %+v\nwant %+v",
+						f, victim, got, want)
+				}
+				matched += len(got)
+			}
+			if matched == 0 {
+				t.Fatal("no surviving matches; soak is vacuous")
+			}
+		})
+	}
+}
+
+// TestChaosSoakWatchdogStall: a wedged emit callback (chaos stall) must
+// flip Health to stalled once the lane's queue head exceeds the threshold,
+// turn /healthz into a 503 with a diagnosable JSON body, and clear cleanly
+// once the wedge releases.
+func TestChaosSoakWatchdogStall(t *testing.T) {
+	m, set := soakMatcher(t, 200, dpi.BackendAuto)
+	w, err := traffic.GenerateFlows(set, traffic.FlowConfig{
+		Flows: 1, SegmentsPerFlow: 4, SegmentBytes: 140, Seed: 601,
+		CrossDensity: 1, AttackDensity: 2, Profile: traffic.Textual,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.FindAll(w.Streams[0])) == 0 {
+		t.Fatal("workload carries no match; stall never triggers")
+	}
+	release := make(chan struct{})
+	c := newSoakCollector()
+	emit := chaos.StallOnce(c.emit, func(dpi.FlowMatch) bool { return true }, release)
+	gw := m.NewEngine(1).Gateway(dpi.GatewayConfig{
+		StreamWorkers: 1, StallThreshold: 30 * time.Millisecond,
+	}, emit)
+	for _, p := range w.Packets {
+		if err := gw.Ingest(dpi.GatewayPacket{Tuple: p.Tuple, Payload: p.Payload}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		h := gw.Health()
+		if !h.Healthy {
+			stalled := false
+			for _, l := range h.BusyLanes {
+				stalled = stalled || l.Stalled
+			}
+			if !stalled {
+				t.Fatalf("unhealthy without a stalled lane: %+v", h)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("watchdog never detected the stall: %+v", h)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	rec := httptest.NewRecorder()
+	gw.Healthz().ServeHTTP(rec, httptest.NewRequest("GET", "/healthz", nil))
+	if rec.Code != 503 {
+		t.Fatalf("/healthz during stall: %d, want 503", rec.Code)
+	}
+	var h dpi.GatewayHealth
+	if err := json.Unmarshal(rec.Body.Bytes(), &h); err != nil || h.Healthy {
+		t.Fatalf("/healthz body during stall: %q (err %v)", rec.Body.String(), err)
+	}
+
+	close(release)
+	gw.Flush()
+	if h := gw.Health(); !h.Healthy {
+		t.Fatalf("still unhealthy after release + Flush: %+v", h)
+	}
+	rec = httptest.NewRecorder()
+	gw.Healthz().ServeHTTP(rec, httptest.NewRequest("GET", "/healthz", nil))
+	if rec.Code != 200 {
+		t.Fatalf("/healthz after release: %d, want 200", rec.Code)
+	}
+	if err := gw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	want := m.FindAll(w.Streams[0])
+	if got := c.matches(w.Tuples[0]); !sameSoakMatches(got, want) {
+		t.Fatalf("stall lost matches\ngot  %+v\nwant %+v", got, want)
+	}
+}

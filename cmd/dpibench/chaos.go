@@ -1,0 +1,473 @@
+package main
+
+// The -chaos mode: the CLI face of the deterministic fault-injection
+// harness (internal/chaos), runnable anywhere the repo builds and gated
+// by CI's chaos-soak job. Four seeded scenarios run per shard count:
+//
+//   - block-storm: a duplicate/reorder storm under the default Block
+//     policy must be invisible — per-flow matches byte-identical to the
+//     in-order FindAll oracle.
+//   - overflow: a storm far past the reassembly caps; the full-stream
+//     oracle no longer applies, but the conservation ledger must balance
+//     (Ingested == Scanned + Shed + Skipped + Buffered).
+//   - shed-packets: a chaos stall wedges the pipeline under ShedPackets;
+//     matches over the bytes actually delivered must equal the FindAll
+//     oracle over each contiguous run of admitted segments.
+//   - panic-quarantine: an injected scan-path panic must quarantine
+//     exactly the victim flow, leave every other flow's matches intact,
+//     and keep the gateway live.
+//
+// The JSON report carries one entry per (scenario, shards) with its
+// ledger, so CI can gate the conservation law with jq; the top-level "ok"
+// is the AND of every scenario verdict.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+
+	dpi "repro"
+	"repro/internal/chaos"
+	"repro/internal/report"
+	"repro/internal/ruleset"
+	"repro/internal/traffic"
+)
+
+// chaosBenchConfig sizes the -chaos soak; tests shrink it.
+type chaosBenchConfig struct {
+	Strings   int
+	Seed      int64
+	MaxShards int    // shard sweep ceiling (1, 2, 4, ... up to this)
+	Backend   string // scan backend ("" = auto)
+}
+
+func defaultChaosConfig(seed int64) chaosBenchConfig {
+	return chaosBenchConfig{Strings: 250, Seed: seed, MaxShards: 1}
+}
+
+// chaosScenarioResult is one (scenario, shards) verdict in the report.
+// OK is the scenario's own pass/fail; Detail explains a failure.
+type chaosScenarioResult struct {
+	Scenario    string            `json:"scenario"`
+	Shards      int               `json:"shards"`
+	OK          bool              `json:"ok"`
+	Balanced    bool              `json:"balanced"`
+	OracleOK    bool              `json:"oracle_ok"`
+	Matches     int               `json:"matches"`
+	ShedPackets uint64            `json:"shed_packets,omitempty"`
+	Panics      uint64            `json:"panics,omitempty"`
+	Quarantined uint64            `json:"quarantined_flows,omitempty"`
+	Ledger      dpi.GatewayLedger `json:"ledger"`
+	Detail      string            `json:"detail,omitempty"`
+}
+
+type chaosReport struct {
+	Backend     string                `json:"backend"`
+	Strings     int                   `json:"strings"`
+	Seed        int64                 `json:"seed"`
+	Scenarios   []chaosScenarioResult `json:"scenarios"`
+	Interrupted bool                  `json:"interrupted"` // run stopped by SIGINT/SIGTERM; scenarios are partial
+	OK          bool                  `json:"ok"`
+}
+
+// chaosCollector gathers matches by tuple; emit runs on pipeline
+// goroutines, so it locks.
+type chaosCollector struct {
+	mu      sync.Mutex
+	byTuple map[dpi.FiveTuple][]dpi.Match
+}
+
+func newChaosCollector() *chaosCollector {
+	return &chaosCollector{byTuple: map[dpi.FiveTuple][]dpi.Match{}}
+}
+
+func (c *chaosCollector) emit(fm dpi.FlowMatch) {
+	c.mu.Lock()
+	c.byTuple[fm.Tuple] = append(c.byTuple[fm.Tuple], fm.Match)
+	c.mu.Unlock()
+}
+
+func (c *chaosCollector) matches(t dpi.FiveTuple) []dpi.Match {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.byTuple[t]
+}
+
+// sameChaosMatches compares match sequences ignoring PacketID (the oracle
+// scans whole streams; the gateway attributes segments).
+func sameChaosMatches(got, want []dpi.Match) bool {
+	if len(got) != len(want) {
+		return false
+	}
+	for i := range got {
+		if got[i].PatternID != want[i].PatternID || got[i].Start != want[i].Start || got[i].End != want[i].End {
+			return false
+		}
+	}
+	return true
+}
+
+// chaosHarness carries the compiled matcher and ruleset every scenario
+// shares; scenarios derive their own workloads and injector seeds from
+// the base seed so the whole soak replays from one -seed value.
+type chaosHarness struct {
+	m    *dpi.Matcher
+	set  *ruleset.Set
+	seed int64
+}
+
+// finish drains and closes the gateway and fills the ledger fields; a
+// scenario calls it once its assertions are recorded in r.
+func (h *chaosHarness) finish(r *chaosScenarioResult, gw *dpi.Gateway) error {
+	gw.Flush()
+	st := gw.Stats()
+	if err := gw.Close(); err != nil {
+		return err
+	}
+	r.Ledger = st.Ledger()
+	r.Balanced = r.Ledger.Balanced()
+	return nil
+}
+
+// fail marks the scenario failed with an explanation; the first failure's
+// detail wins so the report points at the earliest broken assertion.
+func (r *chaosScenarioResult) fail(format string, args ...any) {
+	r.OK = false
+	if r.Detail == "" {
+		r.Detail = fmt.Sprintf(format, args...)
+	}
+}
+
+func (h *chaosHarness) blockStorm(shards int) (chaosScenarioResult, error) {
+	r := chaosScenarioResult{Scenario: "block-storm", Shards: shards, OK: true, OracleOK: true}
+	w, err := traffic.GenerateFlows(h.set, traffic.FlowConfig{
+		Flows: 16, SegmentsPerFlow: 6, SegmentBytes: 140, Seed: h.seed + 211,
+		CrossDensity: 1.5, AttackDensity: 1, Profile: traffic.Textual,
+		Sequenced: true,
+	})
+	if err != nil {
+		return r, err
+	}
+	storm := chaos.New(h.seed+31).Storm(w.Packets, chaos.StormConfig{DupFactor: 1, ReorderSpan: 24})
+	if len(storm) <= len(w.Packets) {
+		r.fail("storm added no duplicates; scenario is vacuous")
+	}
+	c := newChaosCollector()
+	gw := h.m.NewEngine(4).Gateway(dpi.GatewayConfig{
+		EngineShards: shards, StreamWorkers: 3,
+	}, c.emit)
+	for _, p := range storm {
+		if err := gw.Ingest(dpi.GatewayPacket{
+			Tuple: p.Tuple, Seq: p.TCPSeq, Flags: dpi.TCPFlags(p.Flags), Payload: p.Payload,
+		}); err != nil {
+			gw.Close()
+			return r, err
+		}
+	}
+	if err := h.finish(&r, gw); err != nil {
+		return r, err
+	}
+	for f, tuple := range w.Tuples {
+		want := h.m.FindAll(w.Streams[f])
+		got := c.matches(tuple)
+		if !sameChaosMatches(got, want) {
+			r.OracleOK = false
+			r.fail("flow %d: storm changed results (got %d matches, oracle %d)", f, len(got), len(want))
+		}
+		r.Matches += len(got)
+	}
+	if r.Matches == 0 {
+		r.fail("no matches at all; scenario is vacuous")
+	}
+	if !r.Balanced {
+		r.fail("conservation law violated: %+v", r.Ledger)
+	}
+	return r, nil
+}
+
+func (h *chaosHarness) overflow(shards int) (chaosScenarioResult, error) {
+	// Not oracle-gated: beyond the caps the gateway legitimately drops and
+	// skips; what must hold is the ledger.
+	r := chaosScenarioResult{Scenario: "overflow", Shards: shards, OK: true, OracleOK: true}
+	w, err := traffic.GenerateFlows(h.set, traffic.FlowConfig{
+		Flows: 12, SegmentsPerFlow: 16, SegmentBytes: 300, Seed: h.seed + 97,
+		CrossDensity: 1, AttackDensity: 1, Profile: traffic.Textual,
+		Sequenced: true,
+	})
+	if err != nil {
+		return r, err
+	}
+	storm := chaos.New(h.seed+5).Storm(w.Packets, chaos.StormConfig{DupFactor: 2, ReorderSpan: 400})
+	c := newChaosCollector()
+	gw := h.m.NewEngine(2).Gateway(dpi.GatewayConfig{
+		EngineShards: shards, StreamWorkers: 2,
+		MaxFlowBuffer: 1024, MaxTotalBuffer: 4096, GapTimeout: 4,
+	}, c.emit)
+	for _, p := range storm {
+		if err := gw.Ingest(dpi.GatewayPacket{
+			Tuple: p.Tuple, Seq: p.TCPSeq, Flags: dpi.TCPFlags(p.Flags), Payload: p.Payload,
+		}); err != nil {
+			gw.Close()
+			return r, err
+		}
+	}
+	gw.Flush()
+	st := gw.Stats()
+	if l := st.Ledger(); !l.Balanced() {
+		r.fail("conservation law violated at the Flush checkpoint: %+v", l)
+	}
+	if st.ReassemblyDrops == 0 && st.GapSkips == 0 {
+		r.fail("storm never hit the caps; scenario is vacuous")
+	}
+	if err := h.finish(&r, gw); err != nil {
+		return r, err
+	}
+	if !r.Balanced {
+		r.fail("conservation law violated after Close: %+v", r.Ledger)
+	}
+	for _, tuple := range w.Tuples {
+		r.Matches += len(c.matches(tuple))
+	}
+	return r, nil
+}
+
+func (h *chaosHarness) shedPackets(shards int) (chaosScenarioResult, error) {
+	r := chaosScenarioResult{Scenario: "shed-packets", Shards: shards, OK: true, OracleOK: true}
+	w, err := traffic.GenerateFlows(h.set, traffic.FlowConfig{
+		Flows: 12, SegmentsPerFlow: 40, SegmentBytes: 120, Seed: h.seed + 313,
+		CrossDensity: 1, AttackDensity: 1.5, Profile: traffic.Textual,
+	})
+	if err != nil {
+		return r, err
+	}
+	release := make(chan struct{})
+	c := newChaosCollector()
+	emit := chaos.StallOnce(c.emit, func(dpi.FlowMatch) bool { return true }, release)
+	gw := h.m.NewEngine(2).Gateway(dpi.GatewayConfig{
+		EngineShards: shards, StreamWorkers: 1, QueueDepth: 4,
+		OverloadPolicy: dpi.ShedPackets, IngestDeadline: -1,
+	}, emit)
+
+	// Replay the in-order feed, recording admission per packet. A flow's
+	// expected matches are FindAll over each contiguous run of admitted
+	// bytes, shifted to the run's absolute stream offset — SkipGap
+	// guarantees no gateway match spans a shed packet.
+	type acc struct {
+		pos      int
+		runStart int
+		run      []byte
+	}
+	accs := map[dpi.FiveTuple]*acc{}
+	want := map[dpi.FiveTuple][]dpi.Match{}
+	closeRun := func(tuple dpi.FiveTuple, a *acc) {
+		if len(a.run) == 0 {
+			return
+		}
+		for _, mt := range h.m.FindAll(a.run) {
+			mt.Start += a.runStart
+			mt.End += a.runStart
+			want[tuple] = append(want[tuple], mt)
+		}
+		a.run = nil
+	}
+	var shed uint64
+	for _, p := range w.Packets {
+		admitted, err := gw.TryIngest(dpi.GatewayPacket{Tuple: p.Tuple, Payload: p.Payload})
+		if err != nil {
+			close(release)
+			gw.Close()
+			return r, err
+		}
+		a := accs[p.Tuple]
+		if a == nil {
+			a = &acc{}
+			accs[p.Tuple] = a
+		}
+		if admitted {
+			if a.run == nil {
+				a.runStart = a.pos
+			}
+			a.run = append(a.run, p.Payload...)
+		} else {
+			shed++
+			closeRun(p.Tuple, a)
+		}
+		a.pos += len(p.Payload)
+	}
+	close(release)
+	if err := h.finish(&r, gw); err != nil {
+		return r, err
+	}
+	r.ShedPackets = shed
+	if shed == 0 {
+		r.fail("nothing was shed; scenario is vacuous")
+	}
+	if r.Ledger.Shed == 0 {
+		r.fail("shed packets never reached the ledger: %+v", r.Ledger)
+	}
+	if !r.Balanced {
+		r.fail("conservation law violated: %+v", r.Ledger)
+	}
+	for f, tuple := range w.Tuples {
+		closeRun(tuple, accs[tuple])
+		got := c.matches(tuple)
+		if !sameChaosMatches(got, want[tuple]) {
+			r.OracleOK = false
+			r.fail("flow %d: delivered-subset oracle diverged (got %d matches, want %d)",
+				f, len(got), len(want[tuple]))
+		}
+		r.Matches += len(got)
+	}
+	return r, nil
+}
+
+func (h *chaosHarness) panicQuarantine(shards int) (chaosScenarioResult, error) {
+	r := chaosScenarioResult{Scenario: "panic-quarantine", Shards: shards, OK: true, OracleOK: true}
+	w, err := traffic.GenerateFlows(h.set, traffic.FlowConfig{
+		Flows: 20, SegmentsPerFlow: 6, SegmentBytes: 140, Seed: h.seed + 503,
+		CrossDensity: 1, AttackDensity: 1, Profile: traffic.Textual,
+		Sequenced: true,
+	})
+	if err != nil {
+		return r, err
+	}
+	victim := -1
+	for f := range w.Tuples {
+		if len(h.m.FindAll(w.Streams[f])) > 0 {
+			victim = f
+			break
+		}
+	}
+	if victim < 0 {
+		r.fail("no flow matches; scenario is vacuous")
+		return r, nil
+	}
+	c := newChaosCollector()
+	emit := chaos.PanicOnce(c.emit, func(fm dpi.FlowMatch) bool { return fm.Tuple == w.Tuples[victim] })
+	gw := h.m.NewEngine(2).Gateway(dpi.GatewayConfig{
+		EngineShards: shards, StreamWorkers: 2,
+	}, emit)
+	for _, p := range w.Packets {
+		if err := gw.Ingest(dpi.GatewayPacket{
+			Tuple: p.Tuple, Seq: p.TCPSeq, Flags: dpi.TCPFlags(p.Flags), Payload: p.Payload,
+		}); err != nil {
+			gw.Close()
+			return r, err
+		}
+	}
+	gw.Flush()
+	st := gw.Stats()
+	r.Panics = st.Panics
+	r.Quarantined = st.QuarantinedFlows
+	if st.Panics != 1 {
+		r.fail("Panics = %d, want exactly the 1 injected", st.Panics)
+	}
+	if st.QuarantinedFlows != 1 {
+		r.fail("QuarantinedFlows = %d, want exactly the victim", st.QuarantinedFlows)
+	}
+	// Containment working is the healthy outcome: a quarantined flow must
+	// not trip the liveness probe.
+	if hs := gw.Health(); !hs.Healthy {
+		r.fail("gateway unhealthy after containment: %+v", hs)
+	}
+	if err := h.finish(&r, gw); err != nil {
+		return r, err
+	}
+	if !r.Balanced {
+		r.fail("conservation law violated: %+v", r.Ledger)
+	}
+	for f, tuple := range w.Tuples {
+		if f == victim {
+			continue
+		}
+		want := h.m.FindAll(w.Streams[f])
+		got := c.matches(tuple)
+		if !sameChaosMatches(got, want) {
+			r.OracleOK = false
+			r.fail("flow %d: collateral damage from quarantine of flow %d", f, victim)
+		}
+		r.Matches += len(got)
+	}
+	if r.Matches == 0 {
+		r.fail("no surviving matches; scenario is vacuous")
+	}
+	return r, nil
+}
+
+func runChaos(ctx context.Context, out io.Writer, jsonPath string, cfg chaosBenchConfig) error {
+	rules, err := dpi.GenerateSnortLike(cfg.Strings, cfg.Seed)
+	if err != nil {
+		return err
+	}
+	m, err := dpi.Compile(rules, dpi.Config{Groups: 2, Backend: cfg.Backend})
+	if err != nil {
+		return err
+	}
+	h := &chaosHarness{m: m, set: rules.InternalSet(), seed: cfg.Seed}
+	rep := chaosReport{Backend: m.Backend(), Strings: cfg.Strings, Seed: cfg.Seed, OK: true}
+
+	scenarios := []struct {
+		name string
+		run  func(int) (chaosScenarioResult, error)
+	}{
+		{"block-storm", h.blockStorm},
+		{"overflow", h.overflow},
+		{"shed-packets", h.shedPackets},
+		{"panic-quarantine", h.panicQuarantine},
+	}
+	shardSweep := []int{1}
+	for s := 2; s <= cfg.MaxShards; s *= 2 {
+		shardSweep = append(shardSweep, s)
+	}
+	for _, shards := range shardSweep {
+		for _, sc := range scenarios {
+			if ctx.Err() != nil {
+				rep.Interrupted = true
+				break
+			}
+			r, err := sc.run(shards)
+			if err != nil {
+				return fmt.Errorf("dpibench: chaos %s (shards %d): %w", sc.name, shards, err)
+			}
+			if !r.OK {
+				rep.OK = false
+			}
+			rep.Scenarios = append(rep.Scenarios, r)
+		}
+		if rep.Interrupted {
+			break
+		}
+	}
+
+	if jsonPath != "" {
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := writeFileAtomic(jsonPath, append(data, '\n')); err != nil {
+			return err
+		}
+	}
+	t := &report.Table{
+		Title: fmt.Sprintf("CHAOS SOAK (backend %s, %d strings, seed %d; deterministic fault injection)",
+			rep.Backend, cfg.Strings, cfg.Seed),
+		Headers: []string{"Scenario", "Shards", "OK", "Balanced", "Oracle", "Matches", "Shed", "Panics", "Detail"},
+	}
+	for _, r := range rep.Scenarios {
+		t.AddRow(r.Scenario, r.Shards, r.OK, r.Balanced, r.OracleOK, r.Matches,
+			r.ShedPackets, r.Panics, r.Detail)
+	}
+	if err := t.Render(out); err != nil {
+		return err
+	}
+	if rep.Interrupted {
+		fmt.Fprintf(out, "interrupted: partial chaos report (%d scenarios run)\n", len(rep.Scenarios))
+		return nil
+	}
+	if !rep.OK {
+		return fmt.Errorf("dpibench: chaos soak failed; see the scenario table (or the -json report) for the broken assertion")
+	}
+	return nil
+}

@@ -17,10 +17,10 @@ package main
 // regression tracking across CI runs.
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
-	"os"
 	"runtime"
 	"time"
 
@@ -93,6 +93,7 @@ type gatewayBenchReport struct {
 	Datagrams       int               `json:"datagrams"`
 	Seed            int64             `json:"seed"`
 	Rows            []gatewayBenchRow `json:"rows"`
+	Interrupted     bool              `json:"interrupted"` // run stopped by SIGINT/SIGTERM; rows are partial
 	OK              bool              `json:"ok"`
 }
 
@@ -133,7 +134,7 @@ func buildGatewayFeed(m *dpi.Matcher, w *traffic.FlowWorkload, dgrams []traffic.
 	return f
 }
 
-func runGateway(out io.Writer, jsonPath string, cfg gatewayBenchConfig) error {
+func runGateway(ctx context.Context, out io.Writer, jsonPath string, cfg gatewayBenchConfig) error {
 	rules, err := dpi.GenerateSnortLike(cfg.Strings, cfg.Seed)
 	if err != nil {
 		return err
@@ -189,11 +190,12 @@ func runGateway(out io.Writer, jsonPath string, cfg gatewayBenchConfig) error {
 		if jsonPath == "" {
 			return nil
 		}
+		rep.Interrupted = ctx.Err() != nil
 		data, err := json.MarshalIndent(rep, "", "  ")
 		if err != nil {
 			return err
 		}
-		return os.WriteFile(jsonPath, append(data, '\n'), 0o644)
+		return writeFileAtomic(jsonPath, append(data, '\n'))
 	}
 
 	run := func(feed gatewayFeed, workers, maxFlows, shards int) (dpi.GatewayStats, error) {
@@ -216,7 +218,7 @@ func runGateway(out io.Writer, jsonPath string, cfg gatewayBenchConfig) error {
 		var last dpi.GatewayStats
 		start := time.Now()
 		var scanned int64
-		for time.Since(start) < cfg.MinTime {
+		for time.Since(start) < cfg.MinTime && ctx.Err() == nil {
 			st, err := run(feed, workers, maxFlows, shards)
 			if err != nil {
 				return 0, st, err
@@ -231,8 +233,13 @@ func runGateway(out io.Writer, jsonPath string, cfg gatewayBenchConfig) error {
 	baseline := 0.0
 	// benchRow measures one oracle-gated configuration; a mismatch is
 	// recorded in the JSON report and fails the run after the report is
-	// written, so CI keeps the artifact explaining the failure.
+	// written, so CI keeps the artifact explaining the failure. A canceled
+	// context skips the row entirely — partial reports carry only rows that
+	// were measured for their full window.
 	benchRow := func(mode string, feed gatewayFeed, workers, maxFlows, shards int) error {
+		if ctx.Err() != nil {
+			return nil
+		}
 		st, err := run(feed, workers, maxFlows, shards)
 		if err != nil {
 			return err
@@ -242,6 +249,9 @@ func runGateway(out io.Writer, jsonPath string, cfg gatewayBenchConfig) error {
 			gbps, tst, err := measure(feed, workers, maxFlows, shards)
 			if err != nil {
 				return err
+			}
+			if ctx.Err() != nil {
+				return nil
 			}
 			st = tst
 			if baseline == 0 {
@@ -301,25 +311,32 @@ func runGateway(out io.Writer, jsonPath string, cfg gatewayBenchConfig) error {
 	// Churn regime: the table is far smaller than the offered flow count,
 	// so eviction runs constantly and detections may be traded for memory;
 	// no oracle gate applies.
-	gbps, st, err := measure(reFeed, maxWorkers, cfg.ChurnMaxFlows, 1)
-	if err != nil {
-		return err
+	if ctx.Err() == nil {
+		gbps, st, err := measure(reFeed, maxWorkers, cfg.ChurnMaxFlows, 1)
+		if err != nil {
+			return err
+		}
+		if ctx.Err() == nil {
+			if st.FlowsEvicted == 0 {
+				return fmt.Errorf("dpibench: churn row evicted no flows (cap %d, %d flows)", cfg.ChurnMaxFlows, cfg.Flows)
+			}
+			t.AddRow("churn", maxWorkers, 1, cfg.ChurnMaxFlows, fmt.Sprintf("%.3f", gbps),
+				fmt.Sprintf("%.2fx", gbps/baseline), st.Matches, st.FlowsEvicted,
+				st.OutOfOrderSegs, st.DuplicateBytes)
+			rep.Rows = append(rep.Rows, gatewayBenchRow{
+				Mode: "churn", Workers: maxWorkers, Shards: 1, MaxFlows: cfg.ChurnMaxFlows,
+				Gbps: gbps, Speedup: gbps / baseline,
+				Matches: st.Matches, Evicted: st.FlowsEvicted,
+				OutOfOrder: st.OutOfOrderSegs, Duplicate: st.DuplicateBytes,
+				OracleOK: true, // not oracle-gated
+			})
+		}
 	}
-	if st.FlowsEvicted == 0 {
-		return fmt.Errorf("dpibench: churn row evicted no flows (cap %d, %d flows)", cfg.ChurnMaxFlows, cfg.Flows)
-	}
-	t.AddRow("churn", maxWorkers, 1, cfg.ChurnMaxFlows, fmt.Sprintf("%.3f", gbps),
-		fmt.Sprintf("%.2fx", gbps/baseline), st.Matches, st.FlowsEvicted,
-		st.OutOfOrderSegs, st.DuplicateBytes)
-	rep.Rows = append(rep.Rows, gatewayBenchRow{
-		Mode: "churn", Workers: maxWorkers, Shards: 1, MaxFlows: cfg.ChurnMaxFlows,
-		Gbps: gbps, Speedup: gbps / baseline,
-		Matches: st.Matches, Evicted: st.FlowsEvicted,
-		OutOfOrder: st.OutOfOrderSegs, Duplicate: st.DuplicateBytes,
-		OracleOK: true, // not oracle-gated
-	})
 	if err := writeJSON(); err != nil {
 		return err
+	}
+	if ctx.Err() != nil {
+		fmt.Fprintf(out, "interrupted: partial gateway report (%d rows measured)\n", len(rep.Rows))
 	}
 	return t.Render(out)
 }

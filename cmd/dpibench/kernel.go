@@ -20,10 +20,10 @@ package main
 // the current entry of the perf trajectory.
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
-	"os"
 	"runtime"
 	"time"
 
@@ -90,6 +90,7 @@ type kernelBenchReport struct {
 	// clean-profile headline rows; gated by AccelCleanFloor.
 	AccelCleanSpeedup float64 `json:"accel_clean_speedup"`
 	AccelCleanFloor   float64 `json:"accel_clean_floor"`
+	Interrupted       bool    `json:"interrupted"` // run stopped by SIGINT/SIGTERM; rows are partial
 	OK                bool    `json:"ok"`
 }
 
@@ -171,7 +172,7 @@ func kernelPayload(set *ruleset.Set, profile string, bytes int, seed int64) ([]b
 	return payload, len(trie.FindAll(payload)), nil
 }
 
-func runKernel(out io.Writer, jsonPath string, cfg kernelBenchConfig) error {
+func runKernel(ctx context.Context, out io.Writer, jsonPath string, cfg kernelBenchConfig) error {
 	t := &report.Table{
 		Title: fmt.Sprintf("SCAN KERNEL THROUGHPUT (payload %d B, seed %d; reference vs baked vs prefiltered vs accelerated)",
 			cfg.Bytes, cfg.Seed),
@@ -211,6 +212,11 @@ func runKernel(out io.Writer, jsonPath string, cfg kernelBenchConfig) error {
 		}
 		var refGbps, bakedGbps float64
 		for _, backend := range kernelBackends {
+			// A signal abandons the sweep between rows; rows already
+			// measured stand, and the report is marked interrupted below.
+			if ctx.Err() != nil {
+				return nil
+			}
 			m, err := core.Build(set, core.Options{Backend: backend})
 			if err != nil {
 				return fmt.Errorf("dpibench: %d-string machine, backend %s: %w", n, backend, err)
@@ -277,27 +283,37 @@ func runKernel(out io.Writer, jsonPath string, cfg kernelBenchConfig) error {
 	}
 
 	for _, n := range cfg.Sizes {
+		if ctx.Err() != nil {
+			break
+		}
 		if err := sweep(n, "attack"); err != nil {
 			return err
 		}
 	}
-	if cleanSize > 0 {
+	if cleanSize > 0 && ctx.Err() == nil {
 		if err := sweep(cleanSize, "clean"); err != nil {
 			return err
 		}
 	}
 
+	rep.Interrupted = ctx.Err() != nil
 	if jsonPath != "" {
 		data, err := json.MarshalIndent(rep, "", "  ")
 		if err != nil {
 			return err
 		}
-		if err := os.WriteFile(jsonPath, append(data, '\n'), 0o644); err != nil {
+		if err := writeFileAtomic(jsonPath, append(data, '\n')); err != nil {
 			return err
 		}
 	}
 	if err := t.Render(out); err != nil {
 		return err
+	}
+	if rep.Interrupted {
+		// Partial runs never reached every gate; report what ran, skip the
+		// floor verdict.
+		fmt.Fprintf(out, "interrupted: partial kernel report (%d rows measured)\n", len(rep.Rows))
+		return nil
 	}
 	if !rep.OK {
 		return fmt.Errorf("dpibench: kernel rows failed the oracle, the %.1fx baked floor (speedup634 %.2fx), the %.1fx prefiltered clean floor (%.2fx), or the %.1fx accelerated clean floor (%.2fx)",

@@ -22,17 +22,28 @@
 //	dpibench -parallel -backend reference   # pin -parallel/-gateway to one backend
 //	dpibench -gateway -backend prefiltered  # run the gateway on the two-stage pipeline
 //	dpibench -kernel -cpuprofile cpu.pprof -memprofile mem.pprof
+//	dpibench -chaos               # seeded fault-injection soak (oracle + conservation gates)
+//	dpibench -chaos -shards 4 -json chaos.json   # the CI chaos-soak artifact
 //	dpibench -seed 2010           # workload seed (default 2010)
+//
+// On SIGINT/SIGTERM every mode drains the gateway, writes a partial JSON
+// report (marked "interrupted": true) and renders the rows measured so
+// far; JSON reports are written via temp-file + rename, so a report path
+// never holds a truncated document.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
+	"path/filepath"
 	"runtime"
 	"runtime/pprof"
 	"strings"
+	"syscall"
 
 	"repro/internal/core"
 	"repro/internal/experiments"
@@ -51,6 +62,7 @@ func main() {
 		kernel   = flag.Bool("kernel", false, "measure raw scan-kernel throughput across all registered backends")
 		pcap     = flag.String("pcap", "", "replay capture files matching this glob through the gateway (oracle check + capture-fed throughput)")
 		repeats  = flag.Int("repeats", 200, "replay count for the -pcap throughput measurement")
+		chaosRun = flag.Bool("chaos", false, "run the seeded chaos soak: storms, overload shedding and injected panics, gated on oracle exactness and byte conservation")
 		backend  = flag.String("backend", "auto",
 			fmt.Sprintf("scan backend for -parallel/-gateway: auto or one of %s (-kernel always sweeps all)",
 				strings.Join(core.RegisteredBackends(), ", ")))
@@ -65,10 +77,16 @@ func main() {
 		memProf = flag.String("memprofile", "", "write a heap profile to this path at exit")
 	)
 	flag.Parse()
-	if !*all && *table == 0 && *figure == 0 && !*ablation && !*parallel && !*gateway && !*kernel && *pcap == "" {
+	if !*all && *table == 0 && *figure == 0 && !*ablation && !*parallel && !*gateway && !*kernel && *pcap == "" && !*chaosRun {
 		flag.Usage()
 		os.Exit(2)
 	}
+	// A signal cancels the context instead of killing the process: the
+	// running mode drains its gateway, writes the partial report atomically
+	// and renders what it measured. A second signal kills outright (the
+	// default disposition is restored once stop runs).
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 	// Profiling wraps every mode so future perf PRs can attach pprof
 	// evidence to any of the benchmark tables. The error paths run through
 	// one exit point below, after the profiles are flushed.
@@ -87,10 +105,10 @@ func main() {
 	if !*baked {
 		be = "reference"
 	}
-	err := dispatch(modes{
+	err := dispatch(ctx, modes{
 		all: *all, table: *table, figure: *figure, ablation: *ablation,
 		parallel: *parallel, gateway: *gateway, kernel: *kernel,
-		pcap: *pcap, repeats: *repeats,
+		pcap: *pcap, repeats: *repeats, chaos: *chaosRun,
 		backend: be, jsonOut: *jsonOut, workers: *workers, shards: *shards,
 		tsv: *tsv, seed: *seed, steps: *steps,
 	})
@@ -130,6 +148,7 @@ type modes struct {
 	kernel   bool
 	pcap     string
 	repeats  int
+	chaos    bool
 	backend  string
 	jsonOut  string
 	workers  int
@@ -137,6 +156,33 @@ type modes struct {
 	tsv      bool
 	seed     int64
 	steps    int
+}
+
+// writeFileAtomic writes data to path via a temp file in the same
+// directory plus rename, so a reader (or a CI artifact upload racing a
+// signal) never observes a truncated report. The rename is atomic on the
+// platforms the bench runs on; the temp file is removed on any failure.
+func writeFileAtomic(path string, data []byte) error {
+	dir := filepath.Dir(path)
+	f, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return err
+	}
+	tmp := f.Name()
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return nil
 }
 
 // validateBackend fails fast on a backend name the registry does not
@@ -157,22 +203,22 @@ func validateBackend(name string) error {
 		name, strings.Join(core.RegisteredBackends(), ", "))
 }
 
-func dispatch(m modes) error {
+func dispatch(ctx context.Context, m modes) error {
 	if err := validateBackend(m.backend); err != nil {
 		return err
 	}
 	if m.jsonOut != "" {
 		writers := 0
-		for _, on := range []bool{m.gateway, m.kernel, m.pcap != ""} {
+		for _, on := range []bool{m.gateway, m.kernel, m.pcap != "", m.chaos} {
 			if on {
 				writers++
 			}
 		}
 		if writers > 1 {
-			return fmt.Errorf("-json with more than one of -gateway, -kernel, -pcap would overwrite one report with another; run the modes separately")
+			return fmt.Errorf("-json with more than one of -gateway, -kernel, -pcap, -chaos would overwrite one report with another; run the modes separately")
 		}
 		if writers == 0 {
-			return fmt.Errorf("-json is only produced by -gateway, -kernel or -pcap; no report would be written")
+			return fmt.Errorf("-json is only produced by -gateway, -kernel, -pcap or -chaos; no report would be written")
 		}
 	}
 	if m.parallel {
@@ -188,12 +234,12 @@ func dispatch(m modes) error {
 		cfg.MaxWorkers = m.workers
 		cfg.MaxShards = m.shards
 		cfg.Backend = m.backend
-		if err := runGateway(os.Stdout, m.jsonOut, cfg); err != nil {
+		if err := runGateway(ctx, os.Stdout, m.jsonOut, cfg); err != nil {
 			return err
 		}
 	}
 	if m.kernel {
-		if err := runKernel(os.Stdout, m.jsonOut, defaultKernelConfig(m.seed)); err != nil {
+		if err := runKernel(ctx, os.Stdout, m.jsonOut, defaultKernelConfig(m.seed)); err != nil {
 			return err
 		}
 	}
@@ -202,10 +248,18 @@ func dispatch(m modes) error {
 		if shards < 1 {
 			shards = 1
 		}
-		if err := runPcap(os.Stdout, m.jsonOut, pcapConfig{
+		if err := runPcap(ctx, os.Stdout, m.jsonOut, pcapConfig{
 			Glob: m.pcap, Backend: m.backend, Workers: m.workers,
 			Shards: shards, Repeats: m.repeats,
 		}); err != nil {
+			return err
+		}
+	}
+	if m.chaos {
+		cfg := defaultChaosConfig(m.seed)
+		cfg.MaxShards = m.shards
+		cfg.Backend = m.backend
+		if err := runChaos(ctx, os.Stdout, m.jsonOut, cfg); err != nil {
 			return err
 		}
 	}

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"os"
 	"path/filepath"
@@ -51,7 +52,7 @@ func TestRunGatewaySmall(t *testing.T) {
 		ReorderWindow: 2, RetransDensity: 0.5, Seed: 2010,
 		MinTime: 5 * time.Millisecond, MaxWorkers: 2, MaxShards: 2,
 	}
-	if err := runGateway(&sb, jsonPath, cfg); err != nil {
+	if err := runGateway(context.Background(), &sb, jsonPath, cfg); err != nil {
 		t.Fatal(err)
 	}
 	out := sb.String()
@@ -114,7 +115,7 @@ func TestRunKernelSmall(t *testing.T) {
 		Sizes: []int{60}, Bytes: 1 << 13, Seed: 2010,
 		MinTime: 5 * time.Millisecond,
 	}
-	if err := runKernel(&sb, jsonPath, cfg); err != nil {
+	if err := runKernel(context.Background(), &sb, jsonPath, cfg); err != nil {
 		t.Fatal(err)
 	}
 	out := sb.String()
@@ -170,12 +171,89 @@ func TestRunKernelSmall(t *testing.T) {
 	// exercised by CI's full-size run and the committed BENCH_7.json.
 }
 
+func TestRunChaosSmall(t *testing.T) {
+	var sb strings.Builder
+	dir := t.TempDir()
+	jsonPath := filepath.Join(dir, "chaos.json")
+	cfg := chaosBenchConfig{Strings: 120, Seed: 2010, MaxShards: 2}
+	if err := runChaos(context.Background(), &sb, jsonPath, cfg); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"CHAOS SOAK", "block-storm", "overflow", "shed-packets", "panic-quarantine"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q:\n%s", want, out)
+		}
+	}
+	data, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep chaosReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("JSON report does not parse: %v\n%s", err, data)
+	}
+	if !rep.OK || rep.Interrupted {
+		t.Fatalf("report not OK: %s", data)
+	}
+	// 4 scenarios at each of shards 1 and 2.
+	if len(rep.Scenarios) != 8 {
+		t.Fatalf("report has %d scenarios, want 8: %s", len(rep.Scenarios), data)
+	}
+	for _, sc := range rep.Scenarios {
+		if !sc.OK || !sc.Balanced || !sc.OracleOK {
+			t.Fatalf("scenario failed but report.OK is true: %+v", sc)
+		}
+		if sc.Ledger.Ingested == 0 {
+			t.Fatalf("scenario ingested nothing: %+v", sc)
+		}
+		if sc.Ledger.Ingested != sc.Ledger.Scanned+sc.Ledger.Shed+sc.Ledger.Skipped+sc.Ledger.Buffered {
+			t.Fatalf("ledger does not balance in the report itself: %+v", sc)
+		}
+	}
+	// The atomic writer must leave no temp litter next to the report.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("report directory not clean after atomic write: %v", entries)
+	}
+}
+
+// TestRunChaosInterrupted pins the graceful-shutdown contract shared by
+// every JSON-writing mode: a canceled context ends the run without error,
+// and the report is written, parseable and marked interrupted.
+func TestRunChaosInterrupted(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var sb strings.Builder
+	jsonPath := filepath.Join(t.TempDir(), "chaos.json")
+	if err := runChaos(ctx, &sb, jsonPath, chaosBenchConfig{Strings: 120, Seed: 2010, MaxShards: 1}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep chaosReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("partial report does not parse: %v\n%s", err, data)
+	}
+	if !rep.Interrupted || len(rep.Scenarios) != 0 {
+		t.Fatalf("canceled run not marked interrupted: %s", data)
+	}
+	if !strings.Contains(sb.String(), "interrupted") {
+		t.Errorf("interruption not reported to the operator:\n%s", sb.String())
+	}
+}
+
 // TestBackendFlagValidation pins the fail-fast contract: an unknown
 // -backend is rejected before any workload is generated, and the error
 // lists every registered backend so the flag's vocabulary can never drift
 // from the registry.
 func TestBackendFlagValidation(t *testing.T) {
-	err := dispatch(modes{parallel: true, backend: "warp"})
+	err := dispatch(context.Background(), modes{parallel: true, backend: "warp"})
 	if err == nil {
 		t.Fatal("dispatch accepted an unknown backend")
 	}

@@ -10,6 +10,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -43,14 +44,15 @@ type pcapFileResult struct {
 type pcapReport struct {
 	Backend        string           `json:"backend"`
 	Shards         int              `json:"shards"`
-	Repeats        int              `json:"repeats"`
+	Repeats        int              `json:"repeats"` // repeats actually completed
 	Files          []pcapFileResult `json:"files"`
 	PayloadBytes   uint64           `json:"total_payload_bytes"` // per repeat
 	ElapsedSeconds float64          `json:"elapsed_seconds"`
 	ThroughputMBps float64          `json:"throughput_mbps"`
+	Interrupted    bool             `json:"interrupted"` // run stopped by SIGINT/SIGTERM
 }
 
-func runPcap(out io.Writer, jsonPath string, cfg pcapConfig) error {
+func runPcap(ctx context.Context, out io.Writer, jsonPath string, cfg pcapConfig) error {
 	files, err := filepath.Glob(cfg.Glob)
 	if err != nil || len(files) == 0 {
 		return fmt.Errorf("no capture files match %q", cfg.Glob)
@@ -75,8 +77,12 @@ func runPcap(out io.Writer, jsonPath string, cfg pcapConfig) error {
 	rep := pcapReport{Backend: matcher.Backend(), Shards: cfg.Shards, Repeats: cfg.Repeats}
 
 	// Correctness pass: each file on its own fresh gateway, so the
-	// committed-corpus oracles see exactly one replay's matches.
+	// committed-corpus oracles see exactly one replay's matches. A signal
+	// abandons the remaining files; the partial report says so.
 	for i, path := range files {
+		if ctx.Err() != nil {
+			break
+		}
 		var matches atomic.Uint64
 		gw := matcher.NewEngine(cfg.Workers).Gateway(dpi.GatewayConfig{EngineShards: cfg.Shards},
 			func(dpi.FlowMatch) { matches.Add(1) })
@@ -107,22 +113,28 @@ func runPcap(out io.Writer, jsonPath string, cfg pcapConfig) error {
 	}
 
 	// Throughput pass: repeated replays into one long-lived gateway (one
-	// capture loop, many rotations), timed end to end including Flush.
+	// capture loop, many rotations), timed end to end including Flush. A
+	// signal stops between repeats; the gateway is still drained so the
+	// elapsed time covers every byte the throughput figure counts.
 	gw := matcher.NewEngine(cfg.Workers).Gateway(dpi.GatewayConfig{EngineShards: cfg.Shards},
 		func(dpi.FlowMatch) {})
 	start := time.Now()
-	for r := 0; r < cfg.Repeats; r++ {
+	done := 0
+	for r := 0; r < cfg.Repeats && ctx.Err() == nil; r++ {
 		for i := range raws {
 			if _, err := gw.ReplayPcap(bytes.NewReader(raws[i])); err != nil {
 				gw.Close()
 				return err
 			}
 		}
+		done++
 	}
 	gw.Flush()
 	rep.ElapsedSeconds = time.Since(start).Seconds()
 	gw.Close()
-	total := float64(rep.PayloadBytes) * float64(cfg.Repeats)
+	rep.Repeats = done
+	rep.Interrupted = ctx.Err() != nil
+	total := float64(rep.PayloadBytes) * float64(done)
 	if rep.ElapsedSeconds > 0 {
 		rep.ThroughputMBps = total / (1 << 20) / rep.ElapsedSeconds
 	}
@@ -139,19 +151,16 @@ func runPcap(out io.Writer, jsonPath string, cfg pcapConfig) error {
 	}
 	fmt.Fprintf(out, "  %.2f MB/s capture-fed (%.0f payload bytes in %.3fs)\n",
 		rep.ThroughputMBps, total, rep.ElapsedSeconds)
+	if rep.Interrupted {
+		fmt.Fprintf(out, "  interrupted: %d/%d repeats completed\n", done, cfg.Repeats)
+	}
 
 	if jsonPath != "" {
-		f, err := os.Create(jsonPath)
+		data, err := json.MarshalIndent(rep, "", "  ")
 		if err != nil {
 			return err
 		}
-		enc := json.NewEncoder(f)
-		enc.SetIndent("", "  ")
-		if err := enc.Encode(rep); err != nil {
-			f.Close()
-			return err
-		}
-		return f.Close()
+		return writeFileAtomic(jsonPath, append(data, '\n'))
 	}
 	return nil
 }

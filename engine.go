@@ -56,6 +56,7 @@ type EngineStats struct {
 	BatchBytes  uint64 // payload bytes scanned in batch mode
 	FlowsOpened uint64 // Flow checkouts from the scanner-state pool
 	StreamBytes uint64 // bytes written through flows
+	Panics      uint64 // panics recovered inside batch workers (gateway containment)
 }
 
 // Stats returns this engine's work counters. Counters are monotone but
@@ -68,6 +69,7 @@ func (e *Engine) Stats() EngineStats {
 		BatchBytes:  s.BatchBytes,
 		FlowsOpened: s.FlowsOpened,
 		StreamBytes: s.StreamBytes,
+		Panics:      s.Panics,
 	}
 }
 
@@ -158,6 +160,17 @@ func (f *Flow) Consumed() int {
 		return 0
 	}
 	return f.f.Consumed()
+}
+
+// Discard drops the flow's scanner state without returning it to the pool,
+// then closes the flow. The Gateway's panic containment uses it for a flow
+// whose scan panicked: the scanner registers may be mid-update, and
+// repooling them would hand corrupt state to an unrelated future flow.
+func (f *Flow) Discard() {
+	if f.f != nil {
+		f.f.Discard()
+		f.f = nil
+	}
 }
 
 // Close returns the flow's scanner state to the engine pool. Closing twice

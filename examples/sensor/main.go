@@ -8,12 +8,19 @@
 // oracle over the corpus truth streams, so this doubles as the CI
 // sensor-smoke gate.
 //
+// Alongside /metrics the mux serves /healthz — the gateway's liveness
+// probe (200 while the pipeline makes progress, 503 with a JSON body when
+// a lane stalls). On SIGINT/SIGTERM the replay loop stops between files,
+// the gateway is drained, and the report covers the files completed so
+// far, marked "interrupted": true.
+//
 //	go run ./examples/sensor                      # replay testdata/pcap/*.pcap
 //	go run ./examples/sensor -json                # machine-readable report (CI)
 //	go run ./examples/sensor -pcap 'caps/*.pcap'  # replay your own captures
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -22,9 +29,11 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"sort"
 	"sync/atomic"
+	"syscall"
 
 	dpi "repro"
 	"repro/internal/capture/corpus"
@@ -52,6 +61,7 @@ type report struct {
 	VerdictPasses  uint64       `json:"verdict_passes"`
 	MetricsValid   bool         `json:"metrics_valid"`
 	MetricsSamples int          `json:"metrics_samples"`
+	Interrupted    bool         `json:"interrupted"` // run stopped by SIGINT/SIGTERM; files are partial
 }
 
 func main() {
@@ -61,6 +71,12 @@ func main() {
 	listen := flag.String("listen", "127.0.0.1:0", "address for the /metrics endpoint")
 	jsonOut := flag.Bool("json", false, "emit a JSON report instead of text")
 	flag.Parse()
+
+	// A signal stops the replay between files; the gateway still drains and
+	// the report still emits, so an interrupted sensor never loses the work
+	// it finished. A second signal kills outright.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	files, err := filepath.Glob(*glob)
 	if err != nil || len(files) == 0 {
@@ -98,6 +114,7 @@ func main() {
 	}
 	mux := http.NewServeMux()
 	mux.Handle("/metrics", gw.Metrics())
+	mux.Handle("/healthz", gw.Healthz())
 	srv := &http.Server{Handler: mux}
 	go srv.Serve(ln)
 	defer srv.Close()
@@ -105,6 +122,10 @@ func main() {
 
 	rep := report{Backend: gw.Backend(), Shards: *shards, OracleOK: true}
 	for _, path := range files {
+		if ctx.Err() != nil {
+			rep.Interrupted = true
+			break
+		}
 		f, err := os.Open(path)
 		if err != nil {
 			log.Fatal(err)
@@ -178,7 +199,12 @@ func main() {
 			fmt.Printf("shard %d: %d stream bytes, %d batch packets\n", i, es.StreamBytes, es.BatchPkts)
 		}
 		fmt.Printf("metrics: scraped %s: %d samples, valid=%v\n", metricsURL, samples, rep.MetricsValid)
+		if rep.Interrupted {
+			fmt.Printf("interrupted: %d/%d files replayed\n", len(rep.Files), len(files))
+		}
 	}
+	// An interrupted-but-clean run exits 0: every file it did replay
+	// reproduced its oracle, which is not a failure.
 	if !rep.OracleOK || !rep.MetricsValid {
 		os.Exit(1)
 	}

@@ -204,6 +204,41 @@ type FlowMatch struct {
 	RuleID  int
 }
 
+// OverloadPolicy selects what Ingest does when the pipeline is saturated
+// and the bounded queue cannot accept a packet within the ingest deadline.
+// Whatever the policy, the exactness contract holds over the bytes actually
+// delivered to scanning, and every byte not delivered is explicitly
+// accounted (see GatewayStats.Ledger): never silently wrong, never wedged.
+type OverloadPolicy uint8
+
+const (
+	// Block is today's backpressure contract and the default: Ingest waits
+	// for queue space, nothing is ever shed, and results are byte-identical
+	// to an unloaded run.
+	Block OverloadPolicy = iota
+	// ShedPackets drops the packet that cannot be queued within
+	// IngestDeadline. A shed TCP segment invalidates the flow's scanner
+	// across the unseen bytes (SkipGap semantics), so no match can span a
+	// shed packet and matches over delivered bytes stay oracle-exact.
+	ShedPackets
+	// ShedNewFlows sheds only packets that would create new flow state
+	// (unknown TCP tuples and stateless packets); packets of established
+	// TCP flows still block, protecting connections already under
+	// inspection — the classic IDS answer to a SYN-flood style overload.
+	ShedNewFlows
+)
+
+// String implements fmt.Stringer.
+func (p OverloadPolicy) String() string {
+	switch p {
+	case ShedPackets:
+		return "shed_packets"
+	case ShedNewFlows:
+		return "shed_new_flows"
+	}
+	return "block"
+}
+
 // GatewayConfig sizes the ingest pipeline. The zero value selects sensible
 // defaults throughout.
 type GatewayConfig struct {
@@ -270,6 +305,20 @@ type GatewayConfig struct {
 	// disables skipping.
 	GapTimeout int
 
+	// OverloadPolicy selects the admission behavior when the ingest queue
+	// is full: Block (default, pure backpressure), ShedPackets, or
+	// ShedNewFlows. See the OverloadPolicy constants.
+	OverloadPolicy OverloadPolicy
+	// IngestDeadline bounds how long a shedding policy waits for queue
+	// space before shedding the packet. 0 selects 1ms; negative sheds
+	// immediately on a full queue. Ignored under Block, which waits
+	// indefinitely.
+	IngestDeadline time.Duration
+	// StallThreshold is the lane-watchdog trigger: a stream lane with
+	// queued or in-flight work whose last progress is older than this is
+	// reported stalled by Health (and /healthz turns 503). Default 5s.
+	StallThreshold time.Duration
+
 	// Rules classify each flow's 5-tuple before payload scanning; see
 	// VerdictRule. No rules means every packet is scanned unattributed.
 	Rules []VerdictRule
@@ -313,6 +362,15 @@ func (c GatewayConfig) withDefaults(e *Engine) GatewayConfig {
 	if c.GapTimeout < 0 {
 		c.GapTimeout = 0 // disabled
 	}
+	if c.IngestDeadline == 0 {
+		c.IngestDeadline = time.Millisecond
+	}
+	if c.IngestDeadline < 0 {
+		c.IngestDeadline = 0 // shed immediately on a full queue
+	}
+	if c.StallThreshold <= 0 {
+		c.StallThreshold = 5 * time.Second
+	}
 	return c
 }
 
@@ -325,6 +383,18 @@ type GatewayStats struct {
 	BatchPackets  uint64 // scanned statelessly in bursts
 	Batches       uint64 // bursts handed to Engine.ScanPackets
 	Matches       uint64 // FlowMatches emitted
+	ScannedBytes  uint64 // payload bytes delivered to a scanner (stream + burst)
+
+	// Overload shedding (OverloadPolicy ShedPackets / ShedNewFlows).
+	ShedPackets  uint64 // packets shed at admission
+	ShedBytes    uint64 // payload bytes of shed packets
+	ShedNewFlows uint64 // shed packets that would have created flow state
+
+	// Panic containment.
+	Panics             uint64 // panics recovered across all pipeline stages
+	QuarantinedFlows   uint64 // flows evicted because their scan panicked
+	QuarantinedPackets uint64 // packets discarded on/after a flow quarantine
+	QuarantinedBytes   uint64 // payload bytes those packets carried (ledger-exact)
 
 	// TCP reassembly (FlagSeq segments only).
 	ReassembledBytes uint64 // bytes delivered to scanners in stream order
@@ -340,12 +410,56 @@ type GatewayStats struct {
 	VerdictDrops  uint64 // flows/packets discarded unscanned
 	VerdictPasses uint64 // flows/packets exempted unscanned
 	DroppedBytes  uint64 // payload bytes of verdict-dropped traffic
+	PassedBytes   uint64 // payload bytes of verdict-passed traffic
+
+	// AbandonedBytes counts ingested bytes released unscanned when their
+	// connection went away: buffered out-of-order bytes discarded on RST,
+	// beyond a completed FIN, or on flow eviction, plus RST payloads.
+	AbandonedBytes uint64
 
 	FlowsLive     int
 	FlowsCreated  uint64
 	FlowsEvicted  uint64 // capacity + idle evictions + RST teardowns
 	FlowsFinished uint64 // completed via FIN (scanner state released early)
 	FlowsReset    uint64 // torn down by RST
+}
+
+// GatewayLedger is the byte-conservation view of a stats snapshot: every
+// ingested payload byte is in exactly one bucket, so at any Flush
+// checkpoint (pipeline drained, counters quiescent)
+//
+//	Ingested == Scanned + Shed + Skipped + Buffered
+//
+// holds exactly. Skipped aggregates every byte the gateway explicitly
+// declined to scan: duplicates, reassembly cap drops, verdict drops and
+// passes, abandoned connection bytes, and quarantined bytes. Reassembly
+// gap-skipped bytes are NOT here — they were never ingested (the segments
+// carrying them were lost upstream); GatewayStats reports them separately.
+type GatewayLedger struct {
+	Ingested uint64 `json:"ingested"`
+	Scanned  uint64 `json:"scanned"`
+	Shed     uint64 `json:"shed"`
+	Skipped  uint64 `json:"skipped"`
+	Buffered uint64 `json:"buffered"` // out-of-order bytes still held
+}
+
+// Ledger buckets the snapshot's byte counters; see GatewayLedger.
+func (s GatewayStats) Ledger() GatewayLedger {
+	return GatewayLedger{
+		Ingested: s.Bytes,
+		Scanned:  s.ScannedBytes,
+		Shed:     s.ShedBytes,
+		Skipped: s.DuplicateBytes + s.ReassemblyDrops + s.DroppedBytes +
+			s.PassedBytes + s.AbandonedBytes + s.QuarantinedBytes,
+		Buffered: uint64(s.BufferedBytes),
+	}
+}
+
+// Balanced reports whether the conservation law holds for this snapshot.
+// Only a drained snapshot (taken after Flush, or after Close) is required
+// to balance; a mid-flight snapshot may be transiently short.
+func (l GatewayLedger) Balanced() bool {
+	return l.Ingested == l.Scanned+l.Shed+l.Skipped+l.Buffered
 }
 
 // Gateway is a pipelined ingestion front-end over one or more engine
@@ -400,6 +514,41 @@ type Gateway struct {
 	verdictDrops  atomic.Uint64
 	verdictPasses atomic.Uint64
 	droppedBytes  atomic.Uint64
+	passedBytes   atomic.Uint64
+
+	// Byte-conservation buckets (see GatewayStats.Ledger). scannedBytes and
+	// its sibling buckets are committed transactionally — only after the
+	// operation that consumed the bytes returned — so a mid-scan panic
+	// leaves its packet's bytes uncommitted and the quarantine path can
+	// charge them exactly.
+	scannedBytes   atomic.Uint64
+	abandonedBytes atomic.Uint64
+	shedPackets    atomic.Uint64
+	shedBytes      atomic.Uint64
+	shedFlows      atomic.Uint64
+
+	// Panic containment: per-shard recovered-panic counts (the
+	// dpi_panics_total{shard} series) and the quarantine set — tuples whose
+	// scan panicked. A quarantined tuple's later packets are discarded at
+	// the lane, counted, without touching scanner state. quarN is the
+	// hot-path gate: lanes pay one atomic load until the first quarantine.
+	panics      []atomic.Uint64
+	quarMu      sync.Mutex
+	quarantined map[FiveTuple]struct{}
+	quarN       atomic.Int64
+	quarFlows   atomic.Uint64
+	quarPackets atomic.Uint64
+	quarBytes   atomic.Uint64
+
+	// Pending scanner gaps from shed in-order (non-FlagSeq) TCP segments:
+	// the flow's next admitted packet applies SkipGap(n) before scanning,
+	// so no match spans the shed bytes and later offsets stay absolute.
+	// (Shed FlagSeq segments need none of this — they are ordinary
+	// reassembly holes, handled by GapTimeout.) pendingN gates the lookup
+	// the same way quarN does.
+	pendingMu   sync.Mutex
+	pendingGaps map[FiveTuple]int
+	pendingN    atomic.Int64
 
 	// Per-rule counters, indexed by the rule's position in cfg.Rules (not
 	// its ID — IDs may be sparse). Fixed-size atomic slices allocated at
@@ -416,6 +565,11 @@ type seqPacket struct {
 	hash    uint64 // Tuple.Hash64, the single source of shard/lane/table pinning
 	seq32   uint32
 	flags   TCPFlags
+	// gap is the flow's accumulated shed-gap, claimed at admission time.
+	// Claiming it here rather than at the lane keeps gap application in
+	// admission order: a packet admitted before a shed must not absorb that
+	// shed's gap just because the lane processed it later.
+	gap int
 }
 
 // gwEngineShard is one scan replica: an independent Engine (its own worker
@@ -428,6 +582,18 @@ type gwEngineShard struct {
 	streamQ []chan seqPacket
 	batchQ  chan []seqPacket
 	batch   []seqPacket
+	lanes   []laneState // watchdog state, parallel to streamQ
+}
+
+// laneState is one stream lane's watchdog view: how many packets are queued
+// or in flight on the lane, and when the lane last made progress. There is
+// no watchdog goroutine — the collector stamps lastProgress when a lane
+// goes from empty to busy, the worker stamps it after every packet, and
+// Health computes staleness on demand, so stall detection is deterministic
+// and costs the hot path two atomics per packet.
+type laneState struct {
+	depth        atomic.Int64
+	lastProgress atomic.Int64 // unix nanos
 }
 
 // Gateway starts a pipelined ingestion front-end over the engine. emit
@@ -480,25 +646,34 @@ func (e *Engine) Gateway(cfg GatewayConfig, emit func(FlowMatch)) *Gateway {
 		Shards:    cfg.FlowShards,
 	})
 	g.shards = make([]*gwEngineShard, cfg.EngineShards)
+	g.panics = make([]atomic.Uint64, cfg.EngineShards)
 	for s := range g.shards {
 		se := e
 		if s > 0 {
 			se = e.m.NewEngine(e.Workers())
 		}
+		// Arm the engine's batch-path panic containment: a panic scanning
+		// one burst payload is recovered inside the engine worker (where it
+		// would otherwise kill the process) and lands on this shard's panic
+		// counter. Note this arms the engine itself — on a shared shard-0
+		// engine, batch scans fed outside this gateway are contained too.
+		shard := s
+		se.eng.SetRecover(func(any) { g.panics[shard].Add(1) })
 		sh := &gwEngineShard{
 			e:       se,
 			streamQ: make([]chan seqPacket, cfg.StreamWorkers),
 			batchQ:  make(chan []seqPacket, 2),
+			lanes:   make([]laneState, cfg.StreamWorkers),
 		}
 		g.shards[s] = sh
 		for w := range sh.streamQ {
 			q := make(chan seqPacket, cfg.QueueDepth/cfg.StreamWorkers+1)
 			sh.streamQ[w] = q
 			g.workerWg.Add(1)
-			go g.streamWorker(q)
+			go g.streamWorker(shard, &sh.lanes[w], q)
 		}
 		g.workerWg.Add(1)
-		go g.burstScanner(sh)
+		go g.burstScanner(shard, sh)
 	}
 	g.collectorWg.Add(1)
 	go g.collect()
@@ -590,9 +765,25 @@ func (fl *gwFlow) open() {
 	})
 }
 
-// ingest processes one segment. It reports whether the flow should be
-// removed from the table right now (RST teardown).
-func (fl *gwFlow) ingest(p seqPacket, tick uint64) bool {
+// heldBytes reports the flow's buffered out-of-order bytes. The quarantine
+// path snapshots it around a panicking packet to charge the ledger exactly.
+func (fl *gwFlow) heldBytes() int {
+	if fl.asm == nil {
+		return 0
+	}
+	return fl.asm.HeldBytes()
+}
+
+// ingest processes one segment. gap is the shed-bytes scanner gap pending
+// for this flow (0 almost always; see Gateway.pendingGaps). It reports
+// whether the flow should be removed from the table right now (RST
+// teardown).
+//
+// Byte accounting here is transactional: each bucket add happens only after
+// the operation that consumed the bytes returned, so when a scan (or a
+// user callback) panics mid-packet, none of that packet's bytes are
+// committed and the quarantine path charges them in one place.
+func (fl *gwFlow) ingest(p seqPacket, gap int, tick uint64) bool {
 	g := fl.g
 	if !fl.notified {
 		fl.notified = true
@@ -600,12 +791,14 @@ func (fl *gwFlow) ingest(p seqPacket, tick uint64) bool {
 	}
 	// RST tears the connection down whatever its verdict or husk state —
 	// a dropped/passed or FIN-closed flow must not pin a table slot after
-	// the endpoints abort it.
+	// the endpoints abort it. An RST's own payload is never scanned:
+	// abandoned, like the buffered bytes teardown releases.
 	if p.flags&FlagRST != 0 {
 		if !fl.done {
 			g.flowsReset.Add(1)
 		}
 		fl.teardown()
+		g.abandonedBytes.Add(uint64(len(p.payload)))
 		return true
 	}
 	switch fl.verdict {
@@ -613,6 +806,7 @@ func (fl *gwFlow) ingest(p seqPacket, tick uint64) bool {
 		g.droppedBytes.Add(uint64(len(p.payload)))
 		return false
 	case VerdictPass:
+		g.passedBytes.Add(uint64(len(p.payload)))
 		return false
 	}
 	if fl.done {
@@ -629,10 +823,19 @@ func (fl *gwFlow) ingest(p seqPacket, tick uint64) bool {
 		fl.open()
 		g.notifyVerdict(fl.tuple, fl.verdict, fl.ruleIdx)
 	}
+	if gap > 0 {
+		// Bytes shed at admission sit between the flow's last scanned byte
+		// and this packet: invalidate scanner state across them so no match
+		// spans bytes the scanner never saw, keeping later offsets absolute
+		// in the true stream. Not a reassembly gap — GapSkips is untouched;
+		// the shed bytes are already in the Shed bucket.
+		fl.f.SkipGap(gap)
+	}
 	if p.flags&FlagSeq == 0 {
 		// Pre-reassembly semantics: the feed vouches for ordering and the
 		// bytes append at the flow's current stream position.
 		fl.f.WritePacket(p.payload, p.seq)
+		g.scannedBytes.Add(uint64(len(p.payload)))
 		if p.flags&FlagFIN != 0 {
 			fl.finish()
 		}
@@ -660,6 +863,7 @@ func (fl *gwFlow) ingest(p seqPacket, tick uint64) bool {
 			fl.f.WritePacket(chunk, p.seq)
 		})
 	g.reassembled.Add(uint64(res.Delivered))
+	g.scannedBytes.Add(uint64(res.Delivered))
 	if res.Buffered > 0 {
 		g.oooSegs.Add(1)
 	}
@@ -672,6 +876,9 @@ func (fl *gwFlow) ingest(p seqPacket, tick uint64) bool {
 	if res.Skipped > 0 {
 		g.gapSkips.Add(1)
 		g.gapSkipBytes.Add(uint64(res.Skipped))
+	}
+	if res.Abandoned > 0 {
+		g.abandonedBytes.Add(uint64(res.Abandoned))
 	}
 	if res.Event == reassembly.EventFinished {
 		fl.finish()
@@ -687,9 +894,7 @@ func (fl *gwFlow) finish() {
 		fl.f.Close()
 		fl.f = nil
 	}
-	if fl.asm != nil {
-		fl.asm.Release()
-	}
+	fl.releaseAsm(false)
 	fl.done = true
 	fl.g.flowsFinished.Add(1)
 }
@@ -701,9 +906,7 @@ func (fl *gwFlow) teardown() {
 		fl.f.Close()
 		fl.f = nil
 	}
-	if fl.asm != nil {
-		fl.asm.Release()
-	}
+	fl.releaseAsm(false)
 	fl.done = true
 }
 
@@ -713,36 +916,161 @@ func (fl *gwFlow) close() {
 		fl.f.Close()
 		fl.f = nil
 	}
-	if fl.asm != nil {
-		fl.asm.Release()
+	fl.releaseAsm(true)
+}
+
+// releaseAsm returns the flow's buffered out-of-order bytes to the shared
+// budget, charging them to the abandoned bucket: they were ingested but
+// their flow is going away, so they will never be scanned. Release is
+// idempotent (a second call frees 0), so finish → later eviction does not
+// double-count.
+func (fl *gwFlow) releaseAsm(drop bool) {
+	if fl.asm == nil {
+		return
+	}
+	if n := fl.asm.Release(); n > 0 {
+		fl.g.abandonedBytes.Add(uint64(n))
+	}
+	if drop {
 		fl.asm = nil
 	}
 }
 
-// Ingest queues one packet, blocking when the pipeline is saturated (the
-// backpressure contract: a caller reading from a NIC or file cannot outrun
-// the scan stages by more than the queue and burst buffers). It returns an
-// error only on a closed gateway.
+// quarantine releases a flow whose scan panicked. The scanner state is
+// discarded, NOT repooled — the panic may have left its registers
+// mid-update, and handing them to an unrelated flow would corrupt that
+// flow's matches. Buffered bytes are abandoned like any teardown. The
+// caller (Gateway.quarantineFlow) removes the table entry and marks the
+// tuple so stragglers are dropped at the lane.
+func (fl *gwFlow) quarantine() {
+	if fl.f != nil {
+		fl.f.Discard()
+		fl.f = nil
+	}
+	fl.releaseAsm(true)
+	fl.done = true
+}
+
+// Ingest queues one packet. Under OverloadPolicy Block (the default) it
+// blocks when the pipeline is saturated — the backpressure contract: a
+// caller reading from a NIC or file cannot outrun the scan stages by more
+// than the queue and burst buffers. Under a shedding policy it may drop the
+// packet instead (fully accounted; see TryIngest to observe which). It
+// returns an error only on a closed gateway.
 func (g *Gateway) Ingest(pkt GatewayPacket) error {
+	_, err := g.TryIngest(pkt)
+	return err
+}
+
+// TryIngest is Ingest reporting the admission decision: admitted is false
+// when the configured shedding policy dropped the packet (always true under
+// Block). A shed packet still counts in Packets/Bytes — it reached the
+// sensor — and its payload lands in the Shed ledger bucket; a shed in-order
+// TCP segment additionally arms a scanner gap so the exactness contract
+// holds over the bytes that were delivered.
+func (g *Gateway) TryIngest(pkt GatewayPacket) (admitted bool, err error) {
 	g.mu.RLock()
 	defer g.mu.RUnlock()
 	if g.closed {
-		return fmt.Errorf("dpi: Ingest on closed Gateway")
+		return false, fmt.Errorf("dpi: Ingest on closed Gateway")
 	}
 	seq := g.seq.Add(1) - 1
-	g.inflight.Add(1)
 	g.bytes.Add(uint64(len(pkt.Payload)))
 	// The tuple hash drives every pinning decision downstream (engine
 	// shard, stream lane, flow-table shard), so it is computed once here —
 	// on the caller's goroutine, off the single-threaded collector — and
 	// carried with the packet. Stateless packets on an unsharded gateway
-	// never need it.
+	// never need it, except to answer ShedNewFlows' flow-table probe.
+	pol := g.cfg.OverloadPolicy
 	var h uint64
-	if pkt.Tuple.Proto == ProtoTCP || len(g.shards) > 1 {
+	if pkt.Tuple.Proto == ProtoTCP || len(g.shards) > 1 || pol == ShedNewFlows {
 		h = pkt.Tuple.Hash64()
 	}
-	g.in <- seqPacket{tuple: pkt.Tuple, payload: pkt.Payload, seq: int(seq), hash: h, seq32: pkt.Seq, flags: pkt.Flags}
-	return nil
+	p := seqPacket{tuple: pkt.Tuple, payload: pkt.Payload, seq: int(seq), hash: h, seq32: pkt.Seq, flags: pkt.Flags}
+	if pkt.Tuple.Proto == ProtoTCP && pkt.Flags&FlagSeq == 0 {
+		// Claim any gap earlier sheds left for this flow, in admission
+		// order. One atomic load until something has actually been shed.
+		p.gap = g.takePendingGap(pkt.Tuple)
+	}
+	newFlow := false
+	if pol == ShedNewFlows {
+		// Established TCP connections keep today's backpressure — a flow
+		// already under inspection is never starved mid-stream. Only
+		// packets that would create state (unknown TCP tuples, stateless
+		// traffic) are sheddable, so overload cannot grow the flow table.
+		newFlow = pkt.Tuple.Proto != ProtoTCP || !g.table.Has(pkt.Tuple, h)
+	}
+	if pol == Block || (pol == ShedNewFlows && !newFlow) {
+		g.inflight.Add(1)
+		g.in <- p
+		return true, nil
+	}
+	// Shedding admission: try without waiting, then wait out the bounded
+	// deadline. inflight is raised across the attempt so a concurrent Flush
+	// cannot declare the pipeline drained while this packet may still slip
+	// in (TryIngest holds mu shared, Flush takes it exclusively).
+	g.inflight.Add(1)
+	select {
+	case g.in <- p:
+		return true, nil
+	default:
+	}
+	if d := g.cfg.IngestDeadline; d > 0 {
+		t := time.NewTimer(d)
+		select {
+		case g.in <- p:
+			t.Stop()
+			return true, nil
+		case <-t.C:
+		}
+	}
+	g.inflight.Add(-1)
+	g.shed(p, newFlow)
+	return false, nil
+}
+
+// shed accounts one dropped packet and, for an in-order TCP segment, arms
+// the flow's pending scanner gap. A shed FlagSeq segment needs no gap: in
+// sequence space it is indistinguishable from a segment lost upstream, and
+// the reassembler's GapTimeout already skips such holes with scanner
+// invalidation.
+func (g *Gateway) shed(p seqPacket, newFlow bool) {
+	g.shedPackets.Add(1)
+	g.shedBytes.Add(uint64(len(p.payload)))
+	if newFlow {
+		g.shedFlows.Add(1)
+	}
+	if p.tuple.Proto == ProtoTCP && p.flags&FlagSeq == 0 && p.gap+len(p.payload) > 0 {
+		// The shed packet's own bytes, plus any gap it had already claimed
+		// at admission (which must not be lost with it).
+		g.pendingMu.Lock()
+		if g.pendingGaps == nil {
+			g.pendingGaps = make(map[FiveTuple]int)
+		}
+		if _, ok := g.pendingGaps[p.tuple]; !ok {
+			g.pendingN.Add(1)
+		}
+		g.pendingGaps[p.tuple] += p.gap + len(p.payload)
+		g.pendingMu.Unlock()
+	}
+}
+
+// takePendingGap consumes the flow's pending shed gap, if any. The atomic
+// gate keeps the per-packet cost to one load until something is shed.
+func (g *Gateway) takePendingGap(t FiveTuple) int {
+	if g.pendingN.Load() == 0 {
+		return 0
+	}
+	g.pendingMu.Lock()
+	n, ok := g.pendingGaps[t]
+	if ok {
+		delete(g.pendingGaps, t)
+	}
+	g.pendingMu.Unlock()
+	if ok {
+		g.pendingN.Add(-1)
+	}
+	return n
 }
 
 // Flush blocks until every packet ingested before the call has been
@@ -807,7 +1135,14 @@ func (g *Gateway) collect() {
 			// Dividing out the shard index decorrelates the lane choice
 			// from the shard choice when their counts share factors; with
 			// one shard it reduces to hash%lanes, the pre-sharding pinning.
-			sh.streamQ[(p.hash/nshards)%uint64(len(sh.streamQ))] <- p
+			lane := (p.hash / nshards) % uint64(len(sh.streamQ))
+			// Watchdog: raise the lane's depth before the (possibly
+			// blocking) send, stamping progress on the empty→busy edge so
+			// a lane that never dequeues shows its true stall age.
+			if ls := &sh.lanes[lane]; ls.depth.Add(1) == 1 {
+				ls.lastProgress.Store(time.Now().UnixNano())
+			}
+			sh.streamQ[lane] <- p
 			return
 		}
 		sh.batch = append(sh.batch, p)
@@ -848,19 +1183,102 @@ func (g *Gateway) flushBurst(sh *gwEngineShard) {
 // on the same lane (hash-pinned by the collector), so writes into the
 // flow's scanner state are ordered without per-packet locking beyond the
 // flow table's entry lock. The lane's packet counter doubles as the
-// logical clock for reassembly gap timeouts.
-func (g *Gateway) streamWorker(q <-chan seqPacket) {
+// logical clock for reassembly gap timeouts. After every packet —
+// including one whose scan panicked and was contained — the lane stamps
+// its watchdog progress.
+func (g *Gateway) streamWorker(shard int, ls *laneState, q <-chan seqPacket) {
 	defer g.workerWg.Done()
 	for p := range q {
-		tick := g.stream.Add(1)
-		var removeNow bool
-		g.table.DoHashed(p.tuple, p.hash, func(fl *gwFlow) { removeNow = fl.ingest(p, tick) })
-		if removeNow {
-			// RST teardown: the same lane owns every packet of this flow,
-			// so no concurrent Do on the tuple can interleave here.
-			g.table.Remove(p.tuple)
+		g.streamPacket(shard, p)
+		ls.depth.Add(-1)
+		ls.lastProgress.Store(time.Now().UnixNano())
+	}
+}
+
+// streamPacket runs one packet through its flow, containing panics: a
+// panic anywhere under the flow (a scanner bug, a hostile payload tripping
+// an invariant, a user emit/OnVerdict callback) quarantines that one flow
+// and the gateway keeps running. inflight is decremented in the same defer
+// chain so Flush cannot wedge on a packet that blew up.
+func (g *Gateway) streamPacket(shard int, p seqPacket) {
+	defer g.inflight.Add(-1)
+	if g.quarN.Load() != 0 && g.isQuarantined(p.tuple) {
+		// Straggler of a quarantined flow: never touches scanner state.
+		g.quarPackets.Add(1)
+		g.quarBytes.Add(uint64(len(p.payload)))
+		return
+	}
+	heldBefore := 0
+	defer func() {
+		if v := recover(); v != nil {
+			g.containPanic(shard, v)
+			g.quarantineFlow(p, heldBefore)
 		}
-		g.inflight.Add(-1)
+	}()
+	tick := g.stream.Add(1)
+	var removeNow bool
+	g.table.DoHashed(p.tuple, p.hash, func(fl *gwFlow) {
+		heldBefore = fl.heldBytes()
+		removeNow = fl.ingest(p, p.gap, tick)
+	})
+	if removeNow {
+		// RST teardown: the same lane owns every packet of this flow,
+		// so no concurrent Do on the tuple can interleave here.
+		g.table.Remove(p.tuple)
+	}
+}
+
+// containPanic records one recovered panic against its shard.
+func (g *Gateway) containPanic(shard int, _ any) {
+	g.panics[shard].Add(1)
+}
+
+func (g *Gateway) isQuarantined(t FiveTuple) bool {
+	g.quarMu.Lock()
+	_, ok := g.quarantined[t]
+	g.quarMu.Unlock()
+	return ok
+}
+
+// quarantineFlow evicts the flow whose packet just panicked and marks its
+// tuple so later packets are dropped at the lane. The byte ledger stays
+// exact: the panicking packet's bytes were never committed (ingest commits
+// transactionally), so the quarantine bucket is charged the packet's
+// payload plus whatever buffered bytes the aborted delivery drained before
+// blowing up — payload + heldBefore − heldNow; the buffered bytes still
+// held land in the abandoned bucket via the flow's release.
+//
+// Containment is best-effort under one rare race: if another lane's
+// capacity eviction closes this flow between the panic and the re-lookup
+// here, the lookup recreates (and immediately quarantines) a fresh flow,
+// and the drained-held delta is charged against the fresh flow's empty
+// buffer. The flow is still contained; only the ledger can overcount held
+// bytes in that window. The deterministic chaos soak runs without capacity
+// pressure, where the accounting is exact.
+func (g *Gateway) quarantineFlow(p seqPacket, heldBefore int) {
+	g.quarMu.Lock()
+	if g.quarantined == nil {
+		g.quarantined = make(map[FiveTuple]struct{})
+	}
+	g.quarantined[p.tuple] = struct{}{}
+	g.quarMu.Unlock()
+	g.quarN.Add(1)
+	g.quarFlows.Add(1)
+	g.quarPackets.Add(1)
+	heldNow := heldBefore
+	func() {
+		// The flow is already poisoned; if releasing it panics too, give
+		// up on its resources but keep the gateway (and the ledger's
+		// packet charge) intact.
+		defer func() { _ = recover() }()
+		g.table.DoHashed(p.tuple, p.hash, func(fl *gwFlow) {
+			heldNow = fl.heldBytes()
+			fl.quarantine()
+		})
+		g.table.Remove(p.tuple)
+	}()
+	if delta := len(p.payload) + heldBefore - heldNow; delta > 0 {
+		g.quarBytes.Add(uint64(delta))
 	}
 }
 
@@ -870,47 +1288,86 @@ func (g *Gateway) streamWorker(q <-chan seqPacket) {
 // reach the engine, and matches on alert-admitted packets carry the rule
 // attribution. One results buffer is reused across bursts so steady-state
 // batch scanning does not allocate per burst.
-func (g *Gateway) burstScanner(sh *gwEngineShard) {
+func (g *Gateway) burstScanner(shard int, sh *gwEngineShard) {
 	defer g.workerWg.Done()
-	var buf [][]ac.Match
-	var kept []seqPacket
-	var payloads [][]byte
-	var ruleIdx []int
+	var st burstState
 	for batch := range sh.batchQ {
-		g.bursts.Add(1)
-		g.batched.Add(uint64(len(batch)))
-		kept, payloads, ruleIdx = kept[:0], payloads[:0], ruleIdx[:0]
-		for _, p := range batch {
-			v, idx := g.classify(p.tuple)
-			g.notifyVerdict(p.tuple, v, idx)
-			switch v {
-			case VerdictDrop:
-				g.droppedBytes.Add(uint64(len(p.payload)))
-				continue
-			case VerdictPass:
-				continue
+		g.scanBurst(shard, sh, batch, &st)
+	}
+}
+
+// burstState is one burst scanner's reusable working set, so steady-state
+// batch scanning does not allocate per burst.
+type burstState struct {
+	buf      [][]ac.Match
+	kept     []seqPacket
+	payloads [][]byte
+	ruleIdx  []int
+}
+
+// scanBurst scans one stateless burst with the shard's engine. Panics
+// inside the engine's scan are contained by the engine itself (SetRecover,
+// armed at construction); panics in this function — a user OnVerdict or
+// emit callback — are contained here, with the batch's not-yet-committed
+// bytes charged to the quarantine bucket so the ledger stays exact, and
+// inflight decremented in the defer chain so Flush cannot wedge.
+func (g *Gateway) scanBurst(shard int, sh *gwEngineShard, batch []seqPacket, st *burstState) {
+	defer g.inflight.Add(-int64(len(batch)))
+	var total, committed uint64
+	for _, p := range batch {
+		total += uint64(len(p.payload))
+	}
+	defer func() {
+		if v := recover(); v != nil {
+			g.containPanic(shard, v)
+			if total > committed {
+				g.quarBytes.Add(total - committed)
+				g.quarPackets.Add(1)
 			}
-			kept = append(kept, p)
-			payloads = append(payloads, p.payload)
-			ruleIdx = append(ruleIdx, idx)
 		}
-		if len(kept) > 0 {
-			buf = sh.e.eng.ScanPacketsInto(payloads, buf)
-			for i, ms := range buf {
-				v, rid := VerdictNone, -1
-				if ruleIdx[i] >= 0 {
-					v = VerdictAlert
-					rid = g.cfg.Rules[ruleIdx[i]].ID
+	}()
+	g.bursts.Add(1)
+	g.batched.Add(uint64(len(batch)))
+	st.kept, st.payloads, st.ruleIdx = st.kept[:0], st.payloads[:0], st.ruleIdx[:0]
+	var keptBytes uint64
+	for _, p := range batch {
+		v, idx := g.classify(p.tuple)
+		g.notifyVerdict(p.tuple, v, idx)
+		switch v {
+		case VerdictDrop:
+			g.droppedBytes.Add(uint64(len(p.payload)))
+			committed += uint64(len(p.payload))
+			continue
+		case VerdictPass:
+			g.passedBytes.Add(uint64(len(p.payload)))
+			committed += uint64(len(p.payload))
+			continue
+		}
+		st.kept = append(st.kept, p)
+		st.payloads = append(st.payloads, p.payload)
+		st.ruleIdx = append(st.ruleIdx, idx)
+		keptBytes += uint64(len(p.payload))
+	}
+	if len(st.kept) > 0 {
+		st.buf = sh.e.eng.ScanPacketsInto(st.payloads, st.buf)
+		// The engine delivered every payload to a scanner (a contained
+		// engine panic costs only that payload's matches), so the whole
+		// kept set commits as scanned.
+		g.scannedBytes.Add(keptBytes)
+		committed += keptBytes
+		for i, ms := range st.buf {
+			v, rid := VerdictNone, -1
+			if st.ruleIdx[i] >= 0 {
+				v = VerdictAlert
+				rid = g.cfg.Rules[st.ruleIdx[i]].ID
+			}
+			for _, am := range ms {
+				if st.ruleIdx[i] >= 0 {
+					g.ruleMatches[st.ruleIdx[i]].Add(1)
 				}
-				for _, am := range ms {
-					if ruleIdx[i] >= 0 {
-						g.ruleMatches[ruleIdx[i]].Add(1)
-					}
-					g.emit(FlowMatch{Tuple: kept[i].tuple, Match: g.m.convert(am, kept[i].seq), Verdict: v, RuleID: rid})
-				}
+				g.emit(FlowMatch{Tuple: st.kept[i].tuple, Match: g.m.convert(am, st.kept[i].seq), Verdict: v, RuleID: rid})
 			}
 		}
-		g.inflight.Add(-int64(len(batch)))
 	}
 }
 
@@ -987,6 +1444,78 @@ func (g *Gateway) RuleStats() []RuleStats {
 // arrive) and returns how many were evicted.
 func (g *Gateway) EvictIdleFlows() int { return g.table.EvictIdle() }
 
+// PanicsByShard returns the recovered-panic count per engine shard, in
+// shard order — the dpi_panics_total{shard} series. A non-zero cell names
+// the shard whose lane or burst scanner contained a panic.
+func (g *Gateway) PanicsByShard() []uint64 {
+	out := make([]uint64, len(g.panics))
+	for i := range g.panics {
+		out[i] = g.panics[i].Load()
+	}
+	return out
+}
+
+func (g *Gateway) panicsTotal() uint64 {
+	var n uint64
+	for i := range g.panics {
+		n += g.panics[i].Load()
+	}
+	return n
+}
+
+// LaneHealth is one stream lane's watchdog reading at the time of a Health
+// call: its queued-or-in-flight depth and how long ago it last completed a
+// packet (or, for a lane that never started, was first handed one).
+type LaneHealth struct {
+	Shard   int           `json:"shard"`
+	Lane    int           `json:"lane"`
+	Depth   int64         `json:"depth"`
+	Age     time.Duration `json:"age_ns"`
+	Stalled bool          `json:"stalled"`
+}
+
+// GatewayHealth is a liveness snapshot: Healthy is false exactly when some
+// lane holds work older than StallThreshold — a wedged scanner, a blocked
+// emit callback, a deadlocked downstream consumer. Contained panics and
+// quarantined flows do NOT unhealth the gateway (containment working is
+// the healthy outcome); they are included so a /healthz probe can alert on
+// their rate without scraping the full metrics surface.
+type GatewayHealth struct {
+	Healthy          bool         `json:"healthy"`
+	Panics           uint64       `json:"panics"`
+	QuarantinedFlows uint64       `json:"quarantined_flows"`
+	BusyLanes        []LaneHealth `json:"busy_lanes,omitempty"`
+}
+
+// Health computes the watchdog snapshot on demand — there is no background
+// watchdog goroutine, so detection is deterministic and costs nothing when
+// nobody asks. Every lane currently holding work is reported; the stalled
+// ones flip Healthy to false.
+func (g *Gateway) Health() GatewayHealth {
+	now := time.Now().UnixNano()
+	h := GatewayHealth{
+		Healthy:          true,
+		Panics:           g.panicsTotal(),
+		QuarantinedFlows: g.quarFlows.Load(),
+	}
+	for si, sh := range g.shards {
+		for li := range sh.lanes {
+			ls := &sh.lanes[li]
+			d := ls.depth.Load()
+			if d <= 0 {
+				continue
+			}
+			age := time.Duration(now - ls.lastProgress.Load())
+			lh := LaneHealth{Shard: si, Lane: li, Depth: d, Age: age, Stalled: age > g.cfg.StallThreshold}
+			if lh.Stalled {
+				h.Healthy = false
+			}
+			h.BusyLanes = append(h.BusyLanes, lh)
+		}
+	}
+	return h
+}
+
 // Stats returns a counter snapshot. It may be called while the gateway is
 // running; counters are monotone but mutually unsynchronized.
 func (g *Gateway) Stats() GatewayStats {
@@ -999,6 +1528,16 @@ func (g *Gateway) Stats() GatewayStats {
 		BatchPackets:  g.batched.Load(),
 		Batches:       g.bursts.Load(),
 		Matches:       g.matches.Load(),
+		ScannedBytes:  g.scannedBytes.Load(),
+
+		ShedPackets:  g.shedPackets.Load(),
+		ShedBytes:    g.shedBytes.Load(),
+		ShedNewFlows: g.shedFlows.Load(),
+
+		Panics:             g.panicsTotal(),
+		QuarantinedFlows:   g.quarFlows.Load(),
+		QuarantinedPackets: g.quarPackets.Load(),
+		QuarantinedBytes:   g.quarBytes.Load(),
 
 		ReassembledBytes: g.reassembled.Load(),
 		BufferedBytes:    g.budget.Used(),
@@ -1012,6 +1551,9 @@ func (g *Gateway) Stats() GatewayStats {
 		VerdictDrops:  g.verdictDrops.Load(),
 		VerdictPasses: g.verdictPasses.Load(),
 		DroppedBytes:  g.droppedBytes.Load(),
+		PassedBytes:   g.passedBytes.Load(),
+
+		AbandonedBytes: g.abandonedBytes.Load(),
 
 		FlowsLive:     ts.Live,
 		FlowsCreated:  ts.Created,

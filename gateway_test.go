@@ -564,7 +564,7 @@ func TestGatewayStreamLaneSteadyStateZeroAlloc(t *testing.T) {
 	var tick uint64
 	lane := func() {
 		tick++
-		gw.table.Do(tuple, func(fl *gwFlow) { fl.ingest(p, tick) })
+		gw.table.Do(tuple, func(fl *gwFlow) { fl.ingest(p, 0, tick) })
 	}
 	lane() // warm-up creates the flow and checks its scanners out of the pool
 	allocs := testing.AllocsPerRun(50, lane)
@@ -620,7 +620,7 @@ func TestGatewayShardedStreamLaneZeroAlloc(t *testing.T) {
 		for _, tup := range tuples {
 			tick++
 			p := seqPacket{tuple: tup, payload: payload, hash: tup.Hash64()}
-			gw.table.DoHashed(tup, p.hash, func(fl *gwFlow) { fl.ingest(p, tick) })
+			gw.table.DoHashed(tup, p.hash, func(fl *gwFlow) { fl.ingest(p, 0, tick) })
 		}
 	}
 	lane() // warm-up creates one flow per shard

@@ -50,6 +50,13 @@ type Engine struct {
 	batchBytes  atomic.Uint64
 	flowsOpened atomic.Uint64
 	streamBytes atomic.Uint64
+	panics      atomic.Uint64
+
+	// recoverOn arms per-packet panic containment on the batch path and
+	// onPanic, when non-nil, observes every recovered panic (see SetRecover).
+	// Both are written before the engine is shared.
+	recoverOn bool
+	onPanic   func(v any)
 }
 
 // Stats is a point-in-time snapshot of one engine's work, split by the two
@@ -61,6 +68,7 @@ type Stats struct {
 	BatchBytes  uint64 // payload bytes scanned in batch mode
 	FlowsOpened uint64 // Flow checkouts from the pool
 	StreamBytes uint64 // bytes written through flows (gap skips excluded)
+	Panics      uint64 // panics recovered inside batch workers (see SetRecover)
 }
 
 // scannerSet is one pooled scan lane: one Scanner per group machine. The
@@ -110,6 +118,31 @@ func (e *Engine) Stats() Stats {
 		BatchBytes:  e.batchBytes.Load(),
 		FlowsOpened: e.flowsOpened.Load(),
 		StreamBytes: e.streamBytes.Load(),
+		Panics:      e.panics.Load(),
+	}
+}
+
+// SetRecover arms per-packet panic containment on the batch path: a panic
+// while scanning one payload (a scanner bug, a hostile input tripping an
+// invariant) is recovered inside the worker goroutine — where it would
+// otherwise kill the whole process — that payload's matches come back
+// empty, the possibly-corrupt scanner set is discarded instead of repooled,
+// and fn (when non-nil) observes the panic value. Call before the engine is
+// shared across goroutines; fn itself must not panic.
+//
+// The streaming path (Flow) deliberately does NOT recover: a Flow runs on
+// its caller's goroutine, so the caller (the gateway's stream lane) recovers
+// at a point where it still knows which flow to quarantine.
+func (e *Engine) SetRecover(fn func(v any)) {
+	e.recoverOn = true
+	e.onPanic = fn
+}
+
+// recovered counts one contained batch-worker panic and notifies the hook.
+func (e *Engine) recovered(v any) {
+	e.panics.Add(1)
+	if e.onPanic != nil {
+		e.onPanic(v)
 	}
 }
 
@@ -178,12 +211,19 @@ func (e *Engine) ScanPacketsInto(payloads [][]byte, results [][]ac.Match) [][]ac
 		workers = len(payloads)
 	}
 	if workers == 1 {
-		ss := e.acquire()
-		var buf []ac.Match
-		for i, p := range payloads {
-			results[i], buf = scanPacket(ss.set, p, buf)
+		if !e.recoverOn {
+			// The dedicated inline loop (no shared counter, no recover
+			// scope) is what the zero-alloc steady-state contract pins.
+			ss := e.acquire()
+			var buf []ac.Match
+			for i, p := range payloads {
+				results[i], buf = scanPacket(ss.set, p, buf)
+			}
+			e.release(ss)
+			return results
 		}
-		e.release(ss)
+		var next atomic.Int64
+		e.scanLoop(payloads, results, &next)
 		return results
 	}
 	// The goroutine fan-out lives in its own method so its closure does not
@@ -204,19 +244,59 @@ func (e *Engine) scanParallel(payloads [][]byte, results [][]ac.Match, workers i
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			ss := e.acquire()
-			defer e.release(ss)
-			var buf []ac.Match
-			for {
-				i := int(next.Add(1)) - 1
-				if i >= len(payloads) {
-					return
-				}
-				results[i], buf = scanPacket(ss.set, payloads[i], buf)
-			}
+			e.scanLoop(payloads, results, &next)
 		}()
 	}
 	wg.Wait()
+}
+
+// scanLoop drains payload indices from the shared counter until exhausted.
+// With containment armed (SetRecover), the drain runs in recoverable
+// segments: a panic ends one segment, discards its possibly-corrupt scanner
+// set, and the loop resumes with a fresh one — so one hostile payload costs
+// exactly its own matches, never the batch or the process.
+func (e *Engine) scanLoop(payloads [][]byte, results [][]ac.Match, next *atomic.Int64) {
+	if !e.recoverOn {
+		ss := e.acquire()
+		defer e.release(ss)
+		var buf []ac.Match
+		for {
+			i := int(next.Add(1)) - 1
+			if i >= len(payloads) {
+				return
+			}
+			results[i], buf = scanPacket(ss.set, payloads[i], buf)
+		}
+	}
+	for e.scanSome(payloads, results, next) {
+	}
+}
+
+// scanSome is one recoverable segment of scanLoop's drain: it reports true
+// when a panic was contained (the caller restarts with a fresh scanner set)
+// and false when the counter is exhausted. The panicking payload's results
+// slot keeps the nil that ScanPacketsInto pre-cleared — no matches — and its
+// scanner set is dropped on the floor instead of repooled, because a panic
+// mid-scan may have left the set's registers in a state Reset cannot be
+// trusted to repair.
+func (e *Engine) scanSome(payloads [][]byte, results [][]ac.Match, next *atomic.Int64) (contained bool) {
+	ss := e.acquire()
+	defer func() {
+		if v := recover(); v != nil {
+			e.recovered(v)
+			contained = true
+			return
+		}
+		e.release(ss)
+	}()
+	var buf []ac.Match
+	for {
+		i := int(next.Add(1)) - 1
+		if i >= len(payloads) {
+			return false
+		}
+		results[i], buf = scanPacket(ss.set, payloads[i], buf)
+	}
 }
 
 // Flow is the streaming per-flow scan state: one scanner per group machine,
@@ -282,6 +362,15 @@ func (f *Flow) SkipGap(n int) {
 		sc.SkipAhead(n)
 	}
 	f.consumed += n
+}
+
+// Discard drops the flow's scanner state WITHOUT returning it to the pool.
+// Panic containment uses it for a flow whose scan panicked: the set's
+// registers may be mid-update, and repooling it would hand corrupt state to
+// an unrelated future flow or batch. The Flow must not be used afterwards;
+// Close becomes a no-op.
+func (f *Flow) Discard() {
+	f.ss = nil
 }
 
 // Close returns the flow's scanner state to the engine pool. The Flow must

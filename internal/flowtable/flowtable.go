@@ -138,38 +138,64 @@ func (t *Table[F]) DoHashed(key Key, hash uint64, fn func(F)) (created bool) {
 	tick := t.clock.Add(1)
 	for {
 		e, isNew := t.touch(key, hash, tick)
-		e.mu.Lock()
-		if e.dead {
-			// Evicted between lookup and lock; retry against a fresh entry.
-			e.mu.Unlock()
-			continue
+		if t.withEntry(e, fn) {
+			return isNew
 		}
-		fn(e.flow)
-		e.mu.Unlock()
-		return isNew
+		// Evicted between lookup and lock; retry against a fresh entry.
 	}
+}
+
+// withEntry runs fn under e's entry lock, reporting false when e was already
+// dead. The unlock is deferred so a panic inside fn (a scanner bug, a hostile
+// payload tripping an invariant) unwinds with the entry unlocked — the
+// gateway's panic containment can then quarantine the flow with a normal
+// Remove instead of deadlocking against a lock the dead goroutine still holds.
+func (t *Table[F]) withEntry(e *entry[F], fn func(F)) bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.dead {
+		return false
+	}
+	fn(e.flow)
+	return true
+}
+
+// Has reports whether key's flow is currently live, without creating it,
+// touching its LRU position, or ticking the clock. hash must equal
+// key.Hash64(). Admission control uses it to distinguish packets of
+// established flows from packets that would create new state.
+func (t *Table[F]) Has(key Key, hash uint64) bool {
+	s := &t.shards[hash&t.mask]
+	s.mu.Lock()
+	_, ok := s.flows[key]
+	s.mu.Unlock()
+	return ok
 }
 
 // touch looks up or creates key's entry, moves it to the LRU front, and
 // runs bounded opportunistic eviction on the entry's shard.
 func (t *Table[F]) touch(key Key, hash, tick uint64) (*entry[F], bool) {
 	s := &t.shards[hash&t.mask]
-	s.mu.Lock()
-	e, ok := s.flows[key]
-	created := false
-	if !ok {
-		e = &entry[F]{key: key, flow: t.cfg.New(key)}
-		s.flows[key] = e
-		t.live.Add(1)
-		t.created.Add(1)
-		created = true
-	} else {
-		s.unlink(e)
-	}
-	e.last = tick
-	s.pushFront(e)
-	victims := t.collect(s, e, tick)
-	s.mu.Unlock()
+	e, created, victims := func() (*entry[F], bool, []*entry[F]) {
+		// Deferred unlock: Config.New runs under the shard lock, and a panic
+		// there must not wedge the whole shard (see withEntry).
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		e, ok := s.flows[key]
+		created := false
+		if !ok {
+			e = &entry[F]{key: key, flow: t.cfg.New(key)}
+			s.flows[key] = e
+			t.live.Add(1)
+			t.created.Add(1)
+			created = true
+		} else {
+			s.unlink(e)
+		}
+		e.last = tick
+		s.pushFront(e)
+		return e, created, t.collect(s, e, tick)
+	}()
 	t.finish(victims)
 	return e, created
 }

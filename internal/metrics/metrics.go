@@ -126,3 +126,26 @@ func Handler(render func(w *Writer)) http.Handler {
 		rw.Write(w.Bytes())
 	})
 }
+
+// Healthz adapts a liveness check to an HTTP health endpoint: 200 when the
+// check reports ok, 503 otherwise, with the check's body (typically a JSON
+// snapshot) either way. check runs per request, so the probe always sees a
+// fresh reading; mount it at /healthz next to the /metrics Handler.
+func Healthz(check func() (ok bool, body []byte)) http.Handler {
+	return http.HandlerFunc(func(rw http.ResponseWriter, req *http.Request) {
+		if req.Method != http.MethodGet && req.Method != http.MethodHead {
+			rw.Header().Set("Allow", "GET, HEAD")
+			http.Error(rw, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		ok, body := check()
+		rw.Header().Set("Content-Type", "application/json; charset=utf-8")
+		if !ok {
+			rw.WriteHeader(http.StatusServiceUnavailable)
+		}
+		if req.Method == http.MethodHead {
+			return
+		}
+		rw.Write(body)
+	})
+}

@@ -142,13 +142,21 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// Result accounts one Segment call, in payload bytes.
+// Result accounts one Segment call, in payload bytes. Every payload byte of
+// the call lands in exactly one of Delivered, Buffered, Duplicate or
+// Dropped; Abandoned re-classifies previously Buffered bytes the stream
+// discarded this call (RST, or bytes held beyond a just-completed FIN), and
+// Skipped counts stream positions never carried by any payload. Together
+// these make the caller's byte ledger exact: held-bytes deltas are always
+// explained by Buffered - Delivered(drained) - Duplicate(trimmed) -
+// Dropped(evicted) - Abandoned.
 type Result struct {
 	Delivered int // bytes handed to deliver (from this and drained segments)
 	Buffered  int // bytes newly held out of order
 	Duplicate int // bytes discarded as retransmissions/overlaps per policy
 	Dropped   int // bytes discarded to the flow cap or shared budget
 	Skipped   int // gap bytes skipped past on timeout
+	Abandoned int // held bytes discarded on RST or beyond a completed FIN
 	Event     Event
 }
 
@@ -190,13 +198,17 @@ func (s *Stream) HeldBytes() int { return s.heldBy }
 // Finished reports whether the stream completed via FIN.
 func (s *Stream) Finished() bool { return s.finished }
 
-// Release discards all held bytes, returning them to the shared budget.
-// Call it when the flow is evicted mid-gap; it is idempotent.
-func (s *Stream) Release() {
-	if s.heldBy > 0 {
-		s.cfg.Budget.release(s.heldBy)
+// Release discards all held bytes, returning them to the shared budget, and
+// reports how many bytes it discarded so the caller can account them (a
+// byte-conservation ledger must not lose eviction-released bytes). Call it
+// when the flow is evicted mid-gap; it is idempotent.
+func (s *Stream) Release() int {
+	n := s.heldBy
+	if n > 0 {
+		s.cfg.Budget.release(n)
 	}
 	s.held, s.heldBy = nil, 0
+	return n
 }
 
 // Segment ingests one TCP segment: seq is the sequence number of
@@ -221,7 +233,7 @@ func (s *Stream) Segment(seq uint32, payload []byte, flags Flags, tick uint64, d
 		s.restart()
 	}
 	if flags&RST != 0 {
-		s.Release()
+		r.Abandoned = s.Release()
 		s.wasReset = true
 		r.Event = EventReset
 		return r
@@ -347,7 +359,7 @@ func (s *Stream) drain(deliver func([]byte, int), r *Result, skippedBefore int) 
 func (s *Stream) checkFinished(r *Result) {
 	if s.finSeen && !s.finished && s.pos >= s.finOff {
 		s.finished = true
-		s.Release() // anything held beyond the FIN is bogus
+		r.Abandoned += s.Release() // anything held beyond the FIN is bogus
 		r.Event = EventFinished
 	}
 }

@@ -11,12 +11,28 @@ package dpi
 // labels, and what alerting on it means.
 
 import (
+	"encoding/json"
 	"io"
 	"net/http"
 	"strconv"
 
 	"repro/internal/metrics"
 )
+
+// Healthz returns the gateway's liveness endpoint: 200 with a JSON
+// GatewayHealth body while no lane is stalled, 503 (same body) once the
+// watchdog sees work older than StallThreshold on some lane. Mount it at
+// /healthz next to Metrics at /metrics.
+func (g *Gateway) Healthz() http.Handler {
+	return metrics.Healthz(func() (bool, []byte) {
+		h := g.Health()
+		body, err := json.Marshal(h)
+		if err != nil { // unreachable: GatewayHealth is plain data
+			return false, []byte(`{"healthy":false}`)
+		}
+		return h.Healthy, body
+	})
+}
 
 // GatewayMetrics renders a Gateway's counters in the Prometheus text
 // exposition format (version 0.0.4). It implements http.Handler — mount
@@ -103,6 +119,58 @@ func (gm *GatewayMetrics) render(w *metrics.Writer) {
 	}
 	w.Sample(float64(limit))
 
+	w.Metric("dpi_gateway_overload_policy_info", "gauge",
+		"Configured overload policy (see GatewayConfig.OverloadPolicy); value is always 1.")
+	w.Sample(1, metrics.Label{Name: "policy", Value: g.cfg.OverloadPolicy.String()})
+	w.Metric("dpi_gateway_scanned_bytes_total", "counter",
+		"Payload bytes delivered to a scanner (stream + burst) — the Scanned ledger bucket.")
+	w.Sample(float64(s.ScannedBytes))
+	w.Metric("dpi_gateway_shed_packets_total", "counter",
+		"Packets shed at admission under a shedding overload policy.")
+	w.Sample(float64(s.ShedPackets))
+	w.Metric("dpi_gateway_shed_bytes_total", "counter",
+		"Payload bytes of shed packets — the Shed ledger bucket.")
+	w.Sample(float64(s.ShedBytes))
+	w.Metric("dpi_gateway_shed_new_flows_total", "counter",
+		"Shed packets that would have created new flow state (ShedNewFlows).")
+	w.Sample(float64(s.ShedNewFlows))
+	w.Metric("dpi_gateway_abandoned_bytes_total", "counter",
+		"Ingested bytes released unscanned when their connection went away (RST payloads, buffered bytes freed on RST/FIN/eviction).")
+	w.Sample(float64(s.AbandonedBytes))
+
+	w.Metric("dpi_panics_total", "counter",
+		"Panics recovered by containment, per engine shard. Any non-zero value deserves a bug report; a growing one, an alert.")
+	for i, n := range g.PanicsByShard() {
+		w.Sample(float64(n), metrics.Label{Name: "shard", Value: strconv.Itoa(i)})
+	}
+	w.Metric("dpi_gateway_quarantined_flows_total", "counter",
+		"Flows evicted because scanning them panicked.")
+	w.Sample(float64(s.QuarantinedFlows))
+	w.Metric("dpi_gateway_quarantined_packets_total", "counter",
+		"Packets discarded by panic containment (the panicking packet and any stragglers of quarantined flows).")
+	w.Sample(float64(s.QuarantinedPackets))
+	w.Metric("dpi_gateway_quarantined_bytes_total", "counter",
+		"Payload bytes discarded by panic containment — the quarantine ledger bucket.")
+	w.Sample(float64(s.QuarantinedBytes))
+
+	health := g.Health()
+	stalled := 0
+	var oldest float64
+	for _, lh := range health.BusyLanes {
+		if lh.Stalled {
+			stalled++
+		}
+		if age := lh.Age.Seconds(); age > oldest {
+			oldest = age
+		}
+	}
+	w.Metric("dpi_gateway_stalled_lanes", "gauge",
+		"Stream lanes whose queued work is older than StallThreshold right now.")
+	w.Sample(float64(stalled))
+	w.Metric("dpi_gateway_lane_max_age_seconds", "gauge",
+		"Age of the oldest un-progressed work across busy lanes (0 when all lanes are idle).")
+	w.Sample(oldest)
+
 	w.Metric("dpi_gateway_verdicts_total", "counter",
 		"Header-rule classifications by action (per TCP connection, per stateless packet).")
 	w.Sample(float64(s.VerdictAlerts), metrics.Label{Name: "verdict", Value: "alert"})
@@ -111,6 +179,9 @@ func (gm *GatewayMetrics) render(w *metrics.Writer) {
 	w.Metric("dpi_gateway_verdict_dropped_bytes_total", "counter",
 		"Payload bytes of verdict-dropped traffic, discarded unscanned.")
 	w.Sample(float64(s.DroppedBytes))
+	w.Metric("dpi_gateway_verdict_passed_bytes_total", "counter",
+		"Payload bytes of verdict-passed traffic, exempted unscanned.")
+	w.Sample(float64(s.PassedBytes))
 
 	w.Metric("dpi_gateway_flows_live", "gauge", "Flow-table entries currently live.")
 	w.Sample(float64(ts.Live))
