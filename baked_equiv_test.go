@@ -64,7 +64,7 @@ func FuzzBakedEquivalence(f *testing.F) {
 			cfg.Groups = 2
 		}
 		refCfg := cfg
-		refCfg.DisableBakedKernel = true
+		refCfg.Backend = BackendReference
 
 		baked, err := Compile(rules, cfg)
 		if err != nil {
@@ -78,7 +78,7 @@ func FuzzBakedEquivalence(f *testing.F) {
 			t.Fatal(err)
 		}
 		if ref.Kernel().Baked {
-			t.Fatal("DisableBakedKernel still reports a baked kernel")
+			t.Fatal("BackendReference still reports a baked kernel")
 		}
 		trie, err := ac.New(rules.InternalSet())
 		if err != nil {

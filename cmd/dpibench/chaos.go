@@ -2,7 +2,7 @@ package main
 
 // The -chaos mode: the CLI face of the deterministic fault-injection
 // harness (internal/chaos), runnable anywhere the repo builds and gated
-// by CI's chaos-soak job. Four seeded scenarios run per shard count:
+// by CI's chaos-soak job. Five seeded scenarios run per shard count:
 //
 //   - block-storm: a duplicate/reorder storm under the default Block
 //     policy must be invisible — per-flow matches byte-identical to the
@@ -16,6 +16,9 @@ package main
 //   - panic-quarantine: an injected scan-path panic must quarantine
 //     exactly the victim flow, leave every other flow's matches intact,
 //     and keep the gateway live.
+//   - swap-storm: two hot ruleset reloads land mid-storm; every flow must
+//     match its birth generation's oracle, old generations must retire
+//     once their flows drain, and the ledger must balance.
 //
 // The JSON report carries one entry per (scenario, shards) with its
 // ledger, so CI can gate the conservation law with jq; the top-level "ok"
@@ -59,6 +62,9 @@ type chaosScenarioResult struct {
 	ShedPackets uint64            `json:"shed_packets,omitempty"`
 	Panics      uint64            `json:"panics,omitempty"`
 	Quarantined uint64            `json:"quarantined_flows,omitempty"`
+	Swaps       uint64            `json:"swaps,omitempty"`
+	GensMade    uint64            `json:"generations_installed,omitempty"`
+	GensRetired uint64            `json:"generations_retired,omitempty"`
 	Ledger      dpi.GatewayLedger `json:"ledger"`
 	Detail      string            `json:"detail,omitempty"`
 }
@@ -396,6 +402,150 @@ func (h *chaosHarness) panicQuarantine(shards int) (chaosScenarioResult, error) 
 	return r, nil
 }
 
+// swapStorm lands two hot reloads (Gateway.SwapRules) in the middle of a
+// duplicate/reorder storm. Three ruleset generations each get their own
+// wave of flows; a wave's flows all open (their SYNs land) before the
+// next swap, then every wave's tail keeps streaming under later
+// generations. Gates: each flow's matches must equal FindAll of its full
+// stream against its birth generation's matcher (pinning, with the storm
+// still invisible), every generation but the current one must retire once
+// its FINs drain (refcount retirement, no sweeper), and the conservation
+// ledger must balance.
+func (h *chaosHarness) swapStorm(shards int) (chaosScenarioResult, error) {
+	r := chaosScenarioResult{Scenario: "swap-storm", Shards: shards, OK: true, OracleOK: true}
+	const waves = 3
+	type wave struct {
+		m       *dpi.Matcher
+		tuples  []dpi.FiveTuple
+		streams [][]byte
+		storm   []traffic.FlowPacket
+		opening int // storm prefix containing every flow's first packet
+	}
+	ws := make([]*wave, waves)
+	for wv := range ws {
+		m, set := h.m, h.set
+		if wv > 0 {
+			rules, err := dpi.GenerateSnortLike(150+40*wv, h.seed+int64(1000*wv))
+			if err != nil {
+				return r, err
+			}
+			m, err = dpi.Compile(rules, dpi.Config{Backend: h.m.Backend()})
+			if err != nil {
+				return r, err
+			}
+			set = rules.InternalSet()
+		}
+		w, err := traffic.GenerateFlows(set, traffic.FlowConfig{
+			Flows: 10, SegmentsPerFlow: 6, SegmentBytes: 130, Seed: h.seed + int64(77*wv) + 401,
+			CrossDensity: 1.5, AttackDensity: 1, Profile: traffic.Textual,
+			Sequenced: true,
+		})
+		if err != nil {
+			return r, err
+		}
+		storm := chaos.New(h.seed+int64(7*wv)+13).Storm(w.Packets,
+			chaos.StormConfig{DupFactor: 1, ReorderSpan: 12})
+		// Remap tuples into a per-wave address block: waves are drawn from
+		// independent workload seeds and must never collide in the table.
+		remap := map[dpi.FiveTuple]dpi.FiveTuple{}
+		tuples := make([]dpi.FiveTuple, len(w.Tuples))
+		for f, tup := range w.Tuples {
+			nt := tup
+			nt.SrcIP = 0x0a000000 | uint32(wv)<<16 | uint32(f)
+			remap[tup] = nt
+			tuples[f] = nt
+		}
+		for i := range storm {
+			storm[i].Tuple = remap[storm[i].Tuple]
+		}
+		// A flow pins its generation at first sight. The opening slice must
+		// therefore cover every flow's first storm packet (the SYN — storms
+		// keep position 0 fixed), so the whole wave is born pre-swap.
+		seen := map[int]bool{}
+		opening := 0
+		for i, p := range storm {
+			if !seen[p.FlowID] {
+				seen[p.FlowID] = true
+				opening = i + 1
+			}
+		}
+		if min := 3 * len(storm) / 5; opening < min {
+			opening = min
+		}
+		ws[wv] = &wave{m: m, tuples: tuples, streams: w.Streams, storm: storm, opening: opening}
+	}
+
+	c := newChaosCollector()
+	gw := ws[0].m.NewEngine(2).Gateway(dpi.GatewayConfig{
+		EngineShards: shards, StreamWorkers: 2,
+	}, c.emit)
+	ingest := func(pkts []traffic.FlowPacket) error {
+		for _, p := range pkts {
+			if err := gw.Ingest(dpi.GatewayPacket{
+				Tuple: p.Tuple, Seq: p.TCPSeq, Flags: dpi.TCPFlags(p.Flags), Payload: p.Payload,
+			}); err != nil {
+				gw.Close()
+				return err
+			}
+		}
+		return nil
+	}
+	for wv, w := range ws {
+		if wv > 0 {
+			if err := gw.SwapRules(w.m); err != nil {
+				gw.Close()
+				return r, fmt.Errorf("swap to generation %d: %w", w.m.Generation(), err)
+			}
+			r.Swaps++
+		}
+		if err := ingest(w.storm[:w.opening]); err != nil {
+			return r, err
+		}
+	}
+	// Tails: every earlier wave keeps streaming (and FINishing) under the
+	// final generation.
+	for _, w := range ws {
+		if err := ingest(w.storm[w.opening:]); err != nil {
+			return r, err
+		}
+	}
+	gw.Flush()
+	st := gw.Stats()
+	r.GensMade, r.GensRetired = st.GenerationsInstalled, st.GenerationsRetired
+	if st.GenerationsInstalled != waves {
+		r.fail("%d generations installed, want %d", st.GenerationsInstalled, waves)
+	}
+	// Every wave's flows FIN inside its own storm, so after the drain only
+	// the current generation may survive — retirement is refcount-driven,
+	// no sweeper to wait for.
+	if st.GenerationsRetired != st.GenerationsInstalled-1 {
+		r.fail("retirement stuck: %d of %d generations retired after the FIN drain",
+			st.GenerationsRetired, st.GenerationsInstalled)
+	}
+	for wv, w := range ws {
+		for f, tuple := range w.tuples {
+			want := w.m.FindAll(w.streams[f])
+			got := c.matches(tuple)
+			if !sameChaosMatches(got, want) {
+				r.OracleOK = false
+				r.fail("wave %d flow %d: matches diverge from the birth-generation oracle (got %d, want %d)",
+					wv, f, len(got), len(want))
+			}
+			r.Matches += len(got)
+		}
+	}
+	if r.Matches == 0 {
+		r.fail("no matches at all; scenario is vacuous")
+	}
+	if err := h.finish(&r, gw); err != nil {
+		return r, err
+	}
+	if !r.Balanced {
+		r.fail("conservation law violated: %+v", r.Ledger)
+	}
+	return r, nil
+}
+
 func runChaos(ctx context.Context, out io.Writer, jsonPath string, cfg chaosBenchConfig) error {
 	rules, err := dpi.GenerateSnortLike(cfg.Strings, cfg.Seed)
 	if err != nil {
@@ -416,6 +566,7 @@ func runChaos(ctx context.Context, out io.Writer, jsonPath string, cfg chaosBenc
 		{"overflow", h.overflow},
 		{"shed-packets", h.shedPackets},
 		{"panic-quarantine", h.panicQuarantine},
+		{"swap-storm", h.swapStorm},
 	}
 	shardSweep := []int{1}
 	for s := 2; s <= cfg.MaxShards; s *= 2 {
@@ -453,11 +604,11 @@ func runChaos(ctx context.Context, out io.Writer, jsonPath string, cfg chaosBenc
 	t := &report.Table{
 		Title: fmt.Sprintf("CHAOS SOAK (backend %s, %d strings, seed %d; deterministic fault injection)",
 			rep.Backend, cfg.Strings, cfg.Seed),
-		Headers: []string{"Scenario", "Shards", "OK", "Balanced", "Oracle", "Matches", "Shed", "Panics", "Detail"},
+		Headers: []string{"Scenario", "Shards", "OK", "Balanced", "Oracle", "Matches", "Shed", "Panics", "Swaps", "Detail"},
 	}
 	for _, r := range rep.Scenarios {
 		t.AddRow(r.Scenario, r.Shards, r.OK, r.Balanced, r.OracleOK, r.Matches,
-			r.ShedPackets, r.Panics, r.Detail)
+			r.ShedPackets, r.Panics, r.Swaps, r.Detail)
 	}
 	if err := t.Render(out); err != nil {
 		return err

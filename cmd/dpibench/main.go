@@ -24,6 +24,8 @@
 //	dpibench -kernel -cpuprofile cpu.pprof -memprofile mem.pprof
 //	dpibench -chaos               # seeded fault-injection soak (oracle + conservation gates)
 //	dpibench -chaos -shards 4 -json chaos.json   # the CI chaos-soak artifact
+//	dpibench -reload              # hot-reload swap storm (pinning + retirement gates)
+//	dpibench -reload -shards 4 -gens 8 -json reload.json  # the CI reload-soak artifact
 //	dpibench -seed 2010           # workload seed (default 2010)
 //
 // On SIGINT/SIGTERM every mode drains the gateway, writes a partial JSON
@@ -63,6 +65,8 @@ func main() {
 		pcap     = flag.String("pcap", "", "replay capture files matching this glob through the gateway (oracle check + capture-fed throughput)")
 		repeats  = flag.Int("repeats", 200, "replay count for the -pcap throughput measurement")
 		chaosRun = flag.Bool("chaos", false, "run the seeded chaos soak: storms, overload shedding and injected panics, gated on oracle exactness and byte conservation")
+		reload   = flag.Bool("reload", false, "run the hot-reload swap storm: ruleset generations installed under live traffic, gated on generation pinning and provable retirement")
+		gens     = flag.Int("gens", 0, "with -reload: ruleset generations to install (0 = default sweep)")
 		backend  = flag.String("backend", "auto",
 			fmt.Sprintf("scan backend for -parallel/-gateway: auto or one of %s (-kernel always sweeps all)",
 				strings.Join(core.RegisteredBackends(), ", ")))
@@ -77,7 +81,7 @@ func main() {
 		memProf = flag.String("memprofile", "", "write a heap profile to this path at exit")
 	)
 	flag.Parse()
-	if !*all && *table == 0 && *figure == 0 && !*ablation && !*parallel && !*gateway && !*kernel && *pcap == "" && !*chaosRun {
+	if !*all && *table == 0 && *figure == 0 && !*ablation && !*parallel && !*gateway && !*kernel && *pcap == "" && !*chaosRun && !*reload {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -109,6 +113,7 @@ func main() {
 		all: *all, table: *table, figure: *figure, ablation: *ablation,
 		parallel: *parallel, gateway: *gateway, kernel: *kernel,
 		pcap: *pcap, repeats: *repeats, chaos: *chaosRun,
+		reload: *reload, gens: *gens,
 		backend: be, jsonOut: *jsonOut, workers: *workers, shards: *shards,
 		tsv: *tsv, seed: *seed, steps: *steps,
 	})
@@ -149,6 +154,8 @@ type modes struct {
 	pcap     string
 	repeats  int
 	chaos    bool
+	reload   bool
+	gens     int
 	backend  string
 	jsonOut  string
 	workers  int
@@ -209,16 +216,16 @@ func dispatch(ctx context.Context, m modes) error {
 	}
 	if m.jsonOut != "" {
 		writers := 0
-		for _, on := range []bool{m.gateway, m.kernel, m.pcap != "", m.chaos} {
+		for _, on := range []bool{m.gateway, m.kernel, m.pcap != "", m.chaos, m.reload} {
 			if on {
 				writers++
 			}
 		}
 		if writers > 1 {
-			return fmt.Errorf("-json with more than one of -gateway, -kernel, -pcap, -chaos would overwrite one report with another; run the modes separately")
+			return fmt.Errorf("-json with more than one of -gateway, -kernel, -pcap, -chaos, -reload would overwrite one report with another; run the modes separately")
 		}
 		if writers == 0 {
-			return fmt.Errorf("-json is only produced by -gateway, -kernel, -pcap or -chaos; no report would be written")
+			return fmt.Errorf("-json is only produced by -gateway, -kernel, -pcap, -chaos or -reload; no report would be written")
 		}
 	}
 	if m.parallel {
@@ -260,6 +267,17 @@ func dispatch(ctx context.Context, m modes) error {
 		cfg.MaxShards = m.shards
 		cfg.Backend = m.backend
 		if err := runChaos(ctx, os.Stdout, m.jsonOut, cfg); err != nil {
+			return err
+		}
+	}
+	if m.reload {
+		cfg := defaultReloadConfig(m.seed)
+		if m.gens > 1 {
+			cfg.Waves = m.gens
+		}
+		cfg.Shards = m.shards
+		cfg.Backend = m.backend
+		if err := runReload(ctx, os.Stdout, m.jsonOut, cfg); err != nil {
 			return err
 		}
 	}

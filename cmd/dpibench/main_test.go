@@ -180,7 +180,7 @@ func TestRunChaosSmall(t *testing.T) {
 		t.Fatal(err)
 	}
 	out := sb.String()
-	for _, want := range []string{"CHAOS SOAK", "block-storm", "overflow", "shed-packets", "panic-quarantine"} {
+	for _, want := range []string{"CHAOS SOAK", "block-storm", "overflow", "shed-packets", "panic-quarantine", "swap-storm"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("missing %q:\n%s", want, out)
 		}
@@ -196,9 +196,9 @@ func TestRunChaosSmall(t *testing.T) {
 	if !rep.OK || rep.Interrupted {
 		t.Fatalf("report not OK: %s", data)
 	}
-	// 4 scenarios at each of shards 1 and 2.
-	if len(rep.Scenarios) != 8 {
-		t.Fatalf("report has %d scenarios, want 8: %s", len(rep.Scenarios), data)
+	// 5 scenarios at each of shards 1 and 2.
+	if len(rep.Scenarios) != 10 {
+		t.Fatalf("report has %d scenarios, want 10: %s", len(rep.Scenarios), data)
 	}
 	for _, sc := range rep.Scenarios {
 		if !sc.OK || !sc.Balanced || !sc.OracleOK {
@@ -218,6 +218,40 @@ func TestRunChaosSmall(t *testing.T) {
 	}
 	if len(entries) != 1 {
 		t.Fatalf("report directory not clean after atomic write: %v", entries)
+	}
+}
+
+func TestRunReloadSmall(t *testing.T) {
+	var sb strings.Builder
+	dir := t.TempDir()
+	jsonPath := filepath.Join(dir, "reload.json")
+	cfg := reloadBenchConfig{Strings: 100, Waves: 3, Flows: 8, Shards: 2, Seed: 2010}
+	if err := runReload(context.Background(), &sb, jsonPath, cfg); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"HOT RELOAD SOAK", "Pinning", "Retirement"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q:\n%s", want, out)
+		}
+	}
+	data, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep reloadReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("JSON report does not parse: %v\n%s", err, data)
+	}
+	if !rep.OK || rep.Interrupted || !rep.PinningOK || !rep.RetirementOK || !rep.Balanced {
+		t.Fatalf("report not OK: %s", data)
+	}
+	if rep.Swaps != 2 || rep.GenerationsInstalled != 3 ||
+		rep.GenerationsRetired != rep.GenerationsInstalled-1 || rep.GenerationsLive != 1 {
+		t.Fatalf("generation accounting wrong: %s", data)
+	}
+	if rep.Matches == 0 || rep.Packets == 0 {
+		t.Fatalf("vacuous report: %s", data)
 	}
 }
 

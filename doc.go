@@ -22,11 +22,16 @@
 //     one contract, registered in one registry (reference, baked,
 //     prefiltered, accelerated). Config.Backend names the backend;
 //     BackendAuto (the empty default) picks the fastest exact kernel the
-//     configuration compiles. The deprecated DisableBakedKernel flag is
-//     an alias for Backend: BackendReference and only resolves an
-//     unpinned Backend — an explicitly pinned backend wins where the two
-//     can agree, and combining DisableBakedKernel with a pinned kernel
-//     backend is a Compile error, never a silent override.
+//     configuration compiles. Config.Validate checks a configuration
+//     without compiling (Compile runs it first); the deprecated
+//     DisableBakedKernel flag is an alias for Backend: BackendReference
+//     and only resolves an unpinned Backend — an explicitly pinned
+//     backend wins where the two can agree, and combining
+//     DisableBakedKernel with a pinned kernel backend is rejected by
+//     Validate (wrapping ErrBadConfig), never silently overridden.
+//     Every compiled Matcher carries a process-unique monotone
+//     generation (Matcher.Generation) identifying the ruleset version —
+//     the identity the gateway's hot-reload pinning is built on.
 //     The baked flat kernel is the workhorse:
 //     Compile flattens each machine into a two-tier program whose hot
 //     near-root states (the start state, every depth-1 state, and the
@@ -92,6 +97,18 @@
 //     packets), a FIN returns scanner state to the pool immediately (the
 //     entry lingers to absorb stragglers), an RST tears the flow down, and
 //     an evicted-then-recreated flow always starts from clean state.
+//     Rulesets hot-reload without a restart: Gateway.SwapRules installs
+//     a newly compiled Matcher atomically behind the ingest drain
+//     barrier — new flows and stateless bursts scan with the new
+//     generation immediately, flows opened earlier stay pinned to their
+//     birth generation until they end (no connection ever sees two
+//     rulesets), and a generation's automaton is retired when its last
+//     pinned flow closes (GatewayStats and Gateway.Generations account
+//     for every install and retirement). Swaps only move forward:
+//     installing an older compile fails with ErrStaleGeneration. The
+//     package's error seam is three wrapped sentinels usable with
+//     errors.Is — ErrBadConfig (rejected configuration or ruleset),
+//     ErrClosed (use after Gateway.Close), ErrStaleGeneration.
 //   - Capture: the ingestion edge — internal/capture reads classic
 //     libpcap files (both endiannesses, microsecond and nanosecond
 //     timestamps) and translates Ethernet/IPv4 frames (VLAN tags, IPv4

@@ -177,12 +177,10 @@ type Config struct {
 	// negative disables the tier). Tuning only — match output is identical
 	// at any setting.
 	DenseStates int
-	// DisableBakedKernel keeps scanning on the slice-walking reference
-	// path instead of the compiled flat kernel.
+	// DisableBakedKernel keeps scanning on the reference path.
 	//
-	// Deprecated: DisableBakedKernel is an alias for Backend:
-	// BackendReference, kept for existing callers; setting both to
-	// conflicting values is a Compile error.
+	// Deprecated: set Backend: BackendReference instead (precedence rules
+	// in Config.Validate).
 	DisableBakedKernel bool
 	// Backend selects the scan implementation every scanner, stream, flow
 	// and engine built from this matcher runs:
@@ -221,6 +219,24 @@ const (
 	BackendAccelerated = core.BackendAccelerated
 )
 
+// Validate reports whether the configuration is compilable, without
+// compiling anything. It is the single home of the config precedence and
+// conflict rules — Compile runs exactly this check first — covering the
+// knob ranges, Groups, Backend-name resolution against the registered
+// backends, and the deprecated DisableBakedKernel alias: with Backend
+// empty or BackendAuto the alias resolves to BackendReference; combined
+// with a pinned kernel backend it is a conflict. Every failure wraps
+// ErrBadConfig.
+func (c Config) Validate() error {
+	if c.Groups < 0 {
+		return fmt.Errorf("%w: negative Groups %d", ErrBadConfig, c.Groups)
+	}
+	if err := c.coreOptions().Validate(); err != nil {
+		return fmt.Errorf("%w: %w", ErrBadConfig, err)
+	}
+	return nil
+}
+
 func (c Config) coreOptions() core.Options {
 	return core.Options{
 		D2PerChar:    c.D2DefaultsPerChar,
@@ -256,10 +272,16 @@ type Matcher struct {
 }
 
 // Compile builds the compressed automaton (or automata, if cfg.Groups > 1)
-// for the ruleset.
+// for the ruleset. Configuration failures — including an empty ruleset or
+// a group split the set cannot satisfy — wrap ErrBadConfig (see
+// Config.Validate). Every successful Compile stamps the matcher with a
+// fresh generation (Matcher.Generation).
 func Compile(r *Ruleset, cfg Config) (*Matcher, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
 	if r.Len() == 0 {
-		return nil, fmt.Errorf("dpi: cannot compile an empty ruleset")
+		return nil, fmt.Errorf("%w: cannot compile an empty ruleset", ErrBadConfig)
 	}
 	groups := cfg.Groups
 	if groups == 0 {
@@ -267,7 +289,7 @@ func Compile(r *Ruleset, cfg Config) (*Matcher, error) {
 	}
 	g, err := core.BuildGrouped(r.set, groups, cfg.coreOptions())
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("%w: %w", ErrBadConfig, err)
 	}
 	maxID := 0
 	for _, p := range r.set.Patterns {
@@ -284,6 +306,14 @@ func Compile(r *Ruleset, cfg Config) (*Matcher, error) {
 
 // Rules returns the matcher's ruleset.
 func (m *Matcher) Rules() *Ruleset { return m.rules }
+
+// Generation reports the matcher's compile generation: process-unique and
+// monotonically increasing across Compiles. It is an identity for this
+// compiled artifact, not a content hash — compiling identical rules twice
+// yields two distinct generations. Gateway.SwapRules uses it to order
+// reloads (an older or already-installed matcher is ErrStaleGeneration)
+// and to label the per-generation flow accounting on Stats and Metrics.
+func (m *Matcher) Generation() uint64 { return m.grouped.Generation }
 
 // Backend reports the resolved scan backend every scanner built from this
 // matcher runs: Config.Backend, with auto resolved to what actually

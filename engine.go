@@ -46,6 +46,11 @@ func (e *Engine) Matcher() *Matcher { return e.m }
 // engine runs (see Config.Backend).
 func (e *Engine) Backend() string { return e.eng.Backend() }
 
+// Generation reports the compile generation of the matcher this engine
+// scans with (Matcher.Generation) — every scanner the engine checks out
+// carries the same tag.
+func (e *Engine) Generation() uint64 { return e.m.Generation() }
+
 // EngineStats is a point-in-time snapshot of one engine's work, split by
 // its two usage shapes (batch scans and streaming flows). A sharded
 // Gateway exposes one per engine replica through ShardStats, making the
@@ -57,6 +62,17 @@ type EngineStats struct {
 	FlowsOpened uint64 // Flow checkouts from the scanner-state pool
 	StreamBytes uint64 // bytes written through flows
 	Panics      uint64 // panics recovered inside batch workers (gateway containment)
+}
+
+// add accumulates another snapshot into s — the gateway folds per-shard
+// engine counters across ruleset generations with it.
+func (s *EngineStats) add(o EngineStats) {
+	s.Batches += o.Batches
+	s.BatchPkts += o.BatchPkts
+	s.BatchBytes += o.BatchBytes
+	s.FlowsOpened += o.FlowsOpened
+	s.StreamBytes += o.StreamBytes
+	s.Panics += o.Panics
 }
 
 // Stats returns this engine's work counters. Counters are monotone but
@@ -160,6 +176,17 @@ func (f *Flow) Consumed() int {
 		return 0
 	}
 	return f.f.Consumed()
+}
+
+// Generation reports the compile generation of the scanner state backing
+// this flow (zero once closed or discarded). It always equals the
+// generation of the matcher whose engine opened the flow — the hot-reload
+// oracle audits exactly that.
+func (f *Flow) Generation() uint64 {
+	if f.f == nil {
+		return 0
+	}
+	return f.f.Generation()
 }
 
 // Discard drops the flow's scanner state without returning it to the pool,

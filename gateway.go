@@ -422,6 +422,13 @@ type GatewayStats struct {
 	FlowsEvicted  uint64 // capacity + idle evictions + RST teardowns
 	FlowsFinished uint64 // completed via FIN (scanner state released early)
 	FlowsReset    uint64 // torn down by RST
+
+	// Ruleset generations (hot reload; see Gateway.SwapRules).
+	Generation           uint64 // installed generation new flows open on
+	RulesetSwaps         uint64 // successful SwapRules calls
+	GenerationsInstalled uint64 // generations ever installed (initial + swaps)
+	GenerationsRetired   uint64 // old generations drained and retired
+	GenerationsLive      int    // non-retired generations, current included
 }
 
 // GatewayLedger is the byte-conservation view of a stats snapshot: every
@@ -478,7 +485,6 @@ func (l GatewayLedger) Balanced() bool {
 // drains the pipeline, flushes any partial burst, and returns all flow
 // state to the engine pools.
 type Gateway struct {
-	m    *Matcher
 	cfg  GatewayConfig
 	emit func(FlowMatch)
 
@@ -488,8 +494,26 @@ type Gateway struct {
 	budget *reassembly.Budget
 	asmCfg reassembly.Config
 
-	mu     sync.RWMutex // guards closed vs in-flight Ingest sends; Flush holds it exclusively
+	mu     sync.RWMutex // guards closed vs in-flight Ingest sends; Flush and SwapRules hold it exclusively
 	closed bool
+
+	// Ruleset generations — the hot-reload control plane. cur is the
+	// generation new flows pin to and bursts scan with; it only changes
+	// inside SwapRules, at a drained point (mu held exclusively, inflight
+	// zero), so everything processing a packet sees a frozen cur. gens
+	// lists every non-retired generation in install order; retiredStats
+	// holds, per engine shard, the folded counters of engines whose
+	// generation retired, keeping ShardStats monotone across swaps. genMu
+	// guards gens, retiredStats and gwGeneration.retired. workers is the
+	// per-engine worker-pool size swapped-in generations replicate.
+	cur          atomic.Pointer[gwGeneration]
+	genMu        sync.Mutex
+	gens         []*gwGeneration
+	retiredStats []EngineStats
+	workers      int
+	swaps        atomic.Uint64
+	gensInstall  atomic.Uint64
+	gensRetired  atomic.Uint64
 
 	collectorWg sync.WaitGroup
 	workerWg    sync.WaitGroup
@@ -572,17 +596,39 @@ type seqPacket struct {
 	gap int
 }
 
-// gwEngineShard is one scan replica: an independent Engine (its own worker
-// pool and scanner-state pool over the shared automaton) plus the pipeline
-// tail it owns — hash-pinned per-flow stream lanes and a burst scanner.
+// gwEngineShard is one scan replica's pipeline tail: hash-pinned per-flow
+// stream lanes and a burst scanner. The scan engines themselves live on
+// the generations (one Engine per (shard, generation), so scanner pools
+// never mix automatons); a shard's lanes look up the engine through the
+// flow's pinned generation, and its burst scanner through the current one.
 // batch is the collector's partial burst for this shard; only the
 // collector goroutine touches it.
 type gwEngineShard struct {
-	e       *Engine
 	streamQ []chan seqPacket
 	batchQ  chan []seqPacket
 	batch   []seqPacket
 	lanes   []laneState // watchdog state, parallel to streamQ
+}
+
+// gwGeneration is one installed ruleset generation: the compiled matcher,
+// one engine per shard (each with its own worker pool and per-(shard,
+// generation) scanner pool over that matcher's automaton), and the live
+// refcount of flows pinned to it. A generation retires — engines and
+// matcher released, counters folded into the gateway's retired baseline —
+// when it is no longer current and its last pinned flow ends; the current
+// generation never retires.
+type gwGeneration struct {
+	id      uint64 // Matcher.Generation of m
+	m       *Matcher
+	engines []*Engine
+	// flows counts live pinned flows. Pinning happens only while the
+	// packet that opens the flow is in flight (inflight > 0), and cur only
+	// changes at a drained point, so a pin can never land on a generation
+	// that is concurrently being swapped out — the race SwapRules'
+	// drain barrier exists to exclude.
+	flows atomic.Int64
+	// retired is guarded by Gateway.genMu; set exactly once.
+	retired bool
 }
 
 // laneState is one stream lane's watchdog view: how many packets are queued
@@ -607,8 +653,8 @@ type laneState struct {
 func (e *Engine) Gateway(cfg GatewayConfig, emit func(FlowMatch)) *Gateway {
 	cfg = cfg.withDefaults(e)
 	g := &Gateway{
-		m:           e.m,
 		cfg:         cfg,
+		workers:     e.Workers(),
 		in:          make(chan seqPacket, cfg.QueueDepth),
 		ruleFlows:   make([]atomic.Uint64, len(cfg.Rules)),
 		ruleMatches: make([]atomic.Uint64, len(cfg.Rules)),
@@ -633,7 +679,7 @@ func (e *Engine) Gateway(cfg GatewayConfig, emit func(FlowMatch)) *Gateway {
 	}
 	g.table = flowtable.New(flowtable.Config[*gwFlow]{
 		New: func(k flowtable.Key) *gwFlow {
-			fl := &gwFlow{g: g, tuple: k, e: g.shardEngine(k)}
+			fl := &gwFlow{g: g, tuple: k, shard: g.shardIndex(k)}
 			fl.verdict, fl.ruleIdx = g.classify(k)
 			if fl.verdict == VerdictNone || fl.verdict == VerdictAlert {
 				fl.open()
@@ -647,7 +693,13 @@ func (e *Engine) Gateway(cfg GatewayConfig, emit func(FlowMatch)) *Gateway {
 	})
 	g.shards = make([]*gwEngineShard, cfg.EngineShards)
 	g.panics = make([]atomic.Uint64, cfg.EngineShards)
-	for s := range g.shards {
+	g.retiredStats = make([]EngineStats, cfg.EngineShards)
+	// Generation 0-in-install-order: the matcher the gateway was started
+	// on. Shard 0 reuses the caller's engine (exactly the pre-reload
+	// construction); the other shards replicate it. SwapRules installs
+	// later generations the same shape.
+	gen0 := &gwGeneration{id: e.m.Generation(), m: e.m, engines: make([]*Engine, cfg.EngineShards)}
+	for s := range gen0.engines {
 		se := e
 		if s > 0 {
 			se = e.m.NewEngine(e.Workers())
@@ -659,8 +711,14 @@ func (e *Engine) Gateway(cfg GatewayConfig, emit func(FlowMatch)) *Gateway {
 		// engine, batch scans fed outside this gateway are contained too.
 		shard := s
 		se.eng.SetRecover(func(any) { g.panics[shard].Add(1) })
+		gen0.engines[s] = se
+	}
+	g.cur.Store(gen0)
+	g.gens = []*gwGeneration{gen0}
+	g.gensInstall.Store(1)
+	for s := range g.shards {
+		shard := s
 		sh := &gwEngineShard{
-			e:       se,
 			streamQ: make([]chan seqPacket, cfg.StreamWorkers),
 			batchQ:  make(chan []seqPacket, 2),
 			lanes:   make([]laneState, cfg.StreamWorkers),
@@ -680,14 +738,29 @@ func (e *Engine) Gateway(cfg GatewayConfig, emit func(FlowMatch)) *Gateway {
 	return g
 }
 
-// shardEngine returns the engine shard owning key — the same hash-derived
+// NewGateway is the standalone constructor: it builds a private engine
+// over m (default worker count — one per core) and starts the pipeline,
+// equivalent to m.NewEngine(0).Gateway(cfg, emit). Nil arguments are
+// rejected with a wrapped ErrBadConfig instead of a later panic, making
+// this the error-checked seam callers outside a benchmark should use.
+func NewGateway(m *Matcher, cfg GatewayConfig, emit func(FlowMatch)) (*Gateway, error) {
+	if m == nil {
+		return nil, fmt.Errorf("%w: NewGateway with nil Matcher", ErrBadConfig)
+	}
+	if emit == nil {
+		return nil, fmt.Errorf("%w: NewGateway with nil emit callback", ErrBadConfig)
+	}
+	return m.NewEngine(0).Gateway(cfg, emit), nil
+}
+
+// shardIndex returns the engine shard owning key — the same hash-derived
 // pinning the collector routes by, so a flow's scanner state always comes
 // from (and returns to) the pool of the shard whose lane scans it.
-func (g *Gateway) shardEngine(k FiveTuple) *Engine {
+func (g *Gateway) shardIndex(k FiveTuple) int {
 	if len(g.shards) == 1 {
-		return g.shards[0].e
+		return 0
 	}
-	return g.shards[k.Hash64()%uint64(len(g.shards))].e
+	return int(k.Hash64() % uint64(len(g.shards)))
 }
 
 // classify runs the header rules over one 5-tuple: first matching rule
@@ -731,8 +804,16 @@ func (g *Gateway) notifyVerdict(t FiveTuple, v Verdict, idx int) {
 // run under the flow-table entry lock, so a gwFlow is effectively
 // single-goroutine.
 type gwFlow struct {
-	g        *Gateway
-	e        *Engine // the engine shard owning this flow's scanner state
+	g     *Gateway
+	shard int // engine shard owning this flow, from the tuple hash
+	// gen is the ruleset generation this flow is pinned to, taken at open
+	// and held until the flow boundary (FIN/RST/eviction/quarantine/
+	// close): every byte of the connection scans against one automaton,
+	// whatever reloads happen mid-flow. nil when unpinned (drop/pass
+	// verdict flows, or after release). A FIN husk holds no pin — it owns
+	// no scanner state — and a SYN re-open pins the then-current
+	// generation, because it is a new connection.
+	gen      *gwGeneration
 	tuple    FiveTuple
 	f        *Flow
 	asm      *reassembly.Stream
@@ -748,8 +829,11 @@ type gwFlow struct {
 	done bool
 }
 
-// open checks scanner state out of the engine pool and binds the match
-// emission path, stamping each match with the flow's verdict attribution.
+// open pins the flow to the current ruleset generation and checks scanner
+// state out of that generation's engine pool for this flow's shard,
+// binding the match emission path with the flow's verdict attribution.
+// open only runs while the packet creating (or SYN-reopening) the flow is
+// in flight, so cur cannot move underneath it — see gwGeneration.flows.
 func (fl *gwFlow) open() {
 	v, rid, idx := VerdictNone, -1, fl.ruleIdx
 	if idx >= 0 {
@@ -757,12 +841,30 @@ func (fl *gwFlow) open() {
 		rid = fl.g.cfg.Rules[idx].ID
 	}
 	g := fl.g
-	fl.f = fl.e.Flow(func(m Match) {
+	gen := g.cur.Load()
+	gen.flows.Add(1)
+	fl.gen = gen
+	fl.f = gen.engines[fl.shard].Flow(func(m Match) {
 		if idx >= 0 {
 			g.ruleMatches[idx].Add(1)
 		}
 		g.emit(FlowMatch{Tuple: fl.tuple, Match: m, Verdict: v, RuleID: rid})
 	})
+}
+
+// unpin releases the flow's generation pin at a flow boundary. Idempotent;
+// when the last pin of a non-current generation drops, that generation is
+// retired here, on the goroutine that ended the flow — retirement needs no
+// background sweeper.
+func (fl *gwFlow) unpin() {
+	gen := fl.gen
+	if gen == nil {
+		return
+	}
+	fl.gen = nil
+	if gen.flows.Add(-1) == 0 {
+		fl.g.maybeRetire(gen)
+	}
 }
 
 // heldBytes reports the flow's buffered out-of-order bytes. The quarantine
@@ -894,6 +996,7 @@ func (fl *gwFlow) finish() {
 		fl.f.Close()
 		fl.f = nil
 	}
+	fl.unpin()
 	fl.releaseAsm(false)
 	fl.done = true
 	fl.g.flowsFinished.Add(1)
@@ -906,6 +1009,7 @@ func (fl *gwFlow) teardown() {
 		fl.f.Close()
 		fl.f = nil
 	}
+	fl.unpin()
 	fl.releaseAsm(false)
 	fl.done = true
 }
@@ -916,6 +1020,7 @@ func (fl *gwFlow) close() {
 		fl.f.Close()
 		fl.f = nil
 	}
+	fl.unpin()
 	fl.releaseAsm(true)
 }
 
@@ -947,6 +1052,7 @@ func (fl *gwFlow) quarantine() {
 		fl.f.Discard()
 		fl.f = nil
 	}
+	fl.unpin()
 	fl.releaseAsm(true)
 	fl.done = true
 }
@@ -972,7 +1078,7 @@ func (g *Gateway) TryIngest(pkt GatewayPacket) (admitted bool, err error) {
 	g.mu.RLock()
 	defer g.mu.RUnlock()
 	if g.closed {
-		return false, fmt.Errorf("dpi: Ingest on closed Gateway")
+		return false, fmt.Errorf("%w: Ingest", ErrClosed)
 	}
 	seq := g.seq.Add(1) - 1
 	g.bytes.Add(uint64(len(pkt.Payload)))
@@ -1082,10 +1188,135 @@ func (g *Gateway) takePendingGap(t FiveTuple) int {
 func (g *Gateway) Flush() {
 	g.mu.Lock()
 	defer g.mu.Unlock()
+	g.drainLocked()
+}
+
+// drainLocked spins until every admitted packet has been scanned. The
+// caller holds g.mu exclusively, so no new packet can be admitted while it
+// waits; the collector keeps flushing partial bursts whenever the queue
+// goes idle, so inflight reaches zero without outside help.
+func (g *Gateway) drainLocked() {
 	for g.inflight.Load() != 0 {
 		time.Sleep(50 * time.Microsecond)
 	}
 }
+
+// SwapRules atomically installs a newer compiled matcher as the gateway's
+// ruleset — the hot-reload control plane. The swap happens at a drained
+// pipeline point (serialized against Ingest, Flush and Close exactly like
+// Flush), which gives the two cutover guarantees for free:
+//
+//   - Stateless bursts cut over at a batch boundary: every burst admitted
+//     before the swap is scanned with the old generation before the swap
+//     completes; every burst after scans with the new one. No burst mixes
+//     generations.
+//   - Flows pin the generation they opened on. Existing flows keep
+//     scanning against their pinned automaton until a flow boundary
+//     (FIN/RST, idle or capacity eviction, quarantine, Close); new flows —
+//     including SYN re-opens of finished connections — open on the new
+//     generation. A match can therefore always be replayed exactly:
+//     FindAll with the flow's pinned generation over its delivered bytes.
+//
+// The old generation retires (engines and matcher released, counters
+// folded into the retired baseline) when its last pinned flow ends;
+// SwapRules itself retires it immediately when no flow holds a pin.
+//
+// m must be strictly newer than the installed matcher: re-installing the
+// current matcher or delivering an older compile (two reloaders racing)
+// fails with ErrStaleGeneration and changes nothing. A nil m is
+// ErrBadConfig; a closed gateway is ErrClosed. Shed policies, verdict
+// rules and all sizing configuration are untouched by a swap.
+func (g *Gateway) SwapRules(m *Matcher) error {
+	if m == nil {
+		return fmt.Errorf("%w: SwapRules with nil Matcher", ErrBadConfig)
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.closed {
+		return fmt.Errorf("%w: SwapRules", ErrClosed)
+	}
+	g.drainLocked()
+	old := g.cur.Load()
+	if m.Generation() <= old.id {
+		return fmt.Errorf("%w: matcher generation %d is not newer than installed generation %d",
+			ErrStaleGeneration, m.Generation(), old.id)
+	}
+	gen := &gwGeneration{id: m.Generation(), m: m, engines: make([]*Engine, len(g.shards))}
+	for s := range gen.engines {
+		se := m.NewEngine(g.workers)
+		shard := s
+		se.eng.SetRecover(func(any) { g.panics[shard].Add(1) })
+		gen.engines[s] = se
+	}
+	g.genMu.Lock()
+	g.gens = append(g.gens, gen)
+	g.genMu.Unlock()
+	g.cur.Store(gen)
+	g.swaps.Add(1)
+	g.gensInstall.Add(1)
+	g.maybeRetire(old)
+	return nil
+}
+
+// maybeRetire retires gen if it can no longer receive work: not the
+// current generation, no pinned flows, not already retired. Safe to call
+// optimistically — it is invoked from the last unpin of a generation and
+// from SwapRules after a cutover, and exactly one caller wins. Retirement
+// folds the generation's per-shard engine counters into the gateway
+// baseline (ShardStats stays monotone across swaps), drops the generation
+// from the live list, and releases the engines and matcher to the
+// collector.
+func (g *Gateway) maybeRetire(gen *gwGeneration) {
+	g.genMu.Lock()
+	defer g.genMu.Unlock()
+	if gen.retired || gen == g.cur.Load() || gen.flows.Load() != 0 {
+		return
+	}
+	gen.retired = true
+	for s, e := range gen.engines {
+		g.retiredStats[s].add(e.Stats())
+	}
+	for i, other := range g.gens {
+		if other == gen {
+			g.gens = append(g.gens[:i], g.gens[i+1:]...)
+			break
+		}
+	}
+	gen.engines = nil
+	gen.m = nil
+	g.gensRetired.Add(1)
+}
+
+// GenerationInfo is one live (non-retired) ruleset generation's view on
+// Generations: its identity, how many flows hold a pin to it, and whether
+// it is the current generation new flows open on. An old generation
+// lingering with Flows > 0 is draining; Flows stuck above zero means some
+// long-lived connection is pinning it (see OPERATIONS.md's reload
+// runbook).
+type GenerationInfo struct {
+	Generation uint64 `json:"generation"`
+	Flows      int64  `json:"flows"`
+	Current    bool   `json:"current"`
+}
+
+// Generations snapshots every live generation in install order (the
+// current generation is always last and always present). Retired
+// generations do not appear — their retirement is visible on
+// GatewayStats.GenerationsRetired.
+func (g *Gateway) Generations() []GenerationInfo {
+	g.genMu.Lock()
+	defer g.genMu.Unlock()
+	cur := g.cur.Load()
+	out := make([]GenerationInfo, 0, len(g.gens))
+	for _, gen := range g.gens {
+		out = append(out, GenerationInfo{Generation: gen.id, Flows: gen.flows.Load(), Current: gen == cur})
+	}
+	return out
+}
+
+// Generation reports the installed (current) ruleset generation — the
+// Matcher.Generation new flows and stateless bursts scan with.
+func (g *Gateway) Generation() uint64 { return g.cur.Load().id }
 
 // IngestReader ingests framed packets from r until EOF (see WriteFrame for
 // the frame format) and returns how many packets it ingested. Backpressure
@@ -1292,7 +1523,7 @@ func (g *Gateway) burstScanner(shard int, sh *gwEngineShard) {
 	defer g.workerWg.Done()
 	var st burstState
 	for batch := range sh.batchQ {
-		g.scanBurst(shard, sh, batch, &st)
+		g.scanBurst(shard, batch, &st)
 	}
 }
 
@@ -1311,8 +1542,13 @@ type burstState struct {
 // emit callback — are contained here, with the batch's not-yet-committed
 // bytes charged to the quarantine bucket so the ledger stays exact, and
 // inflight decremented in the defer chain so Flush cannot wedge.
-func (g *Gateway) scanBurst(shard int, sh *gwEngineShard, batch []seqPacket, st *burstState) {
+func (g *Gateway) scanBurst(shard int, batch []seqPacket, st *burstState) {
 	defer g.inflight.Add(-int64(len(batch)))
+	// One generation per burst, read once: the batch's packets hold
+	// inflight until the deferred decrement above, and SwapRules only
+	// moves cur at inflight zero, so cur is frozen for the whole burst —
+	// the batch-boundary cutover guarantee.
+	gen := g.cur.Load()
 	var total, committed uint64
 	for _, p := range batch {
 		total += uint64(len(p.payload))
@@ -1349,7 +1585,7 @@ func (g *Gateway) scanBurst(shard int, sh *gwEngineShard, batch []seqPacket, st 
 		keptBytes += uint64(len(p.payload))
 	}
 	if len(st.kept) > 0 {
-		st.buf = sh.e.eng.ScanPacketsInto(st.payloads, st.buf)
+		st.buf = gen.engines[shard].eng.ScanPacketsInto(st.payloads, st.buf)
 		// The engine delivered every payload to a scanner (a contained
 		// engine panic costs only that payload's matches), so the whole
 		// kept set commits as scanned.
@@ -1365,7 +1601,7 @@ func (g *Gateway) scanBurst(shard int, sh *gwEngineShard, batch []seqPacket, st 
 				if st.ruleIdx[i] >= 0 {
 					g.ruleMatches[st.ruleIdx[i]].Add(1)
 				}
-				g.emit(FlowMatch{Tuple: st.kept[i].tuple, Match: g.m.convert(am, st.kept[i].seq), Verdict: v, RuleID: rid})
+				g.emit(FlowMatch{Tuple: st.kept[i].tuple, Match: gen.m.convert(am, st.kept[i].seq), Verdict: v, RuleID: rid})
 			}
 		}
 	}
@@ -1389,19 +1625,36 @@ func (g *Gateway) Close() error {
 	return nil
 }
 
-// Backend reports the scan backend every shard's lanes and burst scanners
-// run. All shards scan with the one compiled Matcher, so a single name
-// (see Config.Backend) describes the whole gateway.
-func (g *Gateway) Backend() string { return g.shards[0].e.Backend() }
+// Backend reports the scan backend the current generation's lanes and
+// burst scanners run (see Config.Backend). Matchers swapped in with a
+// different Backend configuration change this value at the swap.
+func (g *Gateway) Backend() string {
+	// genMu keeps maybeRetire from releasing the loaded generation's
+	// engines between the Load and the read: the current generation is
+	// never retired, and retirement of a just-swapped-out one needs this
+	// lock.
+	g.genMu.Lock()
+	defer g.genMu.Unlock()
+	return g.cur.Load().engines[0].Backend()
+}
 
 // ShardStats returns one engine-work snapshot per engine shard, in shard
 // order — how the ingested traffic fanned out across the scan replicas.
-// Shard 0 is the engine the gateway was started on, so on a shared engine
-// its counters may include work fed outside this gateway.
+// Each shard's snapshot aggregates every generation that scanned on it:
+// the retired baseline plus the live generations' engines, so the
+// counters stay monotone across ruleset swaps. Shard 0 of the initial
+// generation is the engine the gateway was started on; on a shared
+// engine its counters may include work fed outside this gateway.
 func (g *Gateway) ShardStats() []EngineStats {
+	g.genMu.Lock()
+	defer g.genMu.Unlock()
 	out := make([]EngineStats, len(g.shards))
-	for i, sh := range g.shards {
-		out[i] = sh.e.Stats()
+	for s := range out {
+		st := g.retiredStats[s]
+		for _, gen := range g.gens {
+			st.add(gen.engines[s].Stats())
+		}
+		out[s] = st
 	}
 	return out
 }
@@ -1560,7 +1813,20 @@ func (g *Gateway) Stats() GatewayStats {
 		FlowsEvicted:  ts.EvictedCap + ts.EvictedIdle + ts.Removed,
 		FlowsFinished: g.flowsFinished.Load(),
 		FlowsReset:    g.flowsReset.Load(),
+
+		Generation:           g.cur.Load().id,
+		RulesetSwaps:         g.swaps.Load(),
+		GenerationsInstalled: g.gensInstall.Load(),
+		GenerationsRetired:   g.gensRetired.Load(),
+		GenerationsLive:      g.liveGenerations(),
 	}
+}
+
+// liveGenerations counts the non-retired generations under genMu.
+func (g *Gateway) liveGenerations() int {
+	g.genMu.Lock()
+	defer g.genMu.Unlock()
+	return len(g.gens)
 }
 
 // Frame format v2 for IngestReader/WriteFrame: a 23-byte big-endian header —

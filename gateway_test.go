@@ -609,8 +609,8 @@ func TestGatewayShardedStreamLaneZeroAlloc(t *testing.T) {
 			tuples = append(tuples, tup)
 			// The flow's scanner state must come from the shard the
 			// collector routes its packets at.
-			if got := gw.shardEngine(tup); got != gw.shards[s].e {
-				t.Fatalf("shardEngine pinned tuple %v to the wrong shard", tup)
+			if got := gw.shardIndex(tup); got != int(s) {
+				t.Fatalf("shardIndex pinned tuple %v to shard %d, want %d", tup, got, s)
 			}
 		}
 	}

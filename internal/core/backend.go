@@ -169,7 +169,7 @@ func (m *Machine) NewScannerFor(name string) (*Scanner, error) {
 		if !spec.available(m) {
 			return nil, fmt.Errorf("core: backend %q unavailable on this machine (available: %v)", name, m.Backends())
 		}
-		s := &Scanner{b: spec.build(m)}
+		s := &Scanner{b: spec.build(m), gen: m.generation}
 		s.Reset()
 		return s, nil
 	}

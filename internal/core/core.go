@@ -132,6 +132,14 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
+// Validate resolves defaults exactly as Build does and reports whether the
+// options are buildable: range checks, backend-name resolution against the
+// registry, and the DisableBaked/Backend precedence rules. It is the one
+// home of that logic — dpi.Config.Validate delegates here, and Build runs
+// the same pair, so a configuration that passes Validate cannot fail
+// Build's option checks later.
+func (o Options) Validate() error { return o.withDefaults().validate() }
+
 func (o Options) validate() error {
 	if o.D2PerChar < 0 || o.D3PerChar < 0 {
 		return fmt.Errorf("core: negative default counts %+v", o)
@@ -282,6 +290,10 @@ type Machine struct {
 	// backend is the resolved Options.Backend, consulted by NewScanner;
 	// empty (auto) on hand-assembled machines.
 	backend string
+	// generation is the process-unique compile generation stamped by Build
+	// (shared across a BuildGrouped); zero on hand-assembled machines. See
+	// generation.go.
+	generation uint64
 }
 
 // Build compresses the move-function DFA for set under opts.
@@ -294,7 +306,7 @@ func Build(set *ruleset.Set, opts Options) (*Machine, error) {
 	if err != nil {
 		return nil, err
 	}
-	m := &Machine{Trie: trie, Opts: opts, backend: opts.Backend}
+	m := &Machine{Trie: trie, Opts: opts, backend: opts.Backend, generation: nextGeneration()}
 	m.selectDefaults()
 	m.compress()
 	if err := m.compileBackends(); err != nil {

@@ -1,0 +1,28 @@
+package core
+
+import "sync/atomic"
+
+// Ruleset generations. Every compiled automaton — each Build, and each
+// BuildGrouped as a whole — is stamped with a process-unique, monotonically
+// increasing generation number. The generation is an identity, not a
+// version string: two compiles of byte-identical rules get distinct
+// generations, because what the control plane above (hot ruleset reload)
+// pins flows to is *this compiled artifact*, not "rules that look the
+// same". The tag is threaded through scanner checkout so any holder of a
+// Scanner can prove which automaton generation produced its matches.
+var generationCounter atomic.Uint64
+
+// nextGeneration issues the next process-unique generation number.
+// Generation 0 is never issued; it marks hand-assembled machines that
+// bypassed Build.
+func nextGeneration() uint64 { return generationCounter.Add(1) }
+
+// Generation reports the machine's compile generation: process-unique,
+// monotonically increasing across Builds. Machines built together by
+// BuildGrouped share one generation. Zero for hand-assembled machines.
+func (m *Machine) Generation() uint64 { return m.generation }
+
+// Generation reports the scanner's automaton generation — the generation
+// of the machine it was checked out from. A flow pinned to generation G
+// can assert every scanner it touches carries G.
+func (s *Scanner) Generation() uint64 { return s.gen }

@@ -17,6 +17,10 @@ type Grouped struct {
 	Machines []*Machine
 	Sets     []*ruleset.Set
 	Opts     Options
+	// Generation is the process-unique compile generation shared by every
+	// machine in the group — the identity a hot-reload control plane pins
+	// flows to. See generation.go.
+	Generation uint64
 }
 
 // BuildGrouped splits set into groups lexicographic-contiguous groups of
@@ -39,6 +43,12 @@ func BuildGrouped(set *ruleset.Set, groups int, opts Options) (*Grouped, error) 
 			return nil, fmt.Errorf("core: group %d: %w", i, err)
 		}
 		g.Machines = append(g.Machines, m)
+	}
+	// One generation for the whole group: the machines were compiled
+	// together and are swapped together, so they share one identity.
+	g.Generation = nextGeneration()
+	for _, m := range g.Machines {
+		m.generation = g.Generation
 	}
 	return g, nil
 }

@@ -14,6 +14,10 @@ import "repro/internal/ac"
 // match sequences, so callers may select purely on performance.
 type Scanner struct {
 	b ScanBackend
+	// gen is the compile generation of the machine this scanner was checked
+	// out from, stamped at NewScannerFor — the tag a hot-reload control
+	// plane audits to prove no scanner state leaked across generations.
+	gen uint64
 	// scratch buffers Scan's matches between ScanAppend and the caller's
 	// emit callback, reused across calls.
 	scratch []ac.Match

@@ -245,8 +245,9 @@ func Load(data []byte) (*Machine, error) {
 		return nil, err
 	}
 	m := &Machine{
-		Trie: trie,
-		Opts: Options{D2PerChar: int(d2), D3PerChar: int(d3), MaxDepth: int(maxDepth), Backend: BackendAuto},
+		Trie:       trie,
+		Opts:       Options{D2PerChar: int(d2), D3PerChar: int(d3), MaxDepth: int(maxDepth), Backend: BackendAuto},
+		generation: nextGeneration(),
 	}
 	if err := m.Opts.validate(); err != nil {
 		return nil, err

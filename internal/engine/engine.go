@@ -109,6 +109,14 @@ func (e *Engine) Backend() string {
 	return e.g.Machines[0].DefaultBackend()
 }
 
+// Generation reports the compile generation of the automaton this engine
+// scans with (core.Grouped.Generation) — every scanner set the pool hands
+// out carries the same tag, so an engine is generation-homogeneous by
+// construction. A multi-generation front-end (hot ruleset reload) builds
+// one engine per (shard, generation) and retires whole engines, never
+// mixing scanner state across automatons.
+func (e *Engine) Generation() uint64 { return e.g.Generation }
+
 // Stats returns this engine's work counters. Counters are monotone but
 // mutually unsynchronized, like every stats surface in the pipeline.
 func (e *Engine) Stats() Stats {
@@ -347,6 +355,18 @@ func (f *Flow) Reset() {
 
 // Consumed returns the bytes scanned since the flow was opened or Reset.
 func (f *Flow) Consumed() int { return f.consumed }
+
+// Generation reports the compile generation of the scanners backing this
+// flow — the same tag for every scanner in the set, since a flow's set
+// comes from one engine over one automaton. Zero after Discard or Close.
+// The hot-reload oracle audits this against the flow's pinned generation
+// to prove no scanner state leaked across a ruleset swap.
+func (f *Flow) Generation() uint64 {
+	if f.ss == nil || len(f.ss.set) == 0 {
+		return 0
+	}
+	return f.ss.set[0].Generation()
+}
 
 // SkipGap records n stream bytes the flow will never see (a reassembly
 // gap skipped on timeout): scanner states and histories are invalidated —

@@ -295,6 +295,33 @@ func (t *Table[F]) EvictIdle() int {
 	return n
 }
 
+// Range runs fn on every live flow, shard by shard, each flow held under
+// its entry lock exactly as Do holds it (no Do on that key runs
+// concurrently, eviction waits). Unlike Do it never creates flows, never
+// ticks the clock and never touches LRU positions — a pure diagnostic
+// sweep, used by the hot-reload control plane's audits (every pinned flow's
+// scanner generation matches its pin). Flows created or evicted while the
+// sweep runs may or may not be visited; fn must not call back into the
+// table.
+func (t *Table[F]) Range(fn func(Key, F)) {
+	for i := range t.shards {
+		s := &t.shards[i]
+		s.mu.Lock()
+		entries := make([]*entry[F], 0, len(s.flows))
+		for _, e := range s.flows {
+			entries = append(entries, e)
+		}
+		s.mu.Unlock()
+		for _, e := range entries {
+			e.mu.Lock()
+			if !e.dead {
+				fn(e.key, e.flow)
+			}
+			e.mu.Unlock()
+		}
+	}
+}
+
 // Close evicts every live flow. The table remains usable afterwards (a Do
 // recreates flows), so Close doubles as a drain for gateway shutdown.
 func (t *Table[F]) Close() {

@@ -183,6 +183,30 @@ func (gm *GatewayMetrics) render(w *metrics.Writer) {
 		"Payload bytes of verdict-passed traffic, exempted unscanned.")
 	w.Sample(float64(s.PassedBytes))
 
+	// Hot-reload control plane (Gateway.SwapRules). The flows-by-generation
+	// gauge only lists live (non-retired) generations: an old generation
+	// present here is draining, and one stuck with flows > 0 names the
+	// long-lived connections pinning it — the series the reload runbook
+	// alerts on.
+	w.Metric("dpi_ruleset_generation", "gauge",
+		"Installed ruleset generation new flows and bursts scan with.")
+	w.Sample(float64(s.Generation))
+	w.Metric("dpi_ruleset_swaps_total", "counter",
+		"Successful SwapRules hot reloads.")
+	w.Sample(float64(s.RulesetSwaps))
+	w.Metric("dpi_ruleset_generations_installed_total", "counter",
+		"Ruleset generations ever installed (the initial one included).")
+	w.Sample(float64(s.GenerationsInstalled))
+	w.Metric("dpi_ruleset_generations_retired_total", "counter",
+		"Old ruleset generations fully drained and retired.")
+	w.Sample(float64(s.GenerationsRetired))
+	w.Metric("dpi_flows_by_generation", "gauge",
+		"Live flows pinned to each non-retired ruleset generation.")
+	for _, gi := range g.Generations() {
+		w.Sample(float64(gi.Flows),
+			metrics.Label{Name: "generation", Value: strconv.FormatUint(gi.Generation, 10)})
+	}
+
 	w.Metric("dpi_gateway_flows_live", "gauge", "Flow-table entries currently live.")
 	w.Sample(float64(ts.Live))
 	w.Metric("dpi_gateway_flows_created_total", "counter", "Flow-table entries created.")

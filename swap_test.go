@@ -1,0 +1,651 @@
+package dpi
+
+// Hot-reload tests: the generation-pinning oracle (flows opened before a
+// SwapRules keep scanning — and matching — against the matcher they were
+// born under, across backends and shard counts), refcounted retirement
+// (old generations free exactly when their last pinned flow ends), the
+// race-mode Ingest/SwapRules/Metrics/Flush storm, the wrapped sentinel
+// errors, and the swap-equivalence fuzzer.
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/metrics"
+	"repro/internal/traffic"
+)
+
+// swapWave is one ruleset generation's share of an oracle run: the
+// matcher flows born in this wave must stay pinned to, and the flows
+// themselves (tuples remapped to be disjoint across waves).
+type swapWave struct {
+	m       *Matcher
+	tuples  []FiveTuple
+	streams [][]byte
+	// pkts[f] holds flow f's segments in stream order; the scheduler
+	// consumes a prefix before the next swap and the rest after it.
+	pkts [][]GatewayPacket
+}
+
+// buildSwapWave compiles a fresh ruleset (guaranteeing a strictly higher
+// compile generation than any earlier wave) and a flow workload over it,
+// with tuples remapped into a per-wave address block so waves never
+// collide in the flow table.
+func buildSwapWave(t *testing.T, wave, strings int, backend string, seed int64) swapWave {
+	t.Helper()
+	rules, err := GenerateSnortLike(strings, 1000*int64(wave)+seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := Compile(rules, Config{Backend: backend})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := traffic.GenerateFlows(rules.InternalSet(), traffic.FlowConfig{
+		Flows: 8, SegmentsPerFlow: 5, SegmentBytes: 130, Seed: seed + int64(wave),
+		CrossDensity: 2, AttackDensity: 1, Profile: traffic.Textual,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw := swapWave{m: m, streams: w.Streams, pkts: make([][]GatewayPacket, len(w.Tuples))}
+	for f := range w.Tuples {
+		sw.tuples = append(sw.tuples, FiveTuple{
+			SrcIP: 0x0a000000 | uint32(wave)<<8 | uint32(f), DstIP: 0xc0a80001,
+			SrcPort: uint16(1024 + f), DstPort: 80, Proto: ProtoTCP,
+		})
+	}
+	for _, p := range w.Packets {
+		sw.pkts[p.FlowID] = append(sw.pkts[p.FlowID],
+			GatewayPacket{Tuple: sw.tuples[p.FlowID], Payload: p.Payload})
+	}
+	return sw
+}
+
+// TestSwapGenerationOracle is the tentpole invariant end to end: three
+// ruleset generations are installed under live traffic with randomized
+// swap points, and every flow's emitted matches must equal FindAll of its
+// whole stream against the matcher current when the flow opened — not the
+// one current when later segments arrived. Then the first two waves FIN
+// and both old generations must retire, provably: counters, the live
+// generation list, and a flow-table sweep checking no scanner of a
+// retired generation is still checked out.
+func TestSwapGenerationOracle(t *testing.T) {
+	backends := []string{BackendReference, BackendBaked, BackendPrefiltered, BackendAccelerated}
+	for bi, backend := range backends {
+		for si, shards := range []int{1, 2, 4} {
+			t.Run(fmt.Sprintf("%s/shards=%d", backend, shards), func(t *testing.T) {
+				testSwapGenerationOracle(t, backend, shards, int64(31+7*bi+si))
+			})
+		}
+	}
+}
+
+func testSwapGenerationOracle(t *testing.T, backend string, shards int, seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	waves := []swapWave{
+		buildSwapWave(t, 0, 120, backend, seed),
+		buildSwapWave(t, 1, 150, backend, seed),
+		buildSwapWave(t, 2, 100, backend, seed),
+	}
+	for i := 1; i < len(waves); i++ {
+		if waves[i].m.Generation() <= waves[i-1].m.Generation() {
+			t.Fatalf("compile generations not ascending: %d then %d",
+				waves[i-1].m.Generation(), waves[i].m.Generation())
+		}
+	}
+
+	c := newCollector()
+	gw := waves[0].m.NewEngine(2).Gateway(
+		GatewayConfig{EngineShards: shards, StreamWorkers: 2, BatchPackets: 4}, c.emit)
+	if got := gw.Generation(); got != waves[0].m.Generation() {
+		t.Fatalf("initial generation %d, matcher has %d", got, waves[0].m.Generation())
+	}
+
+	// pending[w][f] is the unsent tail of wave w's flow f. drain ingests
+	// randomly interleaved packets from the given waves; ensureOpen sends
+	// at least flow f's first segment so the flow pins the current
+	// generation before the next swap moves it.
+	pending := make([][][]GatewayPacket, len(waves))
+	for wv := range waves {
+		pending[wv] = append([][]GatewayPacket{}, waves[wv].pkts...)
+	}
+	send := func(p GatewayPacket) {
+		t.Helper()
+		if err := gw.Ingest(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	drainSome := func(upTo int, fraction float64) {
+		for wv := 0; wv <= upTo; wv++ {
+			for f := range pending[wv] {
+				for len(pending[wv][f]) > 0 && rng.Float64() < fraction {
+					send(pending[wv][f][0])
+					pending[wv][f] = pending[wv][f][1:]
+				}
+			}
+		}
+	}
+	ensureOpen := func(wv int) {
+		for f := range pending[wv] {
+			if len(pending[wv][f]) == len(waves[wv].pkts[f]) {
+				send(pending[wv][f][0])
+				pending[wv][f] = pending[wv][f][1:]
+			}
+		}
+	}
+
+	// Wave 0 flows all open, each with a random share of its stream sent.
+	ensureOpen(0)
+	drainSome(0, 0.5)
+	if err := gw.SwapRules(waves[1].m); err != nil {
+		t.Fatal(err)
+	}
+	if got := gw.Generation(); got != waves[1].m.Generation() {
+		t.Fatalf("after first swap generation %d, want %d", got, waves[1].m.Generation())
+	}
+	// Wave 1 opens on generation B while wave 0 keeps streaming.
+	ensureOpen(1)
+	drainSome(1, 0.5)
+	if err := gw.SwapRules(waves[2].m); err != nil {
+		t.Fatal(err)
+	}
+	ensureOpen(2)
+	// Everything else, fully interleaved across all three waves.
+	for {
+		left := false
+		drainSome(2, 0.7)
+		for wv := range pending {
+			for f := range pending[wv] {
+				if len(pending[wv][f]) > 0 {
+					left = true
+				}
+			}
+		}
+		if !left {
+			break
+		}
+	}
+	gw.Flush()
+
+	// Pinning oracle: every flow's full match stream equals FindAll of its
+	// whole stream against its birth-generation matcher.
+	total := 0
+	for wv, sw := range waves {
+		for f, tup := range sw.tuples {
+			want := sw.m.FindAll(sw.streams[f])
+			if got := c.byTuple[tup]; !sameMatchSeq(got, want) {
+				t.Fatalf("wave %d flow %d: %d matches vs pinned-matcher oracle %d (or order/offsets differ)",
+					wv, f, len(got), len(want))
+			}
+			total += len(want)
+		}
+	}
+	if total == 0 {
+		t.Fatal("no matches across any wave; test is vacuous")
+	}
+
+	// No scanner leaks across generations: every live flow still holds a
+	// scanner stamped with exactly its pinned generation.
+	wantGen := map[FiveTuple]uint64{}
+	for wv, sw := range waves {
+		for _, tup := range sw.tuples {
+			wantGen[tup] = waves[wv].m.Generation()
+		}
+	}
+	swept := 0
+	gw.table.Range(func(k FiveTuple, fl *gwFlow) {
+		swept++
+		want, ok := wantGen[k]
+		if !ok {
+			t.Errorf("unexpected flow %v in table", k)
+			return
+		}
+		if fl.gen == nil || fl.gen.id != want {
+			t.Errorf("flow %v pinned to wrong generation (want %d)", k, want)
+			return
+		}
+		if fl.f == nil || fl.f.Generation() != fl.gen.id {
+			t.Errorf("flow %v scanner generation diverges from its pin %d", k, fl.gen.id)
+		}
+	})
+	if swept == 0 {
+		t.Fatal("flow-table sweep saw no flows")
+	}
+
+	st := gw.Stats()
+	if st.GenerationsInstalled != 3 || st.RulesetSwaps != 2 ||
+		st.GenerationsRetired != 0 || st.GenerationsLive != 3 {
+		t.Fatalf("pre-drain generation counters: %+v", st)
+	}
+	gens := gw.Generations()
+	if len(gens) != 3 || !gens[2].Current || gens[0].Current || gens[1].Current {
+		t.Fatalf("Generations() = %+v", gens)
+	}
+	for wv, gi := range gens {
+		if gi.Generation != waves[wv].m.Generation() || gi.Flows != int64(len(waves[wv].tuples)) {
+			t.Fatalf("generation %d info %+v, want id %d flows %d",
+				wv, gi, waves[wv].m.Generation(), len(waves[wv].tuples))
+		}
+	}
+	preShard := gw.ShardStats()
+
+	// FIN waves 0 and 1: their generations lose the last pin and must
+	// retire — no sweeper, the FIN itself does it.
+	for wv := 0; wv < 2; wv++ {
+		for _, tup := range waves[wv].tuples {
+			send(GatewayPacket{Tuple: tup, Flags: FlagFIN})
+		}
+	}
+	gw.Flush()
+	st = gw.Stats()
+	if st.GenerationsRetired != st.GenerationsInstalled-1 {
+		t.Fatalf("after FIN drain: retired %d, installed %d (want installed-1)",
+			st.GenerationsRetired, st.GenerationsInstalled)
+	}
+	if st.GenerationsLive != 1 || st.Generation != waves[2].m.Generation() {
+		t.Fatalf("after FIN drain: %d live generations, current %d", st.GenerationsLive, st.Generation)
+	}
+	gens = gw.Generations()
+	if len(gens) != 1 || !gens[0].Current || gens[0].Flows != int64(len(waves[2].tuples)) {
+		t.Fatalf("after FIN drain Generations() = %+v", gens)
+	}
+	// Retirement folds engine counters into the baseline: per-shard stats
+	// stay monotone across the fold.
+	for i, es := range gw.ShardStats() {
+		if es.FlowsOpened < preShard[i].FlowsOpened || es.StreamBytes < preShard[i].StreamBytes {
+			t.Fatalf("shard %d stats went backwards across retirement: %+v then %+v",
+				i, preShard[i], es)
+		}
+	}
+
+	if err := gw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if l := gw.Stats().Ledger(); !l.Balanced() {
+		t.Fatalf("ledger unbalanced after close: %+v", l)
+	}
+}
+
+// TestSwapBurstCutover checks the stateless path: datagrams ingested
+// after a swap are scanned by the new generation — matches equal the new
+// matcher's FindAll, including for a UDP tuple already seen before the
+// swap (bursts carry no pin; they cut over at batch boundaries).
+func TestSwapBurstCutover(t *testing.T) {
+	mA, setA := gatewayMatcher(t, 150, 1)
+	mB, _ := gatewayMatcher(t, 180, 2)
+	dgrams, err := traffic.Generate(setA, traffic.Config{
+		Packets: 12, Bytes: 200, Seed: 9, AttackDensity: 2, Profile: traffic.Textual,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tup := func(i int) FiveTuple {
+		return FiveTuple{SrcIP: 0x0a000001, DstIP: 0x0a000002,
+			SrcPort: uint16(50000 + i), DstPort: 53, Proto: ProtoUDP}
+	}
+	c := newCollector()
+	gw := mA.NewEngine(2).Gateway(GatewayConfig{EngineShards: 2, BatchPackets: 4}, c.emit)
+	half := len(dgrams) / 2
+	for i, d := range dgrams[:half] {
+		if err := gw.Ingest(GatewayPacket{Tuple: tup(i), Payload: d.Payload}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := gw.SwapRules(mB); err != nil {
+		t.Fatal(err)
+	}
+	for i, d := range dgrams[half:] {
+		// Reuse the pre-swap tuples: stateless packets must not inherit
+		// any pin from earlier traffic on the same tuple.
+		if err := gw.Ingest(GatewayPacket{Tuple: tup(i), Payload: d.Payload}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := gw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	for i, d := range dgrams[:half] {
+		pre := make([]Match, 0, 4)
+		for _, m := range c.byTuple[tup(i)] {
+			if m.PacketID == i { // pre-swap datagram i was ingest seq i
+				pre = append(pre, m)
+			}
+		}
+		if want := mA.FindAll(d.Payload); !sameMatchSeq(pre, want) {
+			t.Fatalf("pre-swap datagram %d: %d matches, old-matcher oracle %d", i, len(pre), len(want))
+		}
+	}
+	for i, d := range dgrams[half:] {
+		post := make([]Match, 0, 4)
+		for _, m := range c.byTuple[tup(i)] {
+			if m.PacketID == half+i {
+				post = append(post, m)
+			}
+		}
+		if want := mB.FindAll(d.Payload); !sameMatchSeq(post, want) {
+			t.Fatalf("post-swap datagram %d: %d matches, new-matcher oracle %d", i, len(post), len(want))
+		}
+	}
+}
+
+// TestSwapUnderConcurrentLoad is the race-mode storm the ISSUE asks for:
+// concurrent Ingest, SwapRules, metrics scrapes, Stats/Generations reads
+// and Flushes, then a drained close with the conservation ledger and the
+// retirement invariant intact. Run with -race; the interesting assertions
+// are the ones the race detector makes.
+func TestSwapUnderConcurrentLoad(t *testing.T) {
+	const gens = 5
+	matchers := make([]*Matcher, gens)
+	var rules0 *Ruleset
+	for i := range matchers {
+		rules, err := GenerateSnortLike(80+10*i, int64(400+i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := Compile(rules, Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		matchers[i] = m
+		if i == 0 {
+			rules0 = rules
+		}
+	}
+	w, err := traffic.GenerateFlows(rules0.InternalSet(), traffic.FlowConfig{
+		Flows: 30, SegmentsPerFlow: 6, SegmentBytes: 120, Seed: 21,
+		CrossDensity: 1, AttackDensity: 1, Profile: traffic.Uniform,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	gw := matchers[0].NewEngine(2).Gateway(
+		GatewayConfig{EngineShards: 2, StreamWorkers: 2, BatchPackets: 8}, func(FlowMatch) {})
+	gm := gw.Metrics()
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+
+	wg.Add(1)
+	go func() { // ingester: the full stream workload plus UDP noise
+		defer wg.Done()
+		defer close(done)
+		for i, p := range w.Packets {
+			if err := gw.Ingest(GatewayPacket{Tuple: p.Tuple, Payload: p.Payload}); err != nil {
+				t.Error(err)
+				return
+			}
+			if i%7 == 0 {
+				u := FiveTuple{SrcIP: 1, DstIP: 2, SrcPort: uint16(i), DstPort: 53, Proto: ProtoUDP}
+				if err := gw.Ingest(GatewayPacket{Tuple: u, Payload: p.Payload}); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}
+	}()
+	wg.Add(1)
+	go func() { // swapper: install every later generation in order
+		defer wg.Done()
+		for _, m := range matchers[1:] {
+			if err := gw.SwapRules(m); err != nil {
+				t.Errorf("SwapRules: %v", err)
+				return
+			}
+		}
+	}()
+	wg.Add(1)
+	go func() { // scraper: metrics render + stats + generation list, until ingest ends
+		defer wg.Done()
+		for {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			if _, err := gm.WriteTo(io.Discard); err != nil {
+				t.Errorf("metrics render: %v", err)
+				return
+			}
+			_ = gw.Stats()
+			_ = gw.Generations()
+			_ = gw.Generation()
+		}
+	}()
+	wg.Add(1)
+	go func() { // flusher: drain barriers interleaved with swaps and ingest
+		defer wg.Done()
+		for i := 0; i < 5; i++ {
+			gw.Flush()
+		}
+	}()
+	wg.Wait()
+
+	// A final scrape must still be well-formed exposition text.
+	var buf = &writerTo{}
+	if _, err := gm.WriteTo(buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := metrics.Validate(buf.b); err != nil {
+		t.Fatalf("metrics exposition invalid after swap storm: %v", err)
+	}
+
+	if err := gw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st := gw.Stats()
+	if st.RulesetSwaps != gens-1 || st.GenerationsInstalled != gens {
+		t.Fatalf("swap accounting: %d swaps, %d installed", st.RulesetSwaps, st.GenerationsInstalled)
+	}
+	// Close unpins every flow, so exactly the current generation survives.
+	if st.GenerationsRetired != st.GenerationsInstalled-1 || st.GenerationsLive != 1 {
+		t.Fatalf("retirement after close: retired %d installed %d live %d",
+			st.GenerationsRetired, st.GenerationsInstalled, st.GenerationsLive)
+	}
+	if l := st.Ledger(); !l.Balanced() {
+		t.Fatalf("ledger unbalanced after swap storm: %+v", l)
+	}
+}
+
+type writerTo struct{ b []byte }
+
+func (w *writerTo) Write(p []byte) (int, error) { w.b = append(w.b, p...); return len(p), nil }
+
+// TestSentinelErrors pins the v1 error seam: every constructor and
+// control-plane rejection is classifiable with errors.Is against the
+// exported sentinels, including through Compile and Config.Validate.
+func TestSentinelErrors(t *testing.T) {
+	if err := (Config{Groups: -1}).Validate(); !errors.Is(err, ErrBadConfig) {
+		t.Fatalf("negative Groups: %v, want ErrBadConfig", err)
+	}
+	// The deprecated alias conflicting with a pinned kernel backend is
+	// still a config error — through the same seam.
+	if err := (Config{DisableBakedKernel: true, Backend: BackendBaked}).Validate(); !errors.Is(err, ErrBadConfig) {
+		t.Fatalf("alias conflict: %v, want ErrBadConfig", err)
+	}
+	if err := (Config{Groups: 2, Backend: BackendAccelerated}).Validate(); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	if _, err := Compile(NewRuleset(), Config{}); !errors.Is(err, ErrBadConfig) {
+		t.Fatalf("empty ruleset: %v, want ErrBadConfig", err)
+	}
+	if _, err := Compile(nil, Config{Groups: -1}); !errors.Is(err, ErrBadConfig) {
+		t.Fatalf("Compile with bad config: %v, want ErrBadConfig", err)
+	}
+
+	mA, _ := gatewayMatcher(t, 40, 1)
+	mB, _ := gatewayMatcher(t, 40, 1)
+	if _, err := NewGateway(nil, GatewayConfig{}, func(FlowMatch) {}); !errors.Is(err, ErrBadConfig) {
+		t.Fatalf("nil matcher: %v, want ErrBadConfig", err)
+	}
+	if _, err := NewGateway(mA, GatewayConfig{}, nil); !errors.Is(err, ErrBadConfig) {
+		t.Fatalf("nil emit: %v, want ErrBadConfig", err)
+	}
+
+	gw, err := NewGateway(mA, GatewayConfig{}, func(FlowMatch) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := gw.SwapRules(nil); !errors.Is(err, ErrBadConfig) {
+		t.Fatalf("SwapRules(nil): %v, want ErrBadConfig", err)
+	}
+	if err := gw.SwapRules(mA); !errors.Is(err, ErrStaleGeneration) {
+		t.Fatalf("re-swap of the installed matcher: %v, want ErrStaleGeneration", err)
+	}
+	if err := gw.SwapRules(mB); err != nil {
+		t.Fatal(err)
+	}
+	if err := gw.SwapRules(mA); !errors.Is(err, ErrStaleGeneration) {
+		t.Fatalf("swap to an older compile: %v, want ErrStaleGeneration", err)
+	}
+	if err := gw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := gw.Ingest(GatewayPacket{Tuple: FiveTuple{Proto: ProtoUDP}, Payload: []byte("x")}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Ingest after Close: %v, want ErrClosed", err)
+	}
+	if err := gw.SwapRules(mB); !errors.Is(err, ErrClosed) {
+		t.Fatalf("SwapRules after Close: %v, want ErrClosed", err)
+	}
+}
+
+// TestDeprecatedDisableBakedKernelAlias keeps the compatibility contract
+// of the deprecated flag alive while every in-repo caller now uses
+// Config.Backend: the alias still resolves an unpinned backend to the
+// reference path.
+func TestDeprecatedDisableBakedKernelAlias(t *testing.T) {
+	rules, err := GenerateSnortLike(30, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := Compile(rules, Config{DisableBakedKernel: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Kernel().Baked {
+		t.Fatal("DisableBakedKernel no longer disables the baked kernel")
+	}
+	if m.Backend() != BackendReference {
+		t.Fatalf("alias resolved to backend %q, want %q", m.Backend(), BackendReference)
+	}
+}
+
+// FuzzSwapEquivalence drives a small gateway through a fuzz-chosen
+// interleaving of per-flow writes, one hot swap, FINs and flushes, and
+// requires every flow's match stream to equal FindAll of its concatenated
+// stream against the matcher that was installed when the flow opened —
+// the pinning contract under arbitrary schedules — plus ledger balance
+// and installed-minus-one retirement after close.
+func FuzzSwapEquivalence(f *testing.F) {
+	f.Add([]byte{2, 'h', 'e', 3, 's', 'h', 'e'}, []byte{3, 'h', 'i', 's', 4, 'h', 'e', 'r', 's'},
+		[]byte("ushers say she sells seashells"), []byte{0x10, 0x1b, 0x22, 0x08, 0x31, 0x0c, 0x3e})
+	f.Add([]byte{1, 'a', 2, 'a', 'a'}, []byte{3, 'a', 'a', 'a'},
+		[]byte("aaaaaaaaaaaa"), []byte{0x08, 0x09, 0x03, 0x0a, 0x05, 0x10, 0x11})
+	f.Add([]byte{4, 0x00, 0xff, 0x00, 0xff}, []byte{2, 0xff, 0xff},
+		[]byte{0x00, 0xff, 0x00, 0xff, 0xff}, []byte{0x20, 0x03, 0x21, 0x04, 0x22})
+	f.Fuzz(func(t *testing.T, patA, patB, payload, ops []byte) {
+		rulesA := fuzzRulesFrom(patA)
+		rulesB := fuzzRulesFrom(patB)
+		if rulesA == nil || rulesB == nil {
+			t.Skip("no patterns")
+		}
+		mA, err := Compile(rulesA, Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		mB, err := Compile(rulesB, Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		c := newCollector()
+		gw := mA.NewEngine(2).Gateway(
+			GatewayConfig{EngineShards: 2, StreamWorkers: 2, BatchPackets: 2}, c.emit)
+
+		const nflows = 3
+		tup := func(i int) FiveTuple {
+			return FiveTuple{SrcIP: 0x0a0a0a0a, DstIP: 0x14141414,
+				SrcPort: uint16(2000 + i), DstPort: 80, Proto: ProtoTCP}
+		}
+		streams := make([][]byte, nflows)
+		pinned := make([]*Matcher, nflows) // matcher current when the flow opened
+		finned := make([]bool, nflows)
+		cur := mA
+		swapped := false
+		off := 0
+		chunk := func(n int) []byte {
+			if len(payload) == 0 {
+				return nil
+			}
+			out := make([]byte, 0, n)
+			for len(out) < n {
+				take := len(payload) - off
+				if take > n-len(out) {
+					take = n - len(out)
+				}
+				out = append(out, payload[off:off+take]...)
+				off = (off + take) % len(payload)
+			}
+			return out
+		}
+		for _, op := range ops {
+			switch op % 6 {
+			case 0, 1, 2: // write a chunk to flow op%6
+				fi := int(op % 6)
+				if finned[fi] {
+					break // husk: a non-SYN straggler would be discarded unscanned
+				}
+				p := chunk(int(op>>3) + 1)
+				if pinned[fi] == nil {
+					pinned[fi] = cur
+				}
+				if err := gw.Ingest(GatewayPacket{Tuple: tup(fi), Payload: p}); err != nil {
+					t.Fatal(err)
+				}
+				streams[fi] = append(streams[fi], p...)
+			case 3: // the one hot swap
+				if !swapped {
+					if err := gw.SwapRules(mB); err != nil {
+						t.Fatal(err)
+					}
+					swapped = true
+					cur = mB
+				}
+			case 4:
+				gw.Flush()
+			case 5: // FIN flow op>>3 % nflows
+				fi := int(op>>3) % nflows
+				if pinned[fi] == nil || finned[fi] {
+					break
+				}
+				if err := gw.Ingest(GatewayPacket{Tuple: tup(fi), Flags: FlagFIN}); err != nil {
+					t.Fatal(err)
+				}
+				finned[fi] = true
+			}
+		}
+		if err := gw.Close(); err != nil {
+			t.Fatal(err)
+		}
+		for fi := range streams {
+			if pinned[fi] == nil {
+				continue
+			}
+			want := pinned[fi].FindAll(streams[fi])
+			if got := c.byTuple[tup(fi)]; !sameMatchSeq(got, want) {
+				t.Fatalf("flow %d: %d matches, pinned-matcher oracle %d (swapped=%v)",
+					fi, len(got), len(want), swapped)
+			}
+		}
+		st := gw.Stats()
+		if st.GenerationsRetired != st.GenerationsInstalled-1 {
+			t.Fatalf("retirement: %d retired of %d installed", st.GenerationsRetired, st.GenerationsInstalled)
+		}
+		if l := st.Ledger(); !l.Balanced() {
+			t.Fatalf("ledger unbalanced: %+v", l)
+		}
+	})
+}
